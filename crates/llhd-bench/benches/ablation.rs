@@ -1,0 +1,40 @@
+//! Ablation benchmark for the design choices called out in DESIGN.md:
+//!
+//! * how much of LLHD-Blaze's advantage comes from the pre-resolved compiled
+//!   form versus from running on a cleaned-up module (the compiled simulator
+//!   is benchmarked on both the `-O0` and the optimized module), and
+//! * what the interpreter gains from the same cleanup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llhd_designs::design_by_name;
+use llhd_opt::pipeline::optimize_module;
+use llhd_sim::SimConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    let design = design_by_name("RISC-V Core").unwrap();
+    let module = design.build().unwrap();
+    let mut optimized = module.clone();
+    optimize_module(&mut optimized);
+    let config = SimConfig::until_nanos(design.sim_time_ns(50)).without_trace();
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.bench_function("interpreter_O0", |b| {
+        b.iter(|| llhd_sim::simulate(&module, design.top, &config).unwrap())
+    });
+    group.bench_function("interpreter_optimized", |b| {
+        b.iter(|| llhd_sim::simulate(&optimized, design.top, &config).unwrap())
+    });
+    group.bench_function("blaze_O0", |b| {
+        b.iter(|| llhd_blaze::simulate(&module, design.top, &config).unwrap())
+    });
+    group.bench_function("blaze_optimized", |b| {
+        b.iter(|| llhd_blaze::simulate(&optimized, design.top, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark behind Table 4: cost of the three representations
+//! (text emission/parsing, bitcode encoding/decoding) for the benchmark
+//! designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llhd::assembly::{parse_module, write_module};
+use llhd::bitcode::{decode_module, encode_module};
+use llhd_designs::all_designs;
+
+fn bench_serialization(c: &mut Criterion) {
+    // The largest design of the suite exercises the serializers hardest.
+    let design = all_designs()
+        .into_iter()
+        .max_by_key(|d| d.build().map(|m| write_module(&m).len()).unwrap_or(0))
+        .unwrap();
+    let module = design.build().unwrap();
+    let text = write_module(&module);
+    let bitcode = encode_module(&module);
+
+    let mut group = c.benchmark_group("serialization");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("write_text", |b| b.iter(|| write_module(&module)));
+    group.bench_function("parse_text", |b| b.iter(|| parse_module(&text).unwrap()));
+    group.bench_function("encode_bitcode", |b| b.iter(|| encode_module(&module)));
+    group.bench_function("decode_bitcode", |b| {
+        b.iter(|| decode_module(&bitcode).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

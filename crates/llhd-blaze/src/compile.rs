@@ -1,0 +1,478 @@
+//! Compilation of LLHD units into the pre-resolved execution form.
+
+use llhd::ir::{Module, Opcode, RegMode, UnitId, UnitKind, Value};
+use llhd::value::ConstValue;
+use llhd_sim::design::{ElaboratedDesign, InstanceKind, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An error produced while compiling a unit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled register trigger.
+#[derive(Clone, Debug)]
+pub struct CompiledTrigger {
+    /// Register slot holding the stored value.
+    pub value: usize,
+    /// Trigger mode.
+    pub mode: RegMode,
+    /// Register slot holding the trigger sample.
+    pub trigger: usize,
+    /// Optional register slot holding the gate condition.
+    pub gate: Option<usize>,
+    /// State slot remembering the previous trigger sample.
+    pub state: usize,
+}
+
+/// Recognised intrinsic calls.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Intrinsic {
+    /// `llhd.assert`: check a condition.
+    Assert,
+    /// Any other `llhd.*` call: ignored.
+    Ignore,
+}
+
+/// One pre-resolved operation.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Load a constant into a register slot.
+    Const { dst: usize, value: ConstValue },
+    /// Evaluate a pure operation.
+    Pure {
+        opcode: Opcode,
+        dst: usize,
+        args: Vec<usize>,
+        imms: Vec<usize>,
+    },
+    /// Probe a signal into a register slot.
+    Prb { dst: usize, sig: usize },
+    /// Drive a signal.
+    Drv {
+        sig: usize,
+        value: usize,
+        delay: usize,
+        cond: Option<usize>,
+    },
+    /// A register storage element.
+    Reg {
+        sig: usize,
+        triggers: Vec<CompiledTrigger>,
+    },
+    /// A delayed copy of a signal.
+    Del {
+        target: usize,
+        source: usize,
+        delay: usize,
+    },
+    /// Allocate process-local memory.
+    Var { mem: usize, init: usize },
+    /// Load from process-local memory.
+    Ld { dst: usize, mem: usize },
+    /// Store to process-local memory.
+    St { mem: usize, value: usize },
+    /// Call a function or intrinsic.
+    Call {
+        callee: Option<UnitId>,
+        intrinsic: Option<Intrinsic>,
+        dst: Option<usize>,
+        args: Vec<usize>,
+    },
+    /// Suspend until a signal change or timeout.
+    Wait {
+        resume: usize,
+        time: Option<usize>,
+        observed: Vec<usize>,
+    },
+    /// Suspend forever.
+    Halt,
+    /// Unconditional branch.
+    Br { target: usize },
+    /// Conditional branch (false target first, matching the IR).
+    BrCond {
+        cond: usize,
+        if_false: usize,
+        if_true: usize,
+    },
+    /// Return from a function.
+    Ret { value: Option<usize> },
+    /// Elaboration-only instruction, skipped at run time.
+    Nop,
+}
+
+/// A compiled basic block.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledBlock {
+    /// The operations of the block in execution order.
+    pub ops: Vec<Op>,
+}
+
+/// A compiled unit.
+#[derive(Clone, Debug)]
+pub struct CompiledUnit {
+    /// The unit kind.
+    pub kind: UnitKind,
+    /// The unit name (for diagnostics).
+    pub name: String,
+    /// The compiled blocks, indexed densely.
+    pub blocks: Vec<CompiledBlock>,
+    /// The entry block index.
+    pub entry: usize,
+    /// Number of value register slots.
+    pub num_regs: usize,
+    /// Number of memory slots.
+    pub num_mems: usize,
+    /// Number of register-state slots (one per reg trigger).
+    pub num_states: usize,
+    /// Number of signal slots.
+    pub num_signals: usize,
+    /// Register slots of the unit arguments (functions only).
+    pub arg_regs: Vec<usize>,
+    /// For each unit argument: its signal slot, if it is a signal.
+    pub arg_signals: Vec<Option<usize>>,
+    /// Map from the unit's signal-typed values to signal slots, used to bind
+    /// instances.
+    pub signal_slot_of_value: HashMap<Value, usize>,
+}
+
+/// A compiled unit instance: the unit plus its signal bindings.
+#[derive(Clone, Debug)]
+pub struct CompiledInstance {
+    /// The compiled unit this instance executes.
+    pub unit: UnitId,
+    /// Process or entity.
+    pub kind: InstanceKind,
+    /// Hierarchical name.
+    pub name: String,
+    /// The global signal bound to each signal slot.
+    pub signal_table: Vec<SignalId>,
+}
+
+/// A fully compiled design ready for execution by
+/// [`BlazeSimulator`](crate::engine::BlazeSimulator).
+#[derive(Clone, Debug)]
+pub struct CompiledDesign {
+    /// Compiled units, indexed by their module handle. Shared pointers keep
+    /// per-activation dispatch free of deep copies.
+    pub units: HashMap<UnitId, Rc<CompiledUnit>>,
+    /// Compiled instances.
+    pub instances: Vec<CompiledInstance>,
+    /// The elaborated design (signal table, aliases).
+    pub design: ElaboratedDesign,
+}
+
+/// Compile all units of a module and bind the elaborated instances.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for constructs outside the supported subset.
+pub fn compile_design(
+    module: &Module,
+    design: &ElaboratedDesign,
+) -> Result<CompiledDesign, CompileError> {
+    let mut units = HashMap::new();
+    for id in module.units() {
+        let compiled = compile_unit(module, id)?;
+        units.insert(id, Rc::new(compiled));
+    }
+    let mut instances = Vec::with_capacity(design.instances.len());
+    for instance in &design.instances {
+        let unit = &units[&instance.unit];
+        let mut signal_table = vec![SignalId(usize::MAX); unit.num_signals];
+        for (value, &slot) in &unit.signal_slot_of_value {
+            if let Some(&sig) = instance.signal_map.get(value) {
+                signal_table[slot] = sig;
+            }
+        }
+        instances.push(CompiledInstance {
+            unit: instance.unit,
+            kind: instance.kind,
+            name: instance.name.clone(),
+            signal_table,
+        });
+    }
+    Ok(CompiledDesign {
+        units,
+        instances,
+        design: design.clone(),
+    })
+}
+
+/// Compile a single unit.
+pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, CompileError> {
+    let unit = module.unit(id);
+    let mut reg_of: HashMap<Value, usize> = HashMap::new();
+    let mut sig_of: HashMap<Value, usize> = HashMap::new();
+    let mut mem_of: HashMap<Value, usize> = HashMap::new();
+    let mut num_states = 0usize;
+
+    let reg = |map: &mut HashMap<Value, usize>, v: Value| -> usize {
+        let next = map.len();
+        *map.entry(v).or_insert(next)
+    };
+
+    // Arguments: signal-typed arguments get signal slots, all arguments get
+    // register slots (functions read them as values).
+    let mut arg_regs = vec![];
+    let mut arg_signals = vec![];
+    for arg in unit.args() {
+        arg_regs.push(reg(&mut reg_of, arg));
+        if unit.value_type(arg).is_signal() {
+            arg_signals.push(Some(reg(&mut sig_of, arg)));
+        } else {
+            arg_signals.push(None);
+        }
+    }
+
+    let block_list = unit.blocks();
+    let block_index: HashMap<_, _> = block_list.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    let mut blocks = Vec::with_capacity(block_list.len());
+    for &block in &block_list {
+        let mut ops = Vec::new();
+        for inst in unit.insts(block) {
+            let data = unit.inst_data(inst);
+            let dst = unit.get_inst_result(inst).map(|r| reg(&mut reg_of, r));
+            let op = match data.opcode {
+                Opcode::Const => Op::Const {
+                    dst: dst.unwrap(),
+                    value: data.konst.clone().unwrap(),
+                },
+                Opcode::Sig | Opcode::Inst | Opcode::Con => {
+                    // Elaboration-time: allocate the signal slot so instance
+                    // binding finds it, then skip at run time.
+                    if let Some(result) = unit.get_inst_result(inst) {
+                        reg(&mut sig_of, result);
+                    }
+                    Op::Nop
+                }
+                Opcode::Prb => Op::Prb {
+                    dst: dst.unwrap(),
+                    sig: reg(&mut sig_of, data.args[0]),
+                },
+                Opcode::Drv | Opcode::DrvCond => Op::Drv {
+                    sig: reg(&mut sig_of, data.args[0]),
+                    value: reg(&mut reg_of, data.args[1]),
+                    delay: reg(&mut reg_of, data.args[2]),
+                    cond: if data.opcode == Opcode::DrvCond {
+                        Some(reg(&mut reg_of, data.args[3]))
+                    } else {
+                        None
+                    },
+                },
+                Opcode::Del => Op::Del {
+                    target: reg(&mut sig_of, unit.inst_result(inst)),
+                    source: reg(&mut sig_of, data.args[0]),
+                    delay: reg(&mut reg_of, data.args[1]),
+                },
+                Opcode::Reg => {
+                    let mut triggers = vec![];
+                    for t in &data.triggers {
+                        triggers.push(CompiledTrigger {
+                            value: reg(&mut reg_of, t.value),
+                            mode: t.mode,
+                            trigger: reg(&mut reg_of, t.trigger),
+                            gate: t.gate.map(|g| reg(&mut reg_of, g)),
+                            state: {
+                                let s = num_states;
+                                num_states += 1;
+                                s
+                            },
+                        });
+                    }
+                    Op::Reg {
+                        sig: reg(&mut sig_of, data.args[0]),
+                        triggers,
+                    }
+                }
+                Opcode::Var | Opcode::Halloc => Op::Var {
+                    mem: reg(&mut mem_of, unit.inst_result(inst)),
+                    init: reg(&mut reg_of, data.args[0]),
+                },
+                Opcode::Ld => Op::Ld {
+                    dst: dst.unwrap(),
+                    mem: reg(&mut mem_of, data.args[0]),
+                },
+                Opcode::St => Op::St {
+                    mem: reg(&mut mem_of, data.args[0]),
+                    value: reg(&mut reg_of, data.args[1]),
+                },
+                Opcode::Free => Op::Nop,
+                Opcode::Call => {
+                    let ext = data
+                        .ext_unit
+                        .ok_or_else(|| CompileError("call without target".to_string()))?;
+                    let name = unit.ext_unit_data(ext).name.clone();
+                    let intrinsic = name.ident().and_then(|ident| {
+                        ident.strip_prefix("llhd.").map(|rest| {
+                            if rest == "assert" {
+                                Intrinsic::Assert
+                            } else {
+                                Intrinsic::Ignore
+                            }
+                        })
+                    });
+                    let callee = if intrinsic.is_none() {
+                        Some(module.unit_by_name(&name).ok_or_else(|| {
+                            CompileError(format!("call to undefined function {}", name))
+                        })?)
+                    } else {
+                        None
+                    };
+                    Op::Call {
+                        callee,
+                        intrinsic,
+                        dst,
+                        args: data.args.iter().map(|&a| reg(&mut reg_of, a)).collect(),
+                    }
+                }
+                Opcode::Wait | Opcode::WaitTime => {
+                    let (time, signals) = if data.opcode == Opcode::WaitTime {
+                        (Some(reg(&mut reg_of, data.args[0])), &data.args[1..])
+                    } else {
+                        (None, &data.args[..])
+                    };
+                    Op::Wait {
+                        resume: block_index[&data.blocks[0]],
+                        time,
+                        observed: signals.iter().map(|&s| reg(&mut sig_of, s)).collect(),
+                    }
+                }
+                Opcode::Halt => Op::Halt,
+                Opcode::Br => Op::Br {
+                    target: block_index[&data.blocks[0]],
+                },
+                Opcode::BrCond => Op::BrCond {
+                    cond: reg(&mut reg_of, data.args[0]),
+                    if_false: block_index[&data.blocks[0]],
+                    if_true: block_index[&data.blocks[1]],
+                },
+                Opcode::Ret => Op::Ret { value: None },
+                Opcode::RetValue => Op::Ret {
+                    value: Some(reg(&mut reg_of, data.args[0])),
+                },
+                Opcode::Phi => {
+                    return Err(CompileError(
+                        "phi nodes are not supported by the compiled simulator".to_string(),
+                    ))
+                }
+                op if op.is_pure() => Op::Pure {
+                    opcode: op,
+                    dst: dst.unwrap(),
+                    args: data.args.iter().map(|&a| reg(&mut reg_of, a)).collect(),
+                    imms: data.imms.clone(),
+                },
+                op => {
+                    return Err(CompileError(format!(
+                        "unsupported instruction {} in {}",
+                        op,
+                        unit.name()
+                    )))
+                }
+            };
+            ops.push(op);
+        }
+        blocks.push(CompiledBlock { ops });
+    }
+
+    Ok(CompiledUnit {
+        kind: unit.kind(),
+        name: unit.name().to_string(),
+        blocks,
+        entry: 0,
+        num_regs: reg_of.len(),
+        num_mems: mem_of.len(),
+        num_states,
+        num_signals: sig_of.len(),
+        arg_regs,
+        arg_signals,
+        signal_slot_of_value: sig_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhd::assembly::parse_module;
+    use llhd_sim::elaborate;
+
+    #[test]
+    fn compiles_process_and_entity() {
+        let module = parse_module(
+            r#"
+            entity @dff (i1$ %clk, i8$ %d) -> (i8$ %q) {
+                %clkp = prb i1$ %clk
+                %dp = prb i8$ %d
+                reg i8$ %q, %dp rise %clkp
+            }
+            proc @stim () -> (i1$ %clk, i8$ %d) {
+            entry:
+                %one = const i1 1
+                %v = const i8 7
+                %t = const time 5ns
+                drv i1$ %clk, %one after %t
+                drv i8$ %d, %v after %t
+                wait %done for %t
+            done:
+                halt
+            }
+            entity @top () -> () {
+                %z1 = const i1 0
+                %z8 = const i8 0
+                %clk = sig i1 %z1
+                %d = sig i8 %z8
+                %q = sig i8 %z8
+                inst @dff (%clk, %d) -> (%q)
+                inst @stim () -> (%clk, %d)
+            }
+            "#,
+        )
+        .unwrap();
+        let design = elaborate(&module, "top").unwrap();
+        let compiled = compile_design(&module, &design).unwrap();
+        assert_eq!(compiled.instances.len(), 3);
+        let dff = &compiled.units[&module.unit_by_ident("dff").unwrap()];
+        assert_eq!(dff.kind, UnitKind::Entity);
+        assert_eq!(dff.num_signals, 3);
+        assert_eq!(dff.num_states, 1);
+        let stim = &compiled.units[&module.unit_by_ident("stim").unwrap()];
+        assert_eq!(stim.blocks.len(), 2);
+        // Every instance's signal table is fully bound.
+        for instance in &compiled.instances {
+            let unit = &compiled.units[&instance.unit];
+            if unit.num_signals > 0 && instance.kind == InstanceKind::Process {
+                assert!(instance
+                    .signal_table
+                    .iter()
+                    .all(|s| s.0 != usize::MAX));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_call_target_is_an_error() {
+        let module = parse_module(
+            r#"
+            proc @p () -> () {
+            entry:
+                %x = const i8 1
+                call void @nowhere (%x)
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let design = elaborate(&module, "p").unwrap();
+        assert!(compile_design(&module, &design).is_err());
+    }
+}

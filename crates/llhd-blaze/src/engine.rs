@@ -1,0 +1,609 @@
+//! The execution engine operating on compiled designs.
+//!
+//! Scheduling (event queue, delta cycles, sensitivity) is identical to the
+//! reference interpreter in `llhd-sim`; the difference is that unit bodies
+//! execute over dense register files with pre-resolved operand indices
+//! instead of interpreting the IR data structures.
+
+use crate::compile::{CompiledDesign, Intrinsic, Op};
+use llhd::eval::eval_pure;
+use llhd::ir::{RegMode, UnitId, UnitKind};
+use llhd::value::{ConstValue, TimeValue};
+use llhd_sim::design::{InstanceKind, SignalId};
+use llhd_sim::{SimConfig, SimError, SimResult, Trace};
+use std::collections::{BTreeMap, HashSet};
+
+#[derive(Default, Clone)]
+struct Instant {
+    drives: Vec<(SignalId, ConstValue)>,
+    wakes: Vec<(usize, u64)>,
+}
+
+enum Status {
+    Ready,
+    Suspended {
+        resume: usize,
+        observed: Vec<SignalId>,
+        token: u64,
+    },
+    Halted,
+}
+
+struct InstanceState {
+    status: Status,
+    regs: Vec<ConstValue>,
+    mems: Vec<ConstValue>,
+    states: Vec<Option<ConstValue>>,
+    token: u64,
+}
+
+/// The accelerated simulator.
+pub struct BlazeSimulator {
+    compiled: CompiledDesign,
+    config: SimConfig,
+    values: Vec<ConstValue>,
+    queue: BTreeMap<TimeValue, Instant>,
+    time: TimeValue,
+    states: Vec<InstanceState>,
+    entity_sensitivity: Vec<(SignalId, usize)>,
+    trace: Trace,
+    signal_changes: usize,
+    assertions_checked: usize,
+    assertion_failures: usize,
+    activations: usize,
+}
+
+impl BlazeSimulator {
+    /// Create a simulator for a compiled design.
+    pub fn new(compiled: CompiledDesign, config: SimConfig) -> Self {
+        let values: Vec<ConstValue> = compiled
+            .design
+            .signals
+            .iter()
+            .map(|s| s.init.clone())
+            .collect();
+        let mut states = Vec::with_capacity(compiled.instances.len());
+        let mut entity_sensitivity = vec![];
+        for (idx, instance) in compiled.instances.iter().enumerate() {
+            let unit = &compiled.units[&instance.unit];
+            states.push(InstanceState {
+                status: Status::Ready,
+                regs: vec![ConstValue::Void; unit.num_regs],
+                mems: vec![ConstValue::Void; unit.num_mems],
+                states: vec![None; unit.num_states],
+                token: 0,
+            });
+            if instance.kind == InstanceKind::Entity {
+                // Sensitivity: every probed or delayed signal slot.
+                for block in &unit.blocks {
+                    for op in &block.ops {
+                        let slot = match op {
+                            Op::Prb { sig, .. } => Some(*sig),
+                            Op::Del { source, .. } => Some(*source),
+                            _ => None,
+                        };
+                        if let Some(slot) = slot {
+                            let sig = compiled.design.resolve(instance.signal_table[slot]);
+                            entity_sensitivity.push((sig, idx));
+                        }
+                    }
+                }
+            }
+        }
+        BlazeSimulator {
+            compiled,
+            config,
+            values,
+            queue: BTreeMap::new(),
+            time: TimeValue::ZERO,
+            states,
+            entity_sensitivity,
+            trace: Trace::new(),
+            signal_changes: 0,
+            assertions_checked: 0,
+            assertion_failures: 0,
+            activations: 0,
+        }
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on unsupported constructs or runaway
+    /// delta cycles.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        for idx in 0..self.compiled.instances.len() {
+            self.run_instance(idx)?;
+        }
+        let mut last_physical = 0u128;
+        let mut deltas = 0u32;
+        loop {
+            let event_time = match self.queue.keys().next() {
+                Some(&t) => t,
+                None => break,
+            };
+            if event_time > self.config.max_time {
+                break;
+            }
+            let instant = self.queue.remove(&event_time).unwrap();
+            if event_time.as_femtos() == last_physical {
+                deltas += 1;
+                if deltas > self.config.max_deltas_per_instant {
+                    return Err(SimError::Runtime(format!(
+                        "delta cycle limit exceeded at {}",
+                        event_time
+                    )));
+                }
+            } else {
+                last_physical = event_time.as_femtos();
+                deltas = 0;
+            }
+            self.time = event_time;
+
+            let mut changed: HashSet<SignalId> = HashSet::new();
+            for (signal, value) in instant.drives {
+                let signal = self.compiled.design.resolve(signal);
+                if self.values[signal.0] != value {
+                    self.values[signal.0] = value.clone();
+                    self.signal_changes += 1;
+                    changed.insert(signal);
+                    if self.config.trace {
+                        let name = &self.compiled.design.signals[signal.0].name;
+                        let record = match &self.config.trace_filter {
+                            None => true,
+                            Some(filter) => filter
+                                .iter()
+                                .any(|f| name == f || name.ends_with(&format!(".{}", f))),
+                        };
+                        if record {
+                            self.trace.record(event_time, name.clone(), value);
+                        }
+                    }
+                }
+            }
+
+            let mut to_run: Vec<usize> = vec![];
+            for &(sig, idx) in &self.entity_sensitivity {
+                if changed.contains(&sig) && !to_run.contains(&idx) {
+                    to_run.push(idx);
+                }
+            }
+            for (idx, state) in self.states.iter().enumerate() {
+                if let Status::Suspended { observed, .. } = &state.status {
+                    if observed.iter().any(|s| changed.contains(s)) && !to_run.contains(&idx) {
+                        to_run.push(idx);
+                    }
+                }
+            }
+            for (idx, token) in instant.wakes {
+                let fresh = matches!(
+                    &self.states[idx].status,
+                    Status::Suspended { token: t, .. } if *t == token
+                );
+                if fresh && !to_run.contains(&idx) {
+                    to_run.push(idx);
+                }
+            }
+            for idx in to_run {
+                self.run_instance(idx)?;
+            }
+        }
+        let halted = self
+            .states
+            .iter()
+            .filter(|s| matches!(s.status, Status::Halted))
+            .count();
+        Ok(SimResult {
+            end_time: self.time,
+            signal_changes: self.signal_changes,
+            assertions_checked: self.assertions_checked,
+            assertion_failures: self.assertion_failures,
+            halted_processes: halted,
+            activations: self.activations,
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    fn schedule_drive(&mut self, signal: SignalId, value: ConstValue, delay: &TimeValue) {
+        let mut at = self.time.advance_by(delay);
+        if at <= self.time {
+            at = self.time.advance_by(&TimeValue::from_delta(1));
+        }
+        self.queue.entry(at).or_default().drives.push((signal, value));
+    }
+
+    fn schedule_wake(&mut self, instance: usize, token: u64, delay: &TimeValue) {
+        let mut at = self.time.advance_by(delay);
+        if at <= self.time {
+            at = self.time.advance_by(&TimeValue::from_delta(1));
+        }
+        self.queue
+            .entry(at)
+            .or_default()
+            .wakes
+            .push((instance, token));
+    }
+
+    fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
+        self.activations += 1;
+        let instance_unit = self.compiled.instances[idx].unit;
+        let kind = self.compiled.instances[idx].kind;
+        let unit = std::rc::Rc::clone(&self.compiled.units[&instance_unit]);
+        let mut block = match (&self.states[idx].status, kind) {
+            (Status::Halted, _) => return Ok(()),
+            (Status::Suspended { resume, .. }, _) => *resume,
+            (Status::Ready, _) => unit.entry,
+        };
+        self.states[idx].status = Status::Ready;
+        let mut steps = 0usize;
+        loop {
+            let mut next_block = None;
+            for op in &unit.blocks[block].ops {
+                steps += 1;
+                if steps > self.config.max_steps_per_activation {
+                    return Err(SimError::Runtime(format!(
+                        "instance {} exceeded the step limit",
+                        self.compiled.instances[idx].name
+                    )));
+                }
+                match op {
+                    Op::Nop => {}
+                    Op::Const { dst, value } => {
+                        self.states[idx].regs[*dst] = value.clone();
+                    }
+                    Op::Pure {
+                        opcode,
+                        dst,
+                        args,
+                        imms,
+                    } => {
+                        let arg_values: Vec<ConstValue> = args
+                            .iter()
+                            .map(|&a| self.states[idx].regs[a].clone())
+                            .collect();
+                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", opcode))
+                        })?;
+                        self.states[idx].regs[*dst] = value;
+                    }
+                    Op::Prb { dst, sig } => {
+                        let signal = self.signal(idx, *sig);
+                        self.states[idx].regs[*dst] = self.values[signal.0].clone();
+                    }
+                    Op::Drv {
+                        sig,
+                        value,
+                        delay,
+                        cond,
+                    } => {
+                        if let Some(cond) = cond {
+                            if !self.states[idx].regs[*cond].is_truthy() {
+                                continue;
+                            }
+                        }
+                        let signal = self.signal(idx, *sig);
+                        let value = self.states[idx].regs[*value].clone();
+                        let delay = self.time_reg(idx, *delay)?;
+                        self.schedule_drive(signal, value, &delay);
+                    }
+                    Op::Del {
+                        target,
+                        source,
+                        delay,
+                    } => {
+                        let target = self.signal(idx, *target);
+                        let source = self.signal(idx, *source);
+                        let delay = self.time_reg(idx, *delay)?;
+                        let value = self.values[source.0].clone();
+                        self.schedule_drive(target, value, &delay);
+                    }
+                    Op::Reg { sig, triggers } => {
+                        let signal = self.signal(idx, *sig);
+                        for trigger in triggers {
+                            let current = self.states[idx].regs[trigger.trigger].clone();
+                            let previous = self.states[idx].states[trigger.state].clone();
+                            let fire = match trigger.mode {
+                                RegMode::High => current.is_truthy(),
+                                RegMode::Low => !current.is_truthy(),
+                                RegMode::Rise => {
+                                    previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                        && current.is_truthy()
+                                }
+                                RegMode::Fall => {
+                                    previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                        && !current.is_truthy()
+                                }
+                                RegMode::Both => {
+                                    previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                                }
+                            };
+                            self.states[idx].states[trigger.state] = Some(current);
+                            if !fire {
+                                continue;
+                            }
+                            if let Some(gate) = trigger.gate {
+                                if !self.states[idx].regs[gate].is_truthy() {
+                                    continue;
+                                }
+                            }
+                            let value = self.states[idx].regs[trigger.value].clone();
+                            self.schedule_drive(signal, value, &TimeValue::from_delta(1));
+                        }
+                    }
+                    Op::Var { mem, init } => {
+                        self.states[idx].mems[*mem] = self.states[idx].regs[*init].clone();
+                    }
+                    Op::Ld { dst, mem } => {
+                        self.states[idx].regs[*dst] = self.states[idx].mems[*mem].clone();
+                    }
+                    Op::St { mem, value } => {
+                        self.states[idx].mems[*mem] = self.states[idx].regs[*value].clone();
+                    }
+                    Op::Call {
+                        callee,
+                        intrinsic,
+                        dst,
+                        args,
+                    } => {
+                        let arg_values: Vec<ConstValue> = args
+                            .iter()
+                            .map(|&a| self.states[idx].regs[a].clone())
+                            .collect();
+                        let result = match intrinsic {
+                            Some(Intrinsic::Assert) => {
+                                self.assertions_checked += 1;
+                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                    self.assertion_failures += 1;
+                                }
+                                None
+                            }
+                            Some(Intrinsic::Ignore) => None,
+                            None => self.call_function(callee.unwrap(), &arg_values)?,
+                        };
+                        if let (Some(dst), Some(value)) = (dst, result) {
+                            self.states[idx].regs[*dst] = value;
+                        }
+                    }
+                    Op::Wait {
+                        resume,
+                        time,
+                        observed,
+                    } => {
+                        let observed = observed
+                            .iter()
+                            .map(|&slot| self.signal(idx, slot))
+                            .collect();
+                        self.states[idx].token += 1;
+                        let token = self.states[idx].token;
+                        self.states[idx].status = Status::Suspended {
+                            resume: *resume,
+                            observed,
+                            token,
+                        };
+                        if let Some(time) = time {
+                            let delay = self.time_reg(idx, *time)?;
+                            self.schedule_wake(idx, token, &delay);
+                        }
+                        return Ok(());
+                    }
+                    Op::Halt => {
+                        self.states[idx].status = Status::Halted;
+                        return Ok(());
+                    }
+                    Op::Br { target } => {
+                        next_block = Some(*target);
+                        break;
+                    }
+                    Op::BrCond {
+                        cond,
+                        if_false,
+                        if_true,
+                    } => {
+                        next_block = Some(if self.states[idx].regs[*cond].is_truthy() {
+                            *if_true
+                        } else {
+                            *if_false
+                        });
+                        break;
+                    }
+                    Op::Ret { .. } => {
+                        return Err(SimError::Runtime(
+                            "ret outside of a function".to_string(),
+                        ));
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => {
+                    // Entities simply finish their single pass; processes
+                    // must end in a terminator, which the verifier enforces.
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn signal(&self, idx: usize, slot: usize) -> SignalId {
+        self.compiled
+            .design
+            .resolve(self.compiled.instances[idx].signal_table[slot])
+    }
+
+    fn time_reg(&self, idx: usize, slot: usize) -> Result<TimeValue, SimError> {
+        self.states[idx].regs[slot]
+            .as_time()
+            .copied()
+            .ok_or_else(|| SimError::Runtime("expected a time value".to_string()))
+    }
+
+    fn call_function(
+        &mut self,
+        callee: UnitId,
+        args: &[ConstValue],
+    ) -> Result<Option<ConstValue>, SimError> {
+        let unit = std::rc::Rc::clone(&self.compiled.units[&callee]);
+        if unit.kind != UnitKind::Function {
+            return Err(SimError::Runtime(format!(
+                "call target {} is not a function",
+                unit.name
+            )));
+        }
+        let mut regs = vec![ConstValue::Void; unit.num_regs];
+        let mut mems = vec![ConstValue::Void; unit.num_mems];
+        for (slot, value) in unit.arg_regs.iter().zip(args.iter()) {
+            regs[*slot] = value.clone();
+        }
+        let mut block = unit.entry;
+        let mut steps = 0usize;
+        loop {
+            let mut next_block = None;
+            for op in &unit.blocks[block].ops {
+                steps += 1;
+                if steps > self.config.max_steps_per_activation {
+                    return Err(SimError::Runtime(format!(
+                        "function {} exceeded the step limit",
+                        unit.name
+                    )));
+                }
+                match op {
+                    Op::Nop => {}
+                    Op::Const { dst, value } => regs[*dst] = value.clone(),
+                    Op::Pure {
+                        opcode,
+                        dst,
+                        args,
+                        imms,
+                    } => {
+                        let arg_values: Vec<ConstValue> =
+                            args.iter().map(|&a| regs[a].clone()).collect();
+                        regs[*dst] = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", opcode))
+                        })?;
+                    }
+                    Op::Var { mem, init } => mems[*mem] = regs[*init].clone(),
+                    Op::Ld { dst, mem } => regs[*dst] = mems[*mem].clone(),
+                    Op::St { mem, value } => mems[*mem] = regs[*value].clone(),
+                    Op::Call {
+                        callee,
+                        intrinsic,
+                        dst,
+                        args,
+                    } => {
+                        let arg_values: Vec<ConstValue> =
+                            args.iter().map(|&a| regs[a].clone()).collect();
+                        let result = match intrinsic {
+                            Some(Intrinsic::Assert) => {
+                                self.assertions_checked += 1;
+                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                    self.assertion_failures += 1;
+                                }
+                                None
+                            }
+                            Some(Intrinsic::Ignore) => None,
+                            None => self.call_function(callee.unwrap(), &arg_values)?,
+                        };
+                        if let (Some(dst), Some(value)) = (dst, result) {
+                            regs[*dst] = value;
+                        }
+                    }
+                    Op::Br { target } => {
+                        next_block = Some(*target);
+                        break;
+                    }
+                    Op::BrCond {
+                        cond,
+                        if_false,
+                        if_true,
+                    } => {
+                        next_block = Some(if regs[*cond].is_truthy() {
+                            *if_true
+                        } else {
+                            *if_false
+                        });
+                        break;
+                    }
+                    Op::Ret { value } => {
+                        return Ok(value.map(|v| regs[v].clone()));
+                    }
+                    _ => {
+                        return Err(SimError::Runtime(
+                            "unsupported operation in function".to_string(),
+                        ))
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use llhd::assembly::parse_module;
+
+    #[test]
+    fn compiled_counter_matches_reference() {
+        let module = parse_module(
+            r#"
+            proc @counter (i1$ %clk) -> (i8$ %out) {
+            entry:
+                %zero = const i8 0
+                %i = var i8 %zero
+                br %loop
+            loop:
+                %cur = ld i8* %i
+                %one = const i8 1
+                %next = add i8 %cur, %one
+                st i8* %i, %next
+                %delay = const time 1ns
+                drv i8$ %out, %next after %delay
+                wait %loop for %delay
+            }
+            "#,
+        )
+        .unwrap();
+        let config = SimConfig::until_nanos(50);
+        let reference = llhd_sim::simulate(&module, "counter", &config).unwrap();
+        let blaze = simulate(&module, "counter", &config).unwrap();
+        assert!(reference.trace.equivalent(&blaze.trace));
+        assert_eq!(reference.signal_changes, blaze.signal_changes);
+        let last = blaze.trace.changes_of("out").last().unwrap().clone();
+        assert_eq!(last.value, ConstValue::int(8, 50));
+    }
+
+    #[test]
+    fn assertions_work_in_compiled_functions() {
+        let module = parse_module(
+            r#"
+            func @square (i8 %x) i8 {
+            entry:
+                %r = umul i8 %x, %x
+                ret i8 %r
+            }
+            proc @tb () -> () {
+            entry:
+                %three = const i8 3
+                %nine = const i8 9
+                %sq = call i8 @square (%three)
+                %ok = eq i8 %sq, %nine
+                call void @llhd.assert (%ok)
+                %bad = const i8 8
+                %notok = eq i8 %sq, %bad
+                call void @llhd.assert (%notok)
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "tb", &SimConfig::until_nanos(10)).unwrap();
+        assert_eq!(result.assertions_checked, 2);
+        assert_eq!(result.assertion_failures, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! # llhd-designs — the benchmark designs of the LLHD paper evaluation
+//!
+//! The paper evaluates LLHD on ten open-source SystemVerilog designs ranging
+//! from small arithmetic blocks to a RISC-V core (Table 2). This crate
+//! re-implements functionally equivalent versions of each design together
+//! with a self-contained testbench, so the simulation-performance (Table 2)
+//! and size-efficiency (Table 4) experiments can be regenerated.
+//!
+//! Each [`Design`] carries:
+//! * the SystemVerilog source of the DUT (the design under test) as the
+//!   paper's notion of the "input" artifact,
+//! * the Behavioural LLHD of DUT plus testbench (either compiled from the
+//!   SystemVerilog through [`moore`] or emitted directly in LLHD assembly
+//!   for constructs outside the frontend subset),
+//! * the name of the top-level testbench unit and the nominal clock period.
+//!
+//! ```
+//! let designs = llhd_designs::all_designs();
+//! assert_eq!(designs.len(), 10);
+//! let module = designs[0].build().unwrap();
+//! assert!(llhd::verifier::verify_module(&module).is_ok());
+//! ```
+
+use llhd::assembly::parse_module;
+use llhd::ir::Module;
+
+mod sources;
+
+/// How the LLHD for a design is produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Frontend {
+    /// Compiled from SystemVerilog by the `moore` frontend.
+    Moore,
+    /// Hand-written Behavioural LLHD assembly (constructs outside the
+    /// frontend subset, e.g. multi-dimensional state).
+    Assembly,
+}
+
+/// One benchmark design plus its testbench.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// The short name used in Table 2 / Table 4.
+    pub name: &'static str,
+    /// The SystemVerilog source of the design under test.
+    pub sv_source: &'static str,
+    /// The LLHD assembly of DUT and testbench (empty when the design goes
+    /// through the Moore frontend).
+    pub llhd_source: &'static str,
+    /// How [`Design::build`] produces the module.
+    pub frontend: Frontend,
+    /// The name of the top-level testbench unit.
+    pub top: &'static str,
+    /// The nominal clock period in nanoseconds.
+    pub clock_period_ns: u128,
+    /// The number of simulated clock cycles the paper used.
+    pub paper_cycles: u64,
+    /// A signal (name suffix) whose activity indicates the design is alive;
+    /// used by smoke tests and trace comparisons.
+    pub probe_signal: &'static str,
+}
+
+impl Design {
+    /// Build the Behavioural LLHD module for this design.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the frontend or the assembler rejects the
+    /// source (which would indicate a bug in this crate).
+    pub fn build(&self) -> Result<Module, String> {
+        match self.frontend {
+            Frontend::Moore => moore::compile(self.sv_source).map_err(|e| e.to_string()),
+            Frontend::Assembly => parse_module(self.llhd_source).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The simulation end time (in nanoseconds) for a given cycle count.
+    pub fn sim_time_ns(&self, cycles: u64) -> u128 {
+        self.clock_period_ns * cycles as u128 + 10
+    }
+
+    /// Lines of SystemVerilog code of the design under test (excluding blank
+    /// lines), reported as "LoC" in Table 2.
+    pub fn sv_lines(&self) -> usize {
+        self.sv_source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+
+    /// Size of the SystemVerilog source in bytes, reported in Table 4.
+    pub fn sv_bytes(&self) -> usize {
+        self.sv_source.len()
+    }
+}
+
+/// All ten designs of the evaluation, in Table 2 order.
+pub fn all_designs() -> Vec<Design> {
+    vec![
+        sources::gray(),
+        sources::fir(),
+        sources::lfsr(),
+        sources::lzc(),
+        sources::fifo(),
+        sources::cdc_gray(),
+        sources::cdc_strobe(),
+        sources::rr_arbiter(),
+        sources::stream_delayer(),
+        sources::riscv_core(),
+    ]
+}
+
+/// Look up a design by name.
+pub fn design_by_name(name: &str) -> Option<Design> {
+    all_designs().into_iter().find(|d| d.name == name)
+}
+
+/// The accumulator running example of the paper (Figure 2/3/5), built from
+/// its SystemVerilog source through the Moore frontend.
+pub fn accumulator_example() -> Result<Module, String> {
+    moore::compile(sources::ACC_SV).map_err(|e| e.to_string())
+}
+
+/// The SystemVerilog source of the accumulator running example (Figure 3).
+pub fn accumulator_source() -> &'static str {
+    sources::ACC_SV
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhd_sim::SimConfig;
+
+    #[test]
+    fn all_designs_build_and_verify() {
+        for design in all_designs() {
+            let module = design
+                .build()
+                .unwrap_or_else(|e| panic!("{} failed to build: {}", design.name, e));
+            llhd::verifier::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{} failed to verify: {:?}", design.name, e));
+            assert!(design.sv_lines() > 3, "{} has no SV source", design.name);
+        }
+    }
+
+    #[test]
+    fn all_designs_simulate_and_produce_activity() {
+        for design in all_designs() {
+            let module = design.build().unwrap();
+            let config = SimConfig::until_nanos(design.sim_time_ns(30))
+                .with_trace_filter(&[design.probe_signal]);
+            let result = llhd_sim::simulate(&module, design.top, &config)
+                .unwrap_or_else(|e| panic!("{} failed to simulate: {}", design.name, e));
+            assert!(
+                result.trace.changes_of(design.probe_signal).count() > 0,
+                "{}: no activity on probe signal {}",
+                design.name,
+                design.probe_signal
+            );
+        }
+    }
+
+    #[test]
+    fn interpreter_and_blaze_traces_match_for_every_design() {
+        for design in all_designs() {
+            let module = design.build().unwrap();
+            let config = SimConfig::until_nanos(design.sim_time_ns(20));
+            let reference = llhd_sim::simulate(&module, design.top, &config).unwrap();
+            let blaze = llhd_blaze::simulate(&module, design.top, &config).unwrap();
+            assert!(
+                reference.trace.equivalent(&blaze.trace),
+                "{}: traces diverge",
+                design.name
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_example_builds() {
+        let module = accumulator_example().unwrap();
+        assert!(module.unit_by_ident("acc").is_some());
+        assert!(module.unit_by_ident("acc_tb").is_some());
+    }
+
+    #[test]
+    fn design_lookup() {
+        assert!(design_by_name("LFSR").is_some());
+        assert!(design_by_name("missing").is_none());
+        assert_eq!(all_designs().len(), 10);
+    }
+}

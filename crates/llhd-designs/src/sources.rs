@@ -1,0 +1,566 @@
+//! The source text of the benchmark designs.
+//!
+//! Eight designs go through the Moore SystemVerilog frontend; the FIFO and
+//! the processor core use memory (register files, queue storage) beyond the
+//! frontend subset and are provided directly as Behavioural LLHD assembly,
+//! with their SystemVerilog reference listing kept for the Table 4 size
+//! comparison.
+
+use crate::{Design, Frontend};
+
+/// The accumulator running example of Figure 3.
+pub const ACC_SV: &str = r#"
+module acc (input clk, input [31:0] x, input en, output [31:0] q);
+  logic [31:0] d;
+  always_ff @(posedge clk) q <= d;
+  always_comb begin
+    d = q;
+    if (en) d = q + x;
+  end
+endmodule
+
+module acc_tb (output clk, output en, output [31:0] x, output [31:0] q);
+  acc i_dut (.clk(clk), .x(x), .en(en), .q(q));
+  initial begin
+    en <= #2ns 1;
+    x <= #2ns 1;
+    repeat (200) begin
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#;
+
+pub fn gray() -> Design {
+    Design {
+        name: "Gray Enc./Dec.",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module gray (input clk, input [7:0] x, output [7:0] enc, output [7:0] dec);
+  logic [7:0] g;
+  assign enc = x ^ (x >> 1);
+  always_comb begin
+    g = enc ^ (enc >> 4);
+    g = g ^ (g >> 2);
+    dec = g ^ (g >> 1);
+  end
+endmodule
+
+module gray_tb (output clk, output [7:0] x, output [7:0] enc, output [7:0] dec);
+  gray dut (.clk(clk), .x(x), .enc(enc), .dec(dec));
+  initial begin
+    repeat (200) begin
+      x <= #1ns x + 1;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "gray_tb",
+        clock_period_ns: 2,
+        paper_cycles: 12_600_000,
+        probe_signal: "enc",
+    }
+}
+
+pub fn fir() -> Design {
+    Design {
+        name: "FIR Filter",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module fir (input clk, input [15:0] x, output [15:0] y);
+  logic [15:0] t0, t1, t2, t3;
+  always_ff @(posedge clk) begin
+    t0 <= x;
+    t1 <= t0;
+    t2 <= t1;
+    t3 <= t2;
+  end
+  assign y = t0 + (t1 << 1) + (t2 << 1) + t3;
+endmodule
+
+module fir_tb (output clk, output [15:0] x, output [15:0] y);
+  fir dut (.clk(clk), .x(x), .y(y));
+  initial begin
+    repeat (200) begin
+      x <= #1ns x + 3;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "fir_tb",
+        clock_period_ns: 2,
+        paper_cycles: 5_000_000,
+        probe_signal: "y",
+    }
+}
+
+pub fn lfsr() -> Design {
+    Design {
+        name: "LFSR",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module lfsr (input clk, input rst, output [15:0] q);
+  logic fb;
+  assign fb = q[15] ^ q[13] ^ q[12] ^ q[10];
+  always_ff @(posedge clk) begin
+    if (rst) q <= 16'h1;
+    else q <= (q << 1) | fb;
+  end
+endmodule
+
+module lfsr_tb (output clk, output rst, output [15:0] q);
+  lfsr dut (.clk(clk), .rst(rst), .q(q));
+  initial begin
+    rst <= #1ns 1;
+    clk <= #1ns 1;
+    clk <= #2ns 0;
+    #2ns;
+    rst <= #1ns 0;
+    repeat (200) begin
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "lfsr_tb",
+        clock_period_ns: 2,
+        paper_cycles: 10_000_000,
+        probe_signal: "q",
+    }
+}
+
+pub fn lzc() -> Design {
+    Design {
+        name: "Leading Zero C.",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module lzc (input clk, input [7:0] x, output [3:0] count);
+  always_comb begin
+    count = 8;
+    if (x[0]) count = 7;
+    if (x[1]) count = 6;
+    if (x[2]) count = 5;
+    if (x[3]) count = 4;
+    if (x[4]) count = 3;
+    if (x[5]) count = 2;
+    if (x[6]) count = 1;
+    if (x[7]) count = 0;
+  end
+endmodule
+
+module lzc_tb (output clk, output [7:0] x, output [3:0] count);
+  lzc dut (.clk(clk), .x(x), .count(count));
+  initial begin
+    repeat (200) begin
+      x <= #1ns x + 7;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "lzc_tb",
+        clock_period_ns: 2,
+        paper_cycles: 1_000_000,
+        probe_signal: "count",
+    }
+}
+
+pub fn cdc_gray() -> Design {
+    Design {
+        name: "CDC (Gray)",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module cdc_gray (input clk_a, input clk_b, output [7:0] cnt_a, output [7:0] gray_b);
+  logic [7:0] gray_a, sync1, sync2;
+  always_ff @(posedge clk_a) cnt_a <= cnt_a + 1;
+  always_comb gray_a = cnt_a ^ (cnt_a >> 1);
+  always_ff @(posedge clk_b) begin
+    sync1 <= gray_a;
+    sync2 <= sync1;
+  end
+  assign gray_b = sync2;
+endmodule
+
+module cdc_gray_tb (output clk_a, output clk_b, output [7:0] cnt_a, output [7:0] gray_b);
+  cdc_gray dut (.clk_a(clk_a), .clk_b(clk_b), .cnt_a(cnt_a), .gray_b(gray_b));
+  initial begin
+    repeat (200) begin
+      clk_a <= #1ns 1;
+      clk_a <= #2ns 0;
+      clk_b <= #1ns 1;
+      clk_b <= #3ns 0;
+      #3ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "cdc_gray_tb",
+        clock_period_ns: 3,
+        paper_cycles: 1_000_000,
+        probe_signal: "gray_b",
+    }
+}
+
+pub fn cdc_strobe() -> Design {
+    Design {
+        name: "CDC (strobe)",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module cdc_strobe (input clk_a, input clk_b, input req, output ack, output [7:0] events);
+  logic toggle, sync1, sync2, sync3;
+  always_ff @(posedge clk_a) begin
+    if (req) toggle <= ~toggle;
+  end
+  always_ff @(posedge clk_b) begin
+    sync1 <= toggle;
+    sync2 <= sync1;
+    sync3 <= sync2;
+    if (sync2 != sync3) events <= events + 1;
+  end
+  assign ack = sync2;
+endmodule
+
+module cdc_strobe_tb (output clk_a, output clk_b, output req, output ack, output [7:0] events);
+  cdc_strobe dut (.clk_a(clk_a), .clk_b(clk_b), .req(req), .ack(ack), .events(events));
+  initial begin
+    req <= #1ns 1;
+    repeat (200) begin
+      clk_a <= #1ns 1;
+      clk_a <= #2ns 0;
+      clk_b <= #2ns 1;
+      clk_b <= #4ns 0;
+      #4ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "cdc_strobe_tb",
+        clock_period_ns: 4,
+        paper_cycles: 3_500_000,
+        probe_signal: "events",
+    }
+}
+
+pub fn rr_arbiter() -> Design {
+    Design {
+        name: "RR Arbiter",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module rr_arbiter (input clk, input [3:0] req, output [3:0] grant, output [1:0] last);
+  logic [1:0] next;
+  always_comb begin
+    grant = 0;
+    next = last;
+    if (last == 0) begin
+      if (req[1]) begin grant = 2; next = 1; end
+      else if (req[2]) begin grant = 4; next = 2; end
+      else if (req[3]) begin grant = 8; next = 3; end
+      else if (req[0]) begin grant = 1; next = 0; end
+    end else begin
+      if (req[0]) begin grant = 1; next = 0; end
+      else if (req[1]) begin grant = 2; next = 1; end
+      else if (req[2]) begin grant = 4; next = 2; end
+      else if (req[3]) begin grant = 8; next = 3; end
+    end
+  end
+  always_ff @(posedge clk) last <= next;
+endmodule
+
+module rr_arbiter_tb (output clk, output [3:0] req, output [3:0] grant, output [1:0] last);
+  rr_arbiter dut (.clk(clk), .req(req), .grant(grant), .last(last));
+  initial begin
+    repeat (200) begin
+      req <= #1ns req + 5;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "rr_arbiter_tb",
+        clock_period_ns: 2,
+        paper_cycles: 5_000_000,
+        probe_signal: "grant",
+    }
+}
+
+pub fn stream_delayer() -> Design {
+    Design {
+        name: "Stream Delayer",
+        frontend: Frontend::Moore,
+        sv_source: r#"
+module stream_delayer (input clk, input valid_i, input [7:0] data_i,
+                       output valid_o, output [7:0] data_o);
+  logic v0, v1, v2;
+  logic [7:0] d0, d1, d2;
+  always_ff @(posedge clk) begin
+    v0 <= valid_i;
+    d0 <= data_i;
+    v1 <= v0;
+    d1 <= d0;
+    v2 <= v1;
+    d2 <= d1;
+  end
+  assign valid_o = v2;
+  assign data_o = d2;
+endmodule
+
+module stream_delayer_tb (output clk, output valid_i, output [7:0] data_i,
+                          output valid_o, output [7:0] data_o);
+  stream_delayer dut (.clk(clk), .valid_i(valid_i), .data_i(data_i),
+                      .valid_o(valid_o), .data_o(data_o));
+  initial begin
+    valid_i <= #1ns 1;
+    repeat (200) begin
+      data_i <= #1ns data_i + 1;
+      clk <= #1ns 1;
+      clk <= #2ns 0;
+      #2ns;
+    end
+  end
+endmodule
+"#,
+        llhd_source: "",
+        top: "stream_delayer_tb",
+        clock_period_ns: 2,
+        paper_cycles: 2_500_000,
+        probe_signal: "data_o",
+    }
+}
+
+pub fn fifo() -> Design {
+    Design {
+        name: "FIFO Queue",
+        frontend: Frontend::Assembly,
+        sv_source: r#"
+module fifo (input clk, input push, input pop, input [7:0] data_i,
+             output [7:0] data_o, output [2:0] count);
+  logic [7:0] mem [0:3];
+  logic [1:0] wr_ptr, rd_ptr;
+  always_ff @(posedge clk) begin
+    if (push && count < 4) begin
+      mem[wr_ptr] <= data_i;
+      wr_ptr <= wr_ptr + 1;
+      count <= count + 1;
+    end
+    if (pop && count > 0) begin
+      data_o <= mem[rd_ptr];
+      rd_ptr <= rd_ptr + 1;
+      count <= count - 1;
+    end
+  end
+endmodule
+"#,
+        llhd_source: r#"
+proc @fifo (i1$ %clk, i1$ %push, i1$ %pop, i8$ %data_i) -> (i8$ %data_o, i3$ %count) {
+setup:
+    %zero8 = const i8 0
+    %s0p = var i8 %zero8
+    %s1p = var i8 %zero8
+    %s2p = var i8 %zero8
+    %s3p = var i8 %zero8
+    br %main
+main:
+    %clk0 = prb i1$ %clk
+    wait %sample, %clk
+sample:
+    %clk1 = prb i1$ %clk
+    %chg = neq i1 %clk0, %clk1
+    %posedge = and i1 %chg, %clk1
+    br %posedge, %main, %tick
+tick:
+    %pushp = prb i1$ %push
+    %popp = prb i1$ %pop
+    %din = prb i8$ %data_i
+    %cnt = prb i3$ %count
+    %s0 = ld i8* %s0p
+    %s1 = ld i8* %s1p
+    %s2 = ld i8* %s2p
+    %s3 = ld i8* %s3p
+    %four = const i3 4
+    %zero3 = const i3 0
+    %one3 = const i3 1
+    %delay = const time 0s
+    %notfull = ult i3 %cnt, %four
+    %dopush = and i1 %pushp, %notfull
+    %c0 = array [%s0, %din]
+    %ns0 = mux [2 x i8] %c0, %dopush
+    %c1 = array [%s1, %s0]
+    %ns1 = mux [2 x i8] %c1, %dopush
+    %c2 = array [%s2, %s1]
+    %ns2 = mux [2 x i8] %c2, %dopush
+    %c3 = array [%s3, %s2]
+    %ns3 = mux [2 x i8] %c3, %dopush
+    st i8* %s0p, %ns0
+    st i8* %s1p, %ns1
+    st i8* %s2p, %ns2
+    st i8* %s3p, %ns3
+    %pushinc = zext i3 %dopush
+    %cnt1 = add i3 %cnt, %pushinc
+    %notempty = ugt i3 %cnt1, %zero3
+    %dopop = and i1 %popp, %notempty
+    %idx = sub i3 %cnt1, %one3
+    %slots = array [%ns0, %ns1, %ns2, %ns3]
+    %dout = mux [4 x i8] %slots, %idx
+    drv i8$ %data_o, %dout after %delay if %dopop
+    %popdec = zext i3 %dopop
+    %cnt2 = sub i3 %cnt1, %popdec
+    drv i3$ %count, %cnt2 after %delay
+    br %main
+}
+
+proc @fifo_tb_stim () -> (i1$ %clk, i1$ %push, i1$ %pop, i8$ %data_i) {
+entry:
+    %one = const i1 1
+    %zero = const i1 0
+    %d1 = const time 1ns
+    %d2 = const time 2ns
+    %zero8 = const i8 0
+    %three = const i8 3
+    %i = var i8 %zero8
+    drv i1$ %push, %one after %d1
+    drv i1$ %pop, %one after %d1
+    br %loop
+loop:
+    %ip = ld i8* %i
+    %next = add i8 %ip, %three
+    st i8* %i, %next
+    drv i8$ %data_i, %next after %d1
+    drv i1$ %clk, %one after %d1
+    drv i1$ %clk, %zero after %d2
+    wait %loop for %d2
+}
+
+entity @fifo_tb () -> () {
+    %z1 = const i1 0
+    %z8 = const i8 0
+    %z3 = const i3 0
+    %clk = sig i1 %z1
+    %push = sig i1 %z1
+    %pop = sig i1 %z1
+    %data_i = sig i8 %z8
+    %data_o = sig i8 %z8
+    %count = sig i3 %z3
+    inst @fifo (%clk, %push, %pop, %data_i) -> (%data_o, %count)
+    inst @fifo_tb_stim () -> (%clk, %push, %pop, %data_i)
+}
+"#,
+        top: "fifo_tb",
+        clock_period_ns: 2,
+        paper_cycles: 1_000_000,
+        probe_signal: "data_o",
+    }
+}
+
+pub fn riscv_core() -> Design {
+    Design {
+        name: "RISC-V Core",
+        frontend: Frontend::Assembly,
+        sv_source: r#"
+module riscv_mini (input clk, input rst, output [31:0] pc_o, output [31:0] acc_o);
+  // A multi-cycle accumulator-style core executing a small ROM program:
+  //   0: addi acc, 1
+  //   1: add  acc, acc
+  //   2: addi acc, 3
+  //   3: sub  acc, 2
+  //   4: bne  acc, 0, 0   (loop)
+  logic [31:0] pc, acc;
+  logic [31:0] regfile [0:7];
+  always_ff @(posedge clk) begin
+    if (rst) begin pc <= 0; acc <= 0; end
+    else begin
+      case (pc[2:0])
+        0: acc <= acc + 1;
+        1: acc <= acc + acc;
+        2: acc <= acc + 3;
+        3: acc <= acc - 2;
+        default: acc <= acc;
+      endcase
+      if (pc == 4) pc <= 0; else pc <= pc + 1;
+    end
+  end
+  assign pc_o = pc;
+  assign acc_o = acc;
+endmodule
+"#,
+        llhd_source: r#"
+proc @riscv_mini (i1$ %clk) -> (i32$ %pc_o, i32$ %acc_o) {
+init:
+    %clk0 = prb i1$ %clk
+    wait %check, %clk
+check:
+    %clk1 = prb i1$ %clk
+    %chg = neq i1 %clk0, %clk1
+    %posedge = and i1 %chg, %clk1
+    br %posedge, %init, %exec
+exec:
+    %pc = prb i32$ %pc_o
+    %acc = prb i32$ %acc_o
+    %zero = const i32 0
+    %one = const i32 1
+    %two = const i32 2
+    %three = const i32 3
+    %four = const i32 4
+    %delay = const time 0s
+    %r0 = add i32 %acc, %one
+    %r1 = add i32 %acc, %acc
+    %r2 = add i32 %acc, %three
+    %r3 = sub i32 %acc, %two
+    %rom = array [%r0, %r1, %r2, %r3, %acc]
+    %accn = mux [5 x i32] %rom, %pc
+    drv i32$ %acc_o, %accn after %delay
+    %atend = uge i32 %pc, %four
+    %pcinc = add i32 %pc, %one
+    %pcs = array [%pcinc, %zero]
+    %pcn = mux [2 x i32] %pcs, %atend
+    drv i32$ %pc_o, %pcn after %delay
+    br %init
+}
+
+proc @riscv_tb_clk () -> (i1$ %clk) {
+entry:
+    %one = const i1 1
+    %zero = const i1 0
+    %d1 = const time 1ns
+    %d2 = const time 2ns
+    drv i1$ %clk, %one after %d1
+    drv i1$ %clk, %zero after %d2
+    wait %entry for %d2
+}
+
+entity @riscv_tb () -> () {
+    %z1 = const i1 0
+    %z32 = const i32 0
+    %clk = sig i1 %z1
+    %pc = sig i32 %z32
+    %acc = sig i32 %z32
+    inst @riscv_mini (%clk) -> (%pc, %acc)
+    inst @riscv_tb_clk () -> (%clk)
+}
+"#,
+        top: "riscv_tb",
+        clock_period_ns: 2,
+        paper_cycles: 1_000_000,
+        probe_signal: "acc",
+    }
+}

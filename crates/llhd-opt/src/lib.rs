@@ -1,0 +1,50 @@
+//! # llhd-opt — transformation passes for LLHD
+//!
+//! This crate implements the optimization and lowering passes described in
+//! §4 of the LLHD paper. The headline transformation lowers Behavioural
+//! LLHD (processes as emitted by an HDL frontend) to Structural LLHD
+//! (entities with data flow, `reg` storage elements, and instances):
+//!
+//! 1. Basic transformations: constant folding ([`passes::const_fold`]), dead
+//!    code elimination ([`passes::dce`]), common subexpression elimination
+//!    ([`passes::cse`]), instruction simplification ([`passes::simplify`]).
+//! 2. Early Code Motion ([`passes::ecm`]): hoist instructions as far up the
+//!    CFG as their operands allow, but never move probes across `wait`.
+//! 3. Temporal Code Motion ([`passes::tcm`]): give every temporal region a
+//!    single exiting block and move `drv` instructions there, attaching the
+//!    branch conditions along the way as drive conditions.
+//! 4. Total Control Flow Elimination ([`passes::tcfe`]): merge and remove
+//!    blocks until each temporal region consists of a single block.
+//! 5. Process Lowering ([`passes::process_lowering`]): convert single-block
+//!    combinational processes into entities.
+//! 6. Desequentialization ([`passes::deseq`]): recognise flip-flops and
+//!    latches from drive conditions in two-region processes and produce
+//!    entities with `reg` instructions.
+//!
+//! The [`pipeline`] module chains these passes into the
+//! behavioural-to-structural lowering shown in Figure 4/5 of the paper.
+//!
+//! ```
+//! use llhd::assembly::parse_module;
+//! use llhd_opt::pipeline::{lower_to_structural, LoweringOptions};
+//!
+//! let mut module = parse_module(r#"
+//! proc @inv (i1$ %a) -> (i1$ %q) {
+//! entry:
+//!     %ap = prb i1$ %a
+//!     %notap = not i1 %ap
+//!     %delay = const time 1ns
+//!     drv i1$ %q, %notap after %delay
+//!     wait %entry, %a
+//! }
+//! "#).unwrap();
+//! let report = lower_to_structural(&mut module, &LoweringOptions::default());
+//! assert_eq!(report.lowered_processes, 1);
+//! assert_eq!(llhd::verifier::module_dialect(&module), llhd::verifier::Dialect::Structural);
+//! ```
+
+pub mod dnf;
+pub mod passes;
+pub mod pipeline;
+
+pub use pipeline::{lower_to_structural, LoweringOptions, LoweringReport};

@@ -1,0 +1,232 @@
+//! Common Subexpression Elimination (CSE, §4.1).
+//!
+//! Identical pure instructions are merged when the earlier one dominates the
+//! later one. Instruction identity is the tuple of opcode, operands,
+//! immediates, and constant payload.
+
+use llhd::analysis::{ControlFlowGraph, DominatorTree};
+use llhd::ir::{Block, Inst, Opcode, UnitData, Value};
+use llhd::value::ConstValue;
+use std::collections::HashMap;
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct ExprKey {
+    opcode: Opcode,
+    args: Vec<Value>,
+    imms: Vec<usize>,
+    konst: Option<ConstValue>,
+}
+
+/// Run common subexpression elimination on a unit. Returns `true` if
+/// anything changed.
+pub fn run(unit: &mut UnitData) -> bool {
+    let cfg = ControlFlowGraph::new(unit);
+    let domtree = DominatorTree::new(unit, &cfg);
+    let mut changed = false;
+    let mut seen: HashMap<ExprKey, Vec<(Block, Inst, Value)>> = HashMap::new();
+
+    for block in unit.blocks() {
+        for inst in unit.insts(block) {
+            let data = unit.inst_data(inst);
+            if !data.opcode.is_pure() {
+                continue;
+            }
+            let result = match unit.get_inst_result(inst) {
+                Some(r) => r,
+                None => continue,
+            };
+            let key = ExprKey {
+                opcode: data.opcode,
+                args: data.args.clone(),
+                imms: data.imms.clone(),
+                konst: data.konst.clone(),
+            };
+            let candidates = seen.entry(key).or_default();
+            let mut replaced = false;
+            for (other_block, _, other_value) in candidates.iter() {
+                let dominates = if *other_block == block {
+                    // Same block: the earlier instruction (already in the
+                    // candidate list) dominates the later one.
+                    true
+                } else {
+                    domtree.dominates(*other_block, block)
+                };
+                if dominates {
+                    unit.replace_value_uses(result, *other_value);
+                    unit.remove_inst(inst);
+                    changed = true;
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                seen.entry(ExprKey {
+                    opcode: data_key(unit, inst).0,
+                    args: data_key(unit, inst).1,
+                    imms: data_key(unit, inst).2,
+                    konst: data_key(unit, inst).3,
+                })
+                .or_default()
+                .push((block, inst, result));
+            }
+        }
+    }
+    changed
+}
+
+fn data_key(unit: &UnitData, inst: Inst) -> (Opcode, Vec<Value>, Vec<usize>, Option<ConstValue>) {
+    let data = unit.inst_data(inst);
+    (
+        data.opcode,
+        data.args.clone(),
+        data.imms.clone(),
+        data.konst.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhd::assembly::parse_module;
+
+    #[test]
+    fn merges_identical_expressions_in_one_block() {
+        let mut module = parse_module(
+            r#"
+            func @f (i32 %a, i32 %b) i32 {
+            entry:
+                %x = add i32 %a, %b
+                %y = add i32 %a, %b
+                %z = umul i32 %x, %y
+                ret i32 %z
+            }
+            "#,
+        )
+        .unwrap();
+        let id = module.units()[0];
+        assert!(run(module.unit_mut(id)));
+        let unit = module.unit(id);
+        let adds = unit
+            .all_insts()
+            .iter()
+            .filter(|&&i| unit.inst_data(i).opcode == Opcode::Add)
+            .count();
+        assert_eq!(adds, 1);
+        // The multiply now uses the same value twice.
+        let mul = unit
+            .all_insts()
+            .into_iter()
+            .find(|&i| unit.inst_data(i).opcode == Opcode::Umul)
+            .unwrap();
+        let args = &unit.inst_data(mul).args;
+        assert_eq!(args[0], args[1]);
+    }
+
+    #[test]
+    fn merges_duplicate_constants() {
+        let mut module = parse_module(
+            r#"
+            func @f () i32 {
+            entry:
+                %a = const i32 7
+                %b = const i32 7
+                %c = add i32 %a, %b
+                ret i32 %c
+            }
+            "#,
+        )
+        .unwrap();
+        let id = module.units()[0];
+        assert!(run(module.unit_mut(id)));
+        let unit = module.unit(id);
+        let consts = unit
+            .all_insts()
+            .iter()
+            .filter(|&&i| unit.inst_data(i).opcode == Opcode::Const)
+            .count();
+        assert_eq!(consts, 1);
+    }
+
+    #[test]
+    fn merges_across_dominating_blocks() {
+        let mut module = parse_module(
+            r#"
+            func @f (i32 %a, i1 %c) i32 {
+            entry:
+                %x = add i32 %a, %a
+                br %c, %left, %right
+            left:
+                %y = add i32 %a, %a
+                ret i32 %y
+            right:
+                ret i32 %x
+            }
+            "#,
+        )
+        .unwrap();
+        let id = module.units()[0];
+        assert!(run(module.unit_mut(id)));
+        let unit = module.unit(id);
+        let adds = unit
+            .all_insts()
+            .iter()
+            .filter(|&&i| unit.inst_data(i).opcode == Opcode::Add)
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn does_not_merge_across_siblings() {
+        let mut module = parse_module(
+            r#"
+            func @f (i32 %a, i1 %c) i32 {
+            entry:
+                br %c, %left, %right
+            left:
+                %x = add i32 %a, %a
+                ret i32 %x
+            right:
+                %y = add i32 %a, %a
+                ret i32 %y
+            }
+            "#,
+        )
+        .unwrap();
+        let id = module.units()[0];
+        run(module.unit_mut(id));
+        let unit = module.unit(id);
+        let adds = unit
+            .all_insts()
+            .iter()
+            .filter(|&&i| unit.inst_data(i).opcode == Opcode::Add)
+            .count();
+        assert_eq!(adds, 2, "sibling blocks must keep their own copies");
+    }
+
+    #[test]
+    fn probes_are_not_merged() {
+        let mut module = parse_module(
+            r#"
+            proc @p (i8$ %a) -> (i8$ %q) {
+            entry:
+                %x = prb i8$ %a
+                %y = prb i8$ %a
+                %delay = const time 1ns
+                drv i8$ %q, %x after %delay
+                drv i8$ %q, %y after %delay
+                wait %entry, %a
+            }
+            "#,
+        )
+        .unwrap();
+        let id = module.units()[0];
+        run(module.unit_mut(id));
+        let unit = module.unit(id);
+        let prbs = unit
+            .all_insts()
+            .iter()
+            .filter(|&&i| unit.inst_data(i).opcode == Opcode::Prb)
+            .count();
+        assert_eq!(prbs, 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! The individual transformation passes.
+//!
+//! Each pass exposes a `run` function operating on a single
+//! [`UnitData`](llhd::ir::UnitData) (or, for the process-to-entity
+//! conversions, returning a replacement unit). All passes return whether they
+//! changed anything, so the pipeline can iterate to a fixed point.
+
+pub mod const_fold;
+pub mod cse;
+pub mod dce;
+pub mod deseq;
+pub mod ecm;
+pub mod inline;
+pub mod mem2reg;
+pub mod process_lowering;
+pub mod simplify;
+pub mod tcfe;
+pub mod tcm;

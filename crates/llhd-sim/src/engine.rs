@@ -1,0 +1,1134 @@
+//! The event-driven simulation engine.
+//!
+//! The engine keeps the current value of every signal, an event queue
+//! ordered by [`TimeValue`] (physical time, delta step, epsilon step), and
+//! the execution state of every process instance. Entities are re-evaluated
+//! whenever one of the signals they probe changes; processes resume when a
+//! signal in their current sensitivity list changes or their wait timeout
+//! expires.
+
+use crate::design::{ElaborateError, ElaboratedDesign, InstanceKind, SignalId};
+use crate::trace::Trace;
+use llhd::eval::eval_pure;
+use llhd::ir::{Block, Inst, Module, Opcode, RegMode, UnitData, UnitKind, Value};
+use llhd::value::{ConstValue, TimeValue};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Simulation stops once the queue is empty or this time is exceeded.
+    pub max_time: TimeValue,
+    /// Guard against unbounded delta cycles within one physical instant.
+    pub max_deltas_per_instant: u32,
+    /// Guard against processes looping without suspending.
+    pub max_steps_per_activation: usize,
+    /// Record value changes into the trace.
+    pub trace: bool,
+    /// Restrict the trace to signals whose name ends with one of these
+    /// suffixes. `None` records every signal.
+    pub trace_filter: Option<Vec<String>>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_time: TimeValue::from_micros(1),
+            max_deltas_per_instant: 10_000,
+            max_steps_per_activation: 1_000_000,
+            trace: true,
+            trace_filter: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Run until the given physical time (in nanoseconds).
+    pub fn until_nanos(nanos: u128) -> Self {
+        SimConfig {
+            max_time: TimeValue::from_nanos(nanos),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Run until the given time.
+    pub fn until(time: TimeValue) -> Self {
+        SimConfig {
+            max_time: time,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Disable tracing (useful for benchmarking).
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    /// Only trace signals whose hierarchical name ends with one of the given
+    /// suffixes.
+    pub fn with_trace_filter(mut self, names: &[&str]) -> Self {
+        self.trace_filter = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+}
+
+/// An error produced during simulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// Elaboration failed.
+    Elaborate(ElaborateError),
+    /// The design used a construct the simulator does not support, or ran
+    /// away (delta loop, non-suspending process).
+    Runtime(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        match self {
+            SimError::Elaborate(e) => write!(f, "elaboration error: {}", e),
+            SimError::Runtime(msg) => write!(f, "runtime error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The time at which the simulation stopped.
+    pub end_time: TimeValue,
+    /// The number of observed signal value changes.
+    pub signal_changes: usize,
+    /// The number of `llhd.assert` intrinsic calls evaluated.
+    pub assertions_checked: usize,
+    /// The number of failed assertions.
+    pub assertion_failures: usize,
+    /// The number of processes that reached `halt`.
+    pub halted_processes: usize,
+    /// The number of instance activations (process resumes plus entity
+    /// evaluations) executed.
+    pub activations: usize,
+    /// The recorded trace.
+    pub trace: Trace,
+}
+
+/// Events scheduled for one instant.
+#[derive(Default, Clone, Debug)]
+struct Instant {
+    drives: Vec<(SignalId, ConstValue)>,
+    wakes: Vec<(usize, u64)>,
+}
+
+/// Execution state of a process instance.
+#[derive(Debug)]
+enum ProcStatus {
+    /// Ready to start at the entry block.
+    Ready,
+    /// Suspended in a `wait`.
+    Suspended {
+        resume: Block,
+        observed: Vec<SignalId>,
+        token: u64,
+    },
+    /// Stopped forever.
+    Halted,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    status: ProcStatus,
+    values: HashMap<Value, ConstValue>,
+    memory: HashMap<Value, ConstValue>,
+    token: u64,
+}
+
+#[derive(Default, Debug)]
+struct EntityState {
+    /// Previous sample of each `reg` trigger, keyed by (instruction, trigger
+    /// index).
+    reg_prev: HashMap<(Inst, usize), ConstValue>,
+}
+
+/// The event-driven simulator.
+pub struct Simulator<'a> {
+    module: &'a Module,
+    design: ElaboratedDesign,
+    config: SimConfig,
+    values: Vec<ConstValue>,
+    queue: BTreeMap<TimeValue, Instant>,
+    time: TimeValue,
+    proc_states: Vec<ProcState>,
+    entity_states: Vec<EntityState>,
+    /// Static sensitivity of entity instances: resolved signal → instances.
+    entity_sensitivity: HashMap<SignalId, Vec<usize>>,
+    trace: Trace,
+    signal_changes: usize,
+    assertions_checked: usize,
+    assertion_failures: usize,
+    activations: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for an elaborated design.
+    pub fn new(module: &'a Module, design: ElaboratedDesign, config: SimConfig) -> Self {
+        let values = design
+            .signals
+            .iter()
+            .map(|s| s.init.clone())
+            .collect::<Vec<_>>();
+        let mut proc_states = Vec::with_capacity(design.instances.len());
+        let mut entity_states = Vec::with_capacity(design.instances.len());
+        for _ in &design.instances {
+            proc_states.push(ProcState {
+                status: ProcStatus::Ready,
+                values: HashMap::new(),
+                memory: HashMap::new(),
+                token: 0,
+            });
+            entity_states.push(EntityState::default());
+        }
+        // Static entity sensitivity: every signal probed (or delayed) by the
+        // entity body.
+        let mut entity_sensitivity: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        for (idx, instance) in design.instances.iter().enumerate() {
+            if instance.kind != InstanceKind::Entity {
+                continue;
+            }
+            let unit = module.unit(instance.unit);
+            let body = unit.entry_block().unwrap();
+            for inst in unit.insts(body) {
+                let data = unit.inst_data(inst);
+                if matches!(data.opcode, Opcode::Prb | Opcode::Del) {
+                    if let Some(&sig) = instance.signal_map.get(&data.args[0]) {
+                        entity_sensitivity
+                            .entry(design.resolve(sig))
+                            .or_default()
+                            .push(idx);
+                    }
+                }
+            }
+        }
+        Simulator {
+            module,
+            design,
+            config,
+            values,
+            queue: BTreeMap::new(),
+            time: TimeValue::ZERO,
+            proc_states,
+            entity_states,
+            entity_sensitivity,
+            trace: Trace::new(),
+            signal_changes: 0,
+            assertions_checked: 0,
+            assertion_failures: 0,
+            activations: 0,
+        }
+    }
+
+    /// Run the simulation to completion and return the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] for unsupported constructs, runaway
+    /// delta cycles, or processes that fail to suspend.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        // Initialization: run every process once and evaluate every entity.
+        for idx in 0..self.design.instances.len() {
+            match self.design.instances[idx].kind {
+                InstanceKind::Process => self.run_process(idx)?,
+                InstanceKind::Entity => self.eval_entity(idx)?,
+            }
+        }
+
+        let mut last_physical = 0u128;
+        let mut deltas_in_instant = 0u32;
+        loop {
+            let event_time = match self.queue.keys().next() {
+                Some(&t) => t,
+                None => break,
+            };
+            if event_time > self.config.max_time {
+                break;
+            }
+            let instant = self.queue.remove(&event_time).unwrap();
+            // Delta-loop guard.
+            if event_time.as_femtos() == last_physical {
+                deltas_in_instant += 1;
+                if deltas_in_instant > self.config.max_deltas_per_instant {
+                    return Err(SimError::Runtime(format!(
+                        "delta cycle limit exceeded at {}",
+                        event_time
+                    )));
+                }
+            } else {
+                last_physical = event_time.as_femtos();
+                deltas_in_instant = 0;
+            }
+            self.time = event_time;
+
+            // Apply drives and collect actually-changed signals.
+            let mut changed: HashSet<SignalId> = HashSet::new();
+            for (signal, value) in instant.drives {
+                let signal = self.design.resolve(signal);
+                if self.values[signal.0] != value {
+                    self.values[signal.0] = value.clone();
+                    self.signal_changes += 1;
+                    changed.insert(signal);
+                    if self.config.trace {
+                        let name = &self.design.signals[signal.0].name;
+                        let record = match &self.config.trace_filter {
+                            None => true,
+                            Some(filter) => filter
+                                .iter()
+                                .any(|f| name == f || name.ends_with(&format!(".{}", f))),
+                        };
+                        if record {
+                            self.trace.record(event_time, name.clone(), value);
+                        }
+                    }
+                }
+            }
+
+            // Collect instances to execute.
+            let mut to_run: Vec<usize> = vec![];
+            for &signal in &changed {
+                if let Some(entities) = self.entity_sensitivity.get(&signal) {
+                    for &idx in entities {
+                        if !to_run.contains(&idx) {
+                            to_run.push(idx);
+                        }
+                    }
+                }
+            }
+            for idx in 0..self.proc_states.len() {
+                if self.design.instances[idx].kind != InstanceKind::Process {
+                    continue;
+                }
+                let woken = match &self.proc_states[idx].status {
+                    ProcStatus::Suspended { observed, .. } => {
+                        observed.iter().any(|s| changed.contains(s))
+                    }
+                    _ => false,
+                };
+                if woken && !to_run.contains(&idx) {
+                    to_run.push(idx);
+                }
+            }
+            for (idx, token) in instant.wakes {
+                let stale = match &self.proc_states[idx].status {
+                    ProcStatus::Suspended { token: t, .. } => *t != token,
+                    _ => true,
+                };
+                if !stale && !to_run.contains(&idx) {
+                    to_run.push(idx);
+                }
+            }
+
+            for idx in to_run {
+                match self.design.instances[idx].kind {
+                    InstanceKind::Process => self.run_process(idx)?,
+                    InstanceKind::Entity => self.eval_entity(idx)?,
+                }
+            }
+        }
+
+        let halted_processes = self
+            .proc_states
+            .iter()
+            .filter(|s| matches!(s.status, ProcStatus::Halted))
+            .count();
+        Ok(SimResult {
+            end_time: self.time,
+            signal_changes: self.signal_changes,
+            assertions_checked: self.assertions_checked,
+            assertion_failures: self.assertion_failures,
+            halted_processes,
+            activations: self.activations,
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    /// The current value of a signal.
+    pub fn signal_value(&self, signal: SignalId) -> &ConstValue {
+        &self.values[self.design.resolve(signal).0]
+    }
+
+    fn schedule_drive(&mut self, signal: SignalId, value: ConstValue, delay: &TimeValue) {
+        let mut at = self.time.advance_by(delay);
+        if at <= self.time {
+            at = self.time.advance_by(&TimeValue::from_delta(1));
+        }
+        self.queue.entry(at).or_default().drives.push((signal, value));
+    }
+
+    fn schedule_wake(&mut self, instance: usize, token: u64, delay: &TimeValue) {
+        let mut at = self.time.advance_by(delay);
+        if at <= self.time {
+            at = self.time.advance_by(&TimeValue::from_delta(1));
+        }
+        self.queue
+            .entry(at)
+            .or_default()
+            .wakes
+            .push((instance, token));
+    }
+
+    // ----- process execution ------------------------------------------------
+
+    fn run_process(&mut self, idx: usize) -> Result<(), SimError> {
+        self.activations += 1;
+        let unit_id = self.design.instances[idx].unit;
+        let unit = self.module.unit(unit_id);
+        let mut block = match &self.proc_states[idx].status {
+            ProcStatus::Ready => match unit.entry_block() {
+                Some(b) => b,
+                None => return Ok(()),
+            },
+            ProcStatus::Suspended { resume, .. } => *resume,
+            ProcStatus::Halted => return Ok(()),
+        };
+        self.proc_states[idx].status = ProcStatus::Ready;
+        let mut steps = 0usize;
+        'outer: loop {
+            let insts = unit.insts(block);
+            let mut next_block: Option<Block> = None;
+            for inst in insts {
+                steps += 1;
+                if steps > self.config.max_steps_per_activation {
+                    return Err(SimError::Runtime(format!(
+                        "process {} exceeded the step limit without suspending",
+                        self.design.instances[idx].name
+                    )));
+                }
+                let data = unit.inst_data(inst).clone();
+                match data.opcode {
+                    Opcode::Wait | Opcode::WaitTime => {
+                        let (time_arg, signal_args) = if data.opcode == Opcode::WaitTime {
+                            (Some(data.args[0]), &data.args[1..])
+                        } else {
+                            (None, &data.args[..])
+                        };
+                        let observed = signal_args
+                            .iter()
+                            .filter_map(|a| self.design.instances[idx].signal_map.get(a))
+                            .map(|&s| self.design.resolve(s))
+                            .collect();
+                        self.proc_states[idx].token += 1;
+                        let token = self.proc_states[idx].token;
+                        self.proc_states[idx].status = ProcStatus::Suspended {
+                            resume: data.blocks[0],
+                            observed,
+                            token,
+                        };
+                        if let Some(time_arg) = time_arg {
+                            let delay = self.process_value(idx, unit, time_arg)?;
+                            let delay = delay.as_time().copied().ok_or_else(|| {
+                                SimError::Runtime("wait delay is not a time value".to_string())
+                            })?;
+                            self.schedule_wake(idx, token, &delay);
+                        }
+                        return Ok(());
+                    }
+                    Opcode::Halt => {
+                        self.proc_states[idx].status = ProcStatus::Halted;
+                        return Ok(());
+                    }
+                    Opcode::Br => {
+                        next_block = Some(data.blocks[0]);
+                        break;
+                    }
+                    Opcode::BrCond => {
+                        let cond = self.process_value(idx, unit, data.args[0])?;
+                        let target = if cond.is_truthy() {
+                            data.blocks[1]
+                        } else {
+                            data.blocks[0]
+                        };
+                        next_block = Some(target);
+                        break;
+                    }
+                    Opcode::Ret | Opcode::RetValue => {
+                        return Err(SimError::Runtime(
+                            "ret is not allowed in a process".to_string(),
+                        ));
+                    }
+                    _ => {
+                        self.execute_simple_inst(idx, unit, inst, &data)?;
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => {
+                    block = b;
+                    continue 'outer;
+                }
+                None => {
+                    // Fell off the end of a block without a terminator.
+                    return Err(SimError::Runtime(format!(
+                        "process {} ran past the end of a block",
+                        self.design.instances[idx].name
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Execute a non-control-flow instruction within a process activation.
+    fn execute_simple_inst(
+        &mut self,
+        idx: usize,
+        unit: &UnitData,
+        inst: Inst,
+        data: &llhd::ir::InstData,
+    ) -> Result<(), SimError> {
+        match data.opcode {
+            Opcode::Const => {
+                let result = unit.inst_result(inst);
+                self.proc_states[idx]
+                    .values
+                    .insert(result, data.konst.clone().unwrap());
+            }
+            Opcode::Prb => {
+                let signal = self.resolve_signal(idx, data.args[0])?;
+                let value = self.values[signal.0].clone();
+                let result = unit.inst_result(inst);
+                self.proc_states[idx].values.insert(result, value);
+            }
+            Opcode::Drv | Opcode::DrvCond => {
+                if data.opcode == Opcode::DrvCond {
+                    let cond = self.process_value(idx, unit, data.args[3])?;
+                    if !cond.is_truthy() {
+                        return Ok(());
+                    }
+                }
+                let signal = self.resolve_signal(idx, data.args[0])?;
+                let value = self.process_value(idx, unit, data.args[1])?;
+                let delay = self.process_value(idx, unit, data.args[2])?;
+                let delay = delay.as_time().copied().ok_or_else(|| {
+                    SimError::Runtime("drive delay is not a time value".to_string())
+                })?;
+                self.schedule_drive(signal, value, &delay);
+            }
+            Opcode::Var | Opcode::Halloc => {
+                let init = self.process_value(idx, unit, data.args[0])?;
+                let result = unit.inst_result(inst);
+                self.proc_states[idx].memory.insert(result, init);
+            }
+            Opcode::Ld => {
+                let value = self.proc_states[idx]
+                    .memory
+                    .get(&data.args[0])
+                    .cloned()
+                    .ok_or_else(|| SimError::Runtime("load from unallocated memory".to_string()))?;
+                let result = unit.inst_result(inst);
+                self.proc_states[idx].values.insert(result, value);
+            }
+            Opcode::St => {
+                let value = self.process_value(idx, unit, data.args[1])?;
+                self.proc_states[idx].memory.insert(data.args[0], value);
+            }
+            Opcode::Free => {
+                self.proc_states[idx].memory.remove(&data.args[0]);
+            }
+            Opcode::Call => {
+                let mut args = Vec::with_capacity(data.args.len());
+                for &a in &data.args {
+                    args.push(self.process_value(idx, unit, a)?);
+                }
+                let result = self.call(unit, data, &args)?;
+                if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result) {
+                    self.proc_states[idx].values.insert(result_value, value);
+                }
+            }
+            op if op.is_pure() => {
+                let mut args = Vec::with_capacity(data.args.len());
+                for &a in &data.args {
+                    args.push(self.process_value(idx, unit, a)?);
+                }
+                let value = eval_pure(op, &args, &data.imms).ok_or_else(|| {
+                    SimError::Runtime(format!("cannot evaluate instruction {}", op))
+                })?;
+                let result = unit.inst_result(inst);
+                self.proc_states[idx].values.insert(result, value);
+            }
+            op => {
+                return Err(SimError::Runtime(format!(
+                    "unsupported instruction {} in process",
+                    op
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up the runtime value of an SSA value within a process instance.
+    fn process_value(
+        &self,
+        idx: usize,
+        unit: &UnitData,
+        value: Value,
+    ) -> Result<ConstValue, SimError> {
+        if let Some(v) = self.proc_states[idx].values.get(&value) {
+            return Ok(v.clone());
+        }
+        if let Some(c) = unit.get_const(value) {
+            return Ok(c.clone());
+        }
+        // Signal-typed arguments read their current value when used as data.
+        if let Some(&sig) = self.design.instances[idx].signal_map.get(&value) {
+            return Ok(self.values[self.design.resolve(sig).0].clone());
+        }
+        Err(SimError::Runtime(format!(
+            "use of a value before definition ({:?} in {})",
+            value, self.design.instances[idx].name
+        )))
+    }
+
+    fn resolve_signal(&self, idx: usize, value: Value) -> Result<SignalId, SimError> {
+        self.design.instances[idx]
+            .signal_map
+            .get(&value)
+            .map(|&s| self.design.resolve(s))
+            .ok_or_else(|| {
+                SimError::Runtime(format!(
+                    "value {:?} is not bound to a signal in {}",
+                    value, self.design.instances[idx].name
+                ))
+            })
+    }
+
+    // ----- function calls ---------------------------------------------------
+
+    fn call(
+        &mut self,
+        caller: &UnitData,
+        data: &llhd::ir::InstData,
+        args: &[ConstValue],
+    ) -> Result<Option<ConstValue>, SimError> {
+        let ext = data
+            .ext_unit
+            .ok_or_else(|| SimError::Runtime("call without a target".to_string()))?;
+        let name = caller.ext_unit_data(ext).name.clone();
+        // Intrinsics.
+        if let Some(ident) = name.ident() {
+            if let Some(rest) = ident.strip_prefix("llhd.") {
+                return self.intrinsic(rest, args);
+            }
+        }
+        let callee_id = self
+            .module
+            .unit_by_name(&name)
+            .ok_or_else(|| SimError::Runtime(format!("call to undefined function {}", name)))?;
+        let callee = self.module.unit(callee_id);
+        if callee.kind() != UnitKind::Function {
+            return Err(SimError::Runtime(format!(
+                "call target {} is not a function",
+                name
+            )));
+        }
+        self.call_function(callee, args)
+    }
+
+    fn intrinsic(
+        &mut self,
+        name: &str,
+        args: &[ConstValue],
+    ) -> Result<Option<ConstValue>, SimError> {
+        match name {
+            "assert" => {
+                self.assertions_checked += 1;
+                if !args.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                    self.assertion_failures += 1;
+                }
+                Ok(None)
+            }
+            // Unknown intrinsics are ignored, matching the paper's treatment
+            // of simulation-only hooks.
+            _ => Ok(None),
+        }
+    }
+
+    /// Interpret a function call. Functions execute immediately and may not
+    /// interact with signals or time.
+    fn call_function(
+        &mut self,
+        unit: &UnitData,
+        args: &[ConstValue],
+    ) -> Result<Option<ConstValue>, SimError> {
+        let mut values: HashMap<Value, ConstValue> = HashMap::new();
+        let mut memory: HashMap<Value, ConstValue> = HashMap::new();
+        for (arg, value) in unit.args().into_iter().zip(args.iter()) {
+            values.insert(arg, value.clone());
+        }
+        let mut block = unit
+            .entry_block()
+            .ok_or_else(|| SimError::Runtime("function without entry block".to_string()))?;
+        let mut steps = 0usize;
+        loop {
+            let mut next_block = None;
+            for inst in unit.insts(block) {
+                steps += 1;
+                if steps > self.config.max_steps_per_activation {
+                    return Err(SimError::Runtime(format!(
+                        "function {} exceeded the step limit",
+                        unit.name()
+                    )));
+                }
+                let data = unit.inst_data(inst).clone();
+                let lookup = |values: &HashMap<Value, ConstValue>, v: Value| {
+                    values
+                        .get(&v)
+                        .cloned()
+                        .or_else(|| unit.get_const(v).cloned())
+                        .ok_or_else(|| {
+                            SimError::Runtime(format!("use of undefined value {:?}", v))
+                        })
+                };
+                match data.opcode {
+                    Opcode::Const => {
+                        values.insert(unit.inst_result(inst), data.konst.clone().unwrap());
+                    }
+                    Opcode::Ret => return Ok(None),
+                    Opcode::RetValue => {
+                        return Ok(Some(lookup(&values, data.args[0])?));
+                    }
+                    Opcode::Br => {
+                        next_block = Some(data.blocks[0]);
+                        break;
+                    }
+                    Opcode::BrCond => {
+                        let cond = lookup(&values, data.args[0])?;
+                        next_block = Some(if cond.is_truthy() {
+                            data.blocks[1]
+                        } else {
+                            data.blocks[0]
+                        });
+                        break;
+                    }
+                    Opcode::Var | Opcode::Halloc => {
+                        let init = lookup(&values, data.args[0])?;
+                        memory.insert(unit.inst_result(inst), init);
+                    }
+                    Opcode::Ld => {
+                        let value = memory.get(&data.args[0]).cloned().ok_or_else(|| {
+                            SimError::Runtime("load from unallocated memory".to_string())
+                        })?;
+                        values.insert(unit.inst_result(inst), value);
+                    }
+                    Opcode::St => {
+                        let value = lookup(&values, data.args[1])?;
+                        memory.insert(data.args[0], value);
+                    }
+                    Opcode::Free => {
+                        memory.remove(&data.args[0]);
+                    }
+                    Opcode::Call => {
+                        let mut call_args = Vec::with_capacity(data.args.len());
+                        for &a in &data.args {
+                            call_args.push(lookup(&values, a)?);
+                        }
+                        let result = self.call(unit, &data, &call_args)?;
+                        if let (Some(result_value), Some(value)) =
+                            (unit.get_inst_result(inst), result)
+                        {
+                            values.insert(result_value, value);
+                        }
+                    }
+                    op if op.is_pure() => {
+                        let mut eval_args = Vec::with_capacity(data.args.len());
+                        for &a in &data.args {
+                            eval_args.push(lookup(&values, a)?);
+                        }
+                        let value = eval_pure(op, &eval_args, &data.imms).ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate instruction {}", op))
+                        })?;
+                        values.insert(unit.inst_result(inst), value);
+                    }
+                    op => {
+                        return Err(SimError::Runtime(format!(
+                            "unsupported instruction {} in function",
+                            op
+                        )));
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    // ----- entity evaluation --------------------------------------------------
+
+    fn eval_entity(&mut self, idx: usize) -> Result<(), SimError> {
+        self.activations += 1;
+        let unit_id = self.design.instances[idx].unit;
+        let unit = self.module.unit(unit_id);
+        let body = match unit.entry_block() {
+            Some(b) => b,
+            None => return Ok(()),
+        };
+        let mut local: HashMap<Value, ConstValue> = HashMap::new();
+        let lookup = |simulator: &Simulator,
+                      local: &HashMap<Value, ConstValue>,
+                      value: Value|
+         -> Result<ConstValue, SimError> {
+            if let Some(v) = local.get(&value) {
+                return Ok(v.clone());
+            }
+            if let Some(c) = unit.get_const(value) {
+                return Ok(c.clone());
+            }
+            if let Some(&sig) = simulator.design.instances[idx].signal_map.get(&value) {
+                return Ok(simulator.values[simulator.design.resolve(sig).0].clone());
+            }
+            Err(SimError::Runtime(format!(
+                "use of undefined value {:?} in entity {}",
+                value, simulator.design.instances[idx].name
+            )))
+        };
+        for inst in unit.insts(body) {
+            let data = unit.inst_data(inst).clone();
+            match data.opcode {
+                Opcode::Const => {
+                    local.insert(unit.inst_result(inst), data.konst.clone().unwrap());
+                }
+                Opcode::Sig | Opcode::Inst | Opcode::Con => {
+                    // Elaboration-time constructs.
+                }
+                Opcode::Prb => {
+                    let signal = self.resolve_signal(idx, data.args[0])?;
+                    local.insert(unit.inst_result(inst), self.values[signal.0].clone());
+                }
+                Opcode::Drv | Opcode::DrvCond => {
+                    if data.opcode == Opcode::DrvCond {
+                        let cond = lookup(self, &local, data.args[3])?;
+                        if !cond.is_truthy() {
+                            continue;
+                        }
+                    }
+                    let signal = self.resolve_signal(idx, data.args[0])?;
+                    let value = lookup(self, &local, data.args[1])?;
+                    let delay = lookup(self, &local, data.args[2])?;
+                    let delay = delay.as_time().copied().ok_or_else(|| {
+                        SimError::Runtime("drive delay is not a time value".to_string())
+                    })?;
+                    self.schedule_drive(signal, value, &delay);
+                }
+                Opcode::Del => {
+                    let source = self.resolve_signal(idx, data.args[0])?;
+                    let result = unit.inst_result(inst);
+                    let target = self.resolve_signal(idx, result)?;
+                    let delay = lookup(self, &local, data.args[1])?;
+                    let delay = delay.as_time().copied().ok_or_else(|| {
+                        SimError::Runtime("del delay is not a time value".to_string())
+                    })?;
+                    let value = self.values[source.0].clone();
+                    self.schedule_drive(target, value, &delay);
+                }
+                Opcode::Reg => {
+                    let signal = self.resolve_signal(idx, data.args[0])?;
+                    for (trigger_index, trigger) in data.triggers.iter().enumerate() {
+                        let current = lookup(self, &local, trigger.trigger)?;
+                        let previous = self.entity_states[idx]
+                            .reg_prev
+                            .get(&(inst, trigger_index))
+                            .cloned();
+                        let fire = match trigger.mode {
+                            RegMode::High => current.is_truthy(),
+                            RegMode::Low => !current.is_truthy(),
+                            RegMode::Rise => {
+                                previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                    && current.is_truthy()
+                            }
+                            RegMode::Fall => {
+                                previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                    && !current.is_truthy()
+                            }
+                            RegMode::Both => {
+                                previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                            }
+                        };
+                        self.entity_states[idx]
+                            .reg_prev
+                            .insert((inst, trigger_index), current);
+                        if !fire {
+                            continue;
+                        }
+                        if let Some(gate) = trigger.gate {
+                            if !lookup(self, &local, gate)?.is_truthy() {
+                                continue;
+                            }
+                        }
+                        let value = lookup(self, &local, trigger.value)?;
+                        self.schedule_drive(signal, value, &TimeValue::from_delta(1));
+                    }
+                }
+                Opcode::Call => {
+                    let mut args = Vec::with_capacity(data.args.len());
+                    for &a in &data.args {
+                        args.push(lookup(self, &local, a)?);
+                    }
+                    let result = self.call(unit, &data, &args)?;
+                    if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result)
+                    {
+                        local.insert(result_value, value);
+                    }
+                }
+                op if op.is_pure() => {
+                    let mut args = Vec::with_capacity(data.args.len());
+                    for &a in &data.args {
+                        args.push(lookup(self, &local, a)?);
+                    }
+                    let value = eval_pure(op, &args, &data.imms).ok_or_else(|| {
+                        SimError::Runtime(format!("cannot evaluate instruction {}", op))
+                    })?;
+                    local.insert(unit.inst_result(inst), value);
+                }
+                op => {
+                    return Err(SimError::Runtime(format!(
+                        "unsupported instruction {} in entity",
+                        op
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use llhd::assembly::parse_module;
+
+    #[test]
+    fn clock_generator_toggles() {
+        let module = parse_module(
+            r#"
+            proc @clockgen () -> (i1$ %clk) {
+            entry:
+                %one = const i1 1
+                %zero = const i1 0
+                %half = const time 5ns
+                drv i1$ %clk, %one after %half
+                wait %low for %half
+            low:
+                drv i1$ %clk, %zero after %half
+                wait %entry for %half
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "clockgen", &SimConfig::until_nanos(100)).unwrap();
+        // 5ns period halves => a change every 5ns plus the initial one at
+        // 5ns: roughly 20 changes in 100ns.
+        let changes = result.trace.changes_of("clk").count();
+        assert!((18..=21).contains(&changes), "got {} changes", changes);
+    }
+
+    #[test]
+    fn entity_adder_follows_inputs() {
+        let module = parse_module(
+            r#"
+            entity @adder (i8$ %a, i8$ %b) -> (i8$ %q) {
+                %ap = prb i8$ %a
+                %bp = prb i8$ %b
+                %sum = add i8 %ap, %bp
+                %delay = const time 1ns
+                drv i8$ %q, %sum after %delay
+            }
+            proc @stim () -> (i8$ %a, i8$ %b) {
+            entry:
+                %three = const i8 3
+                %four = const i8 4
+                %delay = const time 10ns
+                drv i8$ %a, %three after %delay
+                drv i8$ %b, %four after %delay
+                wait %done for %delay
+            done:
+                halt
+            }
+            entity @top () -> () {
+                %zero = const i8 0
+                %a = sig i8 %zero
+                %b = sig i8 %zero
+                %q = sig i8 %zero
+                inst @adder (%a, %b) -> (%q)
+                inst @stim () -> (%a, %b)
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "top", &SimConfig::until_nanos(100)).unwrap();
+        let last_q = result.trace.changes_of("q").last().cloned().unwrap();
+        assert_eq!(last_q.value, ConstValue::int(8, 7));
+        assert_eq!(result.halted_processes, 1);
+    }
+
+    #[test]
+    fn register_entity_samples_on_rising_edge() {
+        let module = parse_module(
+            r#"
+            entity @dff (i1$ %clk, i8$ %d) -> (i8$ %q) {
+                %clkp = prb i1$ %clk
+                %dp = prb i8$ %d
+                reg i8$ %q, %dp rise %clkp
+            }
+            proc @stim () -> (i1$ %clk, i8$ %d) {
+            entry:
+                %zero = const i1 0
+                %one = const i1 1
+                %v1 = const i8 11
+                %v2 = const i8 22
+                %t1 = const time 1ns
+                %t5 = const time 5ns
+                drv i8$ %d, %v1 after %t1
+                drv i1$ %clk, %one after %t5
+                wait %phase2 for %t5
+            phase2:
+                %t6 = const time 6ns
+                drv i1$ %clk, %zero after %t1
+                drv i8$ %d, %v2 after %t1
+                drv i1$ %clk, %one after %t6
+                wait %done for %t6
+            done:
+                halt
+            }
+            entity @top () -> () {
+                %z1 = const i1 0
+                %z8 = const i8 0
+                %clk = sig i1 %z1
+                %d = sig i8 %z8
+                %q = sig i8 %z8
+                inst @dff (%clk, %d) -> (%q)
+                inst @stim () -> (%clk, %d)
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "top", &SimConfig::until_nanos(50)).unwrap();
+        let q_changes: Vec<_> = result.trace.changes_of("q").collect();
+        assert_eq!(q_changes.len(), 2, "{:?}", q_changes);
+        assert_eq!(q_changes[0].value, ConstValue::int(8, 11));
+        assert_eq!(q_changes[1].value, ConstValue::int(8, 22));
+    }
+
+    #[test]
+    fn assertions_are_counted() {
+        let module = parse_module(
+            r#"
+            func @check (i8 %got, i8 %want) void {
+            entry:
+                %eq = eq i8 %got, %want
+                call void @llhd.assert (%eq)
+                ret
+            }
+            proc @tb () -> () {
+            entry:
+                %a = const i8 5
+                %b = const i8 5
+                %c = const i8 6
+                call void @check (%a, %b)
+                call void @check (%a, %c)
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "tb", &SimConfig::until_nanos(10)).unwrap();
+        assert_eq!(result.assertions_checked, 2);
+        assert_eq!(result.assertion_failures, 1);
+    }
+
+    #[test]
+    fn variables_and_loops_in_processes() {
+        // A process that counts to 5 using a stack variable, driving the
+        // count out each iteration.
+        let module = parse_module(
+            r#"
+            proc @counter () -> (i8$ %out) {
+            entry:
+                %zero = const i8 0
+                %i = var i8 %zero
+                br %loop
+            loop:
+                %cur = ld i8* %i
+                %one = const i8 1
+                %next = add i8 %cur, %one
+                st i8* %i, %next
+                %delay = const time 1ns
+                drv i8$ %out, %next after %delay
+                %five = const i8 5
+                %done = uge i8 %next, %five
+                br %done, %loop_wait, %stop
+            loop_wait:
+                wait %loop for %delay
+            stop:
+                halt
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "counter", &SimConfig::until_nanos(100)).unwrap();
+        let changes: Vec<_> = result.trace.changes_of("out").collect();
+        assert_eq!(changes.len(), 5);
+        assert_eq!(changes.last().unwrap().value, ConstValue::int(8, 5));
+        assert_eq!(result.halted_processes, 1);
+    }
+
+    #[test]
+    fn delta_cycle_loop_is_detected() {
+        // Two zero-delay combinational entities driving each other's inputs
+        // through an inverter loop oscillate forever within one instant.
+        let module = parse_module(
+            r#"
+            entity @inv (i1$ %a) -> (i1$ %q) {
+                %ap = prb i1$ %a
+                %n = not i1 %ap
+                %delay = const time 0s
+                drv i1$ %q, %n after %delay
+            }
+            entity @top () -> () {
+                %zero = const i1 0
+                %x = sig i1 %zero
+                %y = sig i1 %zero
+                inst @inv (%x) -> (%y)
+                inst @inv (%y) -> (%x)
+            }
+            "#,
+        )
+        .unwrap();
+        let err = simulate(&module, "top", &SimConfig::until_nanos(10)).unwrap_err();
+        assert!(matches!(err, SimError::Runtime(_)));
+    }
+
+    #[test]
+    fn max_time_stops_the_simulation() {
+        let module = parse_module(
+            r#"
+            proc @forever () -> (i1$ %x) {
+            entry:
+                %one = const i1 1
+                %zero = const i1 0
+                %d = const time 1ns
+                drv i1$ %x, %one after %d
+                wait %next for %d
+            next:
+                drv i1$ %x, %zero after %d
+                wait %entry for %d
+            }
+            "#,
+        )
+        .unwrap();
+        let result = simulate(&module, "forever", &SimConfig::until_nanos(20)).unwrap();
+        assert!(result.end_time <= TimeValue::from_nanos(20));
+        assert!(result.signal_changes >= 15);
+    }
+}

@@ -1,0 +1,56 @@
+//! # llhd-sim — the LLHD reference simulator
+//!
+//! An event-driven interpreter for LLHD designs, deliberately built as the
+//! simplest possible simulator of the instruction set (§6.1 of the paper).
+//! It supports all three dialects: Behavioural processes (including
+//! testbenches with waits, variables, and function calls), Structural
+//! entities with `reg` storage elements, and Netlist entities.
+//!
+//! The flow is: [`elaborate`](design::elaborate) a [`Module`](llhd::ir::Module)
+//! starting from a top-level unit into a flat design (signals + unit
+//! instances), then run it with a [`Simulator`](engine::Simulator).
+//!
+//! ```
+//! use llhd::assembly::parse_module;
+//! use llhd_sim::{simulate, SimConfig};
+//!
+//! let module = parse_module(r#"
+//! proc @blink () -> (i1$ %led) {
+//! entry:
+//!     %on = const i1 1
+//!     %off = const i1 0
+//!     %delay = const time 5ns
+//!     drv i1$ %led, %on after %delay
+//!     wait %next for %delay
+//! next:
+//!     drv i1$ %led, %off after %delay
+//!     wait %entry for %delay
+//! }
+//! "#).unwrap();
+//! let result = simulate(&module, "blink", &SimConfig::until_nanos(100)).unwrap();
+//! assert!(result.trace.changes_of("led").count() >= 18);
+//! ```
+
+pub mod design;
+pub mod engine;
+pub mod trace;
+
+pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
+pub use engine::{SimConfig, SimError, SimResult, Simulator};
+pub use trace::{Trace, TraceEvent};
+
+use llhd::ir::Module;
+
+/// Elaborate `top` from `module` and simulate it with the given
+/// configuration. This is the convenience entry point used by examples,
+/// benchmarks, and tests.
+///
+/// # Errors
+///
+/// Returns an error if elaboration fails (unknown top unit, malformed
+/// hierarchy) or the simulation encounters an unsupported construct.
+pub fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, SimError> {
+    let design = elaborate(module, top).map_err(SimError::Elaborate)?;
+    let mut simulator = Simulator::new(module, design, config.clone());
+    simulator.run()
+}

@@ -1,0 +1,209 @@
+//! Simulation traces and VCD output.
+//!
+//! The paper validates the simulators by checking that the produced traces
+//! are identical to those of a commercial simulator. [`Trace`] records every
+//! value change of every traced signal, can be diffed against another trace,
+//! and can be emitted in the standard Value Change Dump (VCD) format.
+
+use llhd::value::{ConstValue, TimeValue};
+use std::fmt::Write;
+
+/// A single recorded value change.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// The simulation time of the change.
+    pub time: TimeValue,
+    /// The hierarchical name of the signal.
+    pub signal: String,
+    /// The new value.
+    pub value: ConstValue,
+}
+
+/// The ordered list of value changes produced by a simulation run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record a change.
+    pub fn record(&mut self, time: TimeValue, signal: impl Into<String>, value: ConstValue) {
+        self.events.push(TraceEvent {
+            time,
+            signal: signal.into(),
+            value,
+        });
+    }
+
+    /// All events in order of occurrence.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The changes of one signal (matched by suffix so hierarchical prefixes
+    /// can be ignored).
+    pub fn changes_of<'a>(&'a self, signal: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.signal == signal || e.signal.ends_with(&format!(".{}", signal)))
+    }
+
+    /// Compare against another trace, ignoring delta/epsilon ordering within
+    /// the same femtosecond: both traces are reduced to the final value each
+    /// signal holds at each physical timestamp, which is the observable
+    /// behaviour a waveform viewer would show.
+    pub fn equivalent(&self, other: &Trace) -> bool {
+        self.canonical() == other.canonical()
+    }
+
+    /// The canonical (physical-time, signal, final value) sequence used for
+    /// trace comparison.
+    pub fn canonical(&self) -> Vec<(u128, String, ConstValue)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<(u128, String), ConstValue> = BTreeMap::new();
+        for event in &self.events {
+            map.insert(
+                (event.time.as_femtos(), event.signal.clone()),
+                event.value.clone(),
+            );
+        }
+        // Remove entries that do not change the value relative to the
+        // previous entry of the same signal.
+        let mut last: std::collections::HashMap<String, ConstValue> = Default::default();
+        let mut out = vec![];
+        for ((time, signal), value) in map {
+            if last.get(&signal) == Some(&value) {
+                continue;
+            }
+            last.insert(signal.clone(), value.clone());
+            out.push((time, signal, value));
+        }
+        out
+    }
+
+    /// Emit the trace in Value Change Dump (VCD) format.
+    pub fn to_vcd(&self, timescale: &str) -> String {
+        let mut out = String::new();
+        writeln!(out, "$timescale {} $end", timescale).unwrap();
+        // Collect signals and assign identifier codes.
+        let mut signals: Vec<String> = vec![];
+        for event in &self.events {
+            if !signals.contains(&event.signal) {
+                signals.push(event.signal.clone());
+            }
+        }
+        writeln!(out, "$scope module top $end").unwrap();
+        for (i, signal) in signals.iter().enumerate() {
+            let width = self
+                .events
+                .iter()
+                .find(|e| &e.signal == signal)
+                .map(|e| e.value.ty().bit_size().max(1))
+                .unwrap_or(1);
+            writeln!(out, "$var wire {} s{} {} $end", width, i, signal).unwrap();
+        }
+        writeln!(out, "$upscope $end").unwrap();
+        writeln!(out, "$enddefinitions $end").unwrap();
+        let mut current_time = None;
+        for event in &self.events {
+            let femtos = event.time.as_femtos();
+            if current_time != Some(femtos) {
+                writeln!(out, "#{}", femtos).unwrap();
+                current_time = Some(femtos);
+            }
+            let idx = signals.iter().position(|s| s == &event.signal).unwrap();
+            let bits = match &event.value {
+                ConstValue::Int(v) => {
+                    let mut s = String::new();
+                    for i in (0..v.width()).rev() {
+                        s.push(if v.bit(i) { '1' } else { '0' });
+                    }
+                    s
+                }
+                ConstValue::Logic(v) => format!("{}", v),
+                other => format!("{}", other),
+            };
+            if bits.len() == 1 {
+                writeln!(out, "{}s{}", bits, idx).unwrap();
+            } else {
+                writeln!(out, "b{} s{}", bits, idx).unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u128) -> TimeValue {
+        TimeValue::from_nanos(ns)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut trace = Trace::new();
+        trace.record(t(1), "top.clk", ConstValue::bool(true));
+        trace.record(t(2), "top.clk", ConstValue::bool(false));
+        trace.record(t(2), "top.q", ConstValue::int(8, 5));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.changes_of("clk").count(), 2);
+        assert_eq!(trace.changes_of("top.q").count(), 1);
+        assert_eq!(trace.changes_of("missing").count(), 0);
+    }
+
+    #[test]
+    fn equivalence_ignores_delta_ordering() {
+        let mut a = Trace::new();
+        a.record(TimeValue::new(1000, 0, 0), "x", ConstValue::int(8, 1));
+        a.record(TimeValue::new(1000, 1, 0), "x", ConstValue::int(8, 2));
+        let mut b = Trace::new();
+        b.record(TimeValue::new(1000, 0, 0), "x", ConstValue::int(8, 2));
+        assert!(a.equivalent(&b));
+        let mut c = Trace::new();
+        c.record(TimeValue::new(1000, 0, 0), "x", ConstValue::int(8, 3));
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn equivalence_skips_redundant_changes() {
+        let mut a = Trace::new();
+        a.record(t(1), "x", ConstValue::int(8, 1));
+        a.record(t(2), "x", ConstValue::int(8, 1));
+        a.record(t(3), "x", ConstValue::int(8, 2));
+        let mut b = Trace::new();
+        b.record(t(1), "x", ConstValue::int(8, 1));
+        b.record(t(3), "x", ConstValue::int(8, 2));
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn vcd_output_contains_definitions_and_changes() {
+        let mut trace = Trace::new();
+        trace.record(t(1), "clk", ConstValue::bool(true));
+        trace.record(t(2), "bus", ConstValue::int(4, 0b1010));
+        let vcd = trace.to_vcd("1fs");
+        assert!(vcd.contains("$timescale 1fs $end"));
+        assert!(vcd.contains("$var wire 1 s0 clk $end"));
+        assert!(vcd.contains("$var wire 4 s1 bus $end"));
+        assert!(vcd.contains("#1000000"));
+        assert!(vcd.contains("1s0"));
+        assert!(vcd.contains("b1010 s1"));
+    }
+}

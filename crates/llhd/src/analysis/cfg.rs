@@ -1,0 +1,112 @@
+//! Control flow graph analysis.
+
+use crate::ir::{Block, UnitData};
+use std::collections::HashMap;
+
+/// The predecessor/successor relation between the basic blocks of a unit.
+#[derive(Clone, Debug, Default)]
+pub struct ControlFlowGraph {
+    preds: HashMap<Block, Vec<Block>>,
+    succs: HashMap<Block, Vec<Block>>,
+}
+
+impl ControlFlowGraph {
+    /// Compute the control flow graph of a unit.
+    pub fn new(unit: &UnitData) -> Self {
+        let mut cfg = ControlFlowGraph::default();
+        for block in unit.blocks() {
+            cfg.preds.entry(block).or_default();
+            cfg.succs.entry(block).or_default();
+        }
+        for block in unit.blocks() {
+            if let Some(term) = unit.terminator(block) {
+                for &target in &unit.inst_data(term).blocks {
+                    cfg.succs.entry(block).or_default().push(target);
+                    cfg.preds.entry(target).or_default().push(block);
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The predecessors of a block.
+    pub fn preds(&self, block: Block) -> &[Block] {
+        self.preds.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The successors of a block.
+    pub fn succs(&self, block: Block) -> &[Block] {
+        self.succs.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Blocks with no predecessors other than the entry block.
+    pub fn unreachable_blocks(&self, unit: &UnitData) -> Vec<Block> {
+        let entry = match unit.entry_block() {
+            Some(e) => e,
+            None => return vec![],
+        };
+        // Breadth-first search from the entry block.
+        let mut reachable = std::collections::HashSet::new();
+        let mut queue = vec![entry];
+        while let Some(bb) = queue.pop() {
+            if reachable.insert(bb) {
+                queue.extend(self.succs(bb).iter().copied());
+            }
+        }
+        unit.blocks()
+            .into_iter()
+            .filter(|b| !reachable.contains(b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Signature, UnitBuilder, UnitData, UnitKind, UnitName};
+    use crate::ty::*;
+
+    /// Build a diamond CFG: entry -> (left | right) -> merge.
+    fn diamond() -> (UnitData, Vec<Block>) {
+        let mut unit = UnitData::new(
+            UnitKind::Function,
+            UnitName::global("f"),
+            Signature::new_func(vec![int_ty(1)], void_ty()),
+        );
+        let cond = unit.arg_value(0);
+        let mut b = UnitBuilder::new(&mut unit);
+        let entry = b.block("entry");
+        let left = b.block("left");
+        let right = b.block("right");
+        let merge = b.block("merge");
+        b.append_to(entry);
+        b.br_cond(cond, left, right);
+        b.append_to(left);
+        b.br(merge);
+        b.append_to(right);
+        b.br(merge);
+        b.append_to(merge);
+        b.ret();
+        (unit, vec![entry, left, right, merge])
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let (unit, blocks) = diamond();
+        let cfg = ControlFlowGraph::new(&unit);
+        let (entry, left, right, merge) = (blocks[0], blocks[1], blocks[2], blocks[3]);
+        assert_eq!(cfg.succs(entry), &[left, right]);
+        assert_eq!(cfg.preds(merge), &[left, right]);
+        assert_eq!(cfg.preds(entry), &[] as &[Block]);
+        assert_eq!(cfg.succs(merge), &[] as &[Block]);
+        assert!(cfg.unreachable_blocks(&unit).is_empty());
+    }
+
+    #[test]
+    fn unreachable_detection() {
+        let (mut unit, _) = diamond();
+        let dead = unit.create_block(Some("dead".into()));
+        let cfg = ControlFlowGraph::new(&unit);
+        assert_eq!(cfg.unreachable_blocks(&unit), vec![dead]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Analyses over LLHD units.
+//!
+//! * [`ControlFlowGraph`] — predecessor/successor relations between basic
+//!   blocks.
+//! * [`DominatorTree`] — block dominance, used by temporal code motion to
+//!   find the conditions under which a `drv` executes.
+//! * [`TemporalRegionGraph`] — the paper's Temporal Regions (§4.3.1): groups
+//!   of blocks that execute within the same instant of physical time.
+
+mod cfg;
+mod dominator;
+mod trg;
+
+pub use cfg::ControlFlowGraph;
+pub use dominator::DominatorTree;
+pub use trg::{TemporalRegion, TemporalRegionGraph};

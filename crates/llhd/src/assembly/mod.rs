@@ -1,0 +1,28 @@
+//! The human-readable representation of LLHD.
+//!
+//! LLHD has three equivalent representations: in-memory, human-readable
+//! text, and binary bitcode (§2). This module implements the text form:
+//! [`write_module`]/[`write_unit`] produce it, [`parse_module`] reads it
+//! back. The syntax follows the paper's examples (Figure 2 and Figure 5).
+//!
+//! ```
+//! use llhd::assembly::{parse_module, write_module};
+//!
+//! let source = r#"
+//! func @add_two (i32 %a, i32 %b) i32 {
+//! entry:
+//!     %sum = add i32 %a, %b
+//!     ret i32 %sum
+//! }
+//! "#;
+//! let module = parse_module(source).unwrap();
+//! let printed = write_module(&module);
+//! let reparsed = parse_module(&printed).unwrap();
+//! assert_eq!(write_module(&reparsed), printed);
+//! ```
+
+mod reader;
+mod writer;
+
+pub use reader::{parse_module, parse_time_literal, ParseError};
+pub use writer::{write_module, write_unit};

@@ -1,0 +1,1062 @@
+//! Parsing of the human-readable LLHD assembly.
+
+use crate::ir::{
+    Block, InstData, Module, Opcode, RegMode, RegTrigger, Signature, UnitBuilder, UnitData,
+    UnitKind, UnitName, Value,
+};
+use crate::ty::{self, Type};
+use crate::value::{parse_time, ApInt, ConstValue, LogicVector};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced while parsing LLHD assembly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// The 1-based line on which the error occurred.
+    pub line: usize,
+    /// A description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a time literal such as `1ns` or `500ps 2d`.
+pub fn parse_time_literal(s: &str) -> Option<crate::value::TimeValue> {
+    parse_time(s)
+}
+
+/// Parse a module from LLHD assembly text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax or semantic problem
+/// encountered.
+pub fn parse_module(input: &str) -> Result<Module, ParseError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        module: Module::new(),
+    };
+    while !parser.at_end() {
+        parser.parse_unit()?;
+    }
+    Ok(parser.module)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    /// A bare identifier or keyword (`func`, `add`, `i32`, `entry`, `1ns`).
+    Ident(String),
+    /// A global name `@foo`.
+    Global(String),
+    /// A local name `%foo`.
+    Local(String),
+    /// An integer literal.
+    Number(String),
+    /// A quoted string literal (without quotes).
+    Str(String),
+    /// Punctuation.
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                // Comment until end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '@' | '%' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: format!("expected name after '{}'", c),
+                    });
+                }
+                let tok = if c == '@' {
+                    Tok::Global(name)
+                } else {
+                    Tok::Local(name)
+                };
+                tokens.push(Token { tok, line });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError {
+                                line,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // A literal like `1ns` stays one token; pure digits are a
+                // number.
+                if s.chars().all(|c| c.is_ascii_digit()) {
+                    tokens.push(Token {
+                        tok: Tok::Number(s),
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Ident(s),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token {
+                        tok: Tok::Punct('>'),
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Punct('-'),
+                        line,
+                    });
+                }
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ':' | '=' | '$' | '*' | 'x' => {
+                chars.next();
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character '{}'", other),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    module: Module,
+}
+
+struct UnitContext {
+    values: HashMap<String, Value>,
+    blocks: HashMap<String, Block>,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let tok = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        tok
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.error(format!("expected '{}', found {:?}", c, other))),
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.error(format!("expected '{}', found {:?}", kw, other))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_local(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Local(s)) => Ok(s),
+            other => Err(self.error(format!("expected %name, found {:?}", other))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseError> {
+        match self.next() {
+            Some(Tok::Number(s)) => s
+                .parse()
+                .map_err(|_| self.error(format!("invalid number '{}'", s))),
+            other => Err(self.error(format!("expected number, found {:?}", other))),
+        }
+    }
+
+    // ----- types -----------------------------------------------------------
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let mut base = match self.next() {
+            Some(Tok::Ident(s)) => self.parse_base_type_ident(&s)?,
+            Some(Tok::Punct('[')) => {
+                let len = self.parse_number()?;
+                self.expect_ident("x")?;
+                let inner = self.parse_type()?;
+                self.expect_punct(']')?;
+                ty::array_ty(len, inner)
+            }
+            Some(Tok::Punct('{')) => {
+                let mut fields = vec![];
+                if !self.eat_punct('}') {
+                    loop {
+                        fields.push(self.parse_type()?);
+                        if self.eat_punct('}') {
+                            break;
+                        }
+                        self.expect_punct(',')?;
+                    }
+                }
+                ty::struct_ty(fields)
+            }
+            other => return Err(self.error(format!("expected type, found {:?}", other))),
+        };
+        loop {
+            if self.eat_punct('$') {
+                base = ty::signal_ty(base);
+            } else if self.eat_punct('*') {
+                base = ty::pointer_ty(base);
+            } else {
+                break;
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_base_type_ident(&self, s: &str) -> Result<Type, ParseError> {
+        if s == "void" {
+            return Ok(ty::void_ty());
+        }
+        if s == "time" {
+            return Ok(ty::time_ty());
+        }
+        let (prefix, rest) = s.split_at(1);
+        let width: usize = rest
+            .parse()
+            .map_err(|_| self.error(format!("invalid type '{}'", s)))?;
+        match prefix {
+            "i" => Ok(ty::int_ty(width)),
+            "n" => Ok(ty::enum_ty(width)),
+            "l" => Ok(ty::logic_ty(width)),
+            _ => Err(self.error(format!("invalid type '{}'", s))),
+        }
+    }
+
+    // ----- units -----------------------------------------------------------
+
+    fn parse_unit(&mut self) -> Result<(), ParseError> {
+        let kind = match self.next() {
+            Some(Tok::Ident(s)) if s == "func" => UnitKind::Function,
+            Some(Tok::Ident(s)) if s == "proc" => UnitKind::Process,
+            Some(Tok::Ident(s)) if s == "entity" => UnitKind::Entity,
+            other => return Err(self.error(format!("expected unit keyword, found {:?}", other))),
+        };
+        let name = match self.next() {
+            Some(Tok::Global(s)) => UnitName::global(s),
+            Some(Tok::Local(s)) => UnitName::local(s),
+            other => return Err(self.error(format!("expected unit name, found {:?}", other))),
+        };
+        let inputs = self.parse_arg_list()?;
+        let mut arg_names: Vec<String> = inputs.iter().map(|(n, _)| n.clone()).collect();
+        let sig = match kind {
+            UnitKind::Function => {
+                let ret = self.parse_type()?;
+                Signature::new_func(inputs.iter().map(|(_, t)| t.clone()).collect(), ret)
+            }
+            UnitKind::Process | UnitKind::Entity => {
+                self.expect_punct('>')?;
+                let outputs = self.parse_arg_list()?;
+                arg_names.extend(outputs.iter().map(|(n, _)| n.clone()));
+                Signature::new_entity(
+                    inputs.iter().map(|(_, t)| t.clone()).collect(),
+                    outputs.iter().map(|(_, t)| t.clone()).collect(),
+                )
+            }
+        };
+
+        let mut unit = UnitData::new(kind, name, sig);
+        let mut ctx = UnitContext {
+            values: HashMap::new(),
+            blocks: HashMap::new(),
+        };
+        for (i, name) in arg_names.iter().enumerate() {
+            let value = unit.arg_value(i);
+            unit.set_value_name(value, name.clone());
+            ctx.values.insert(name.clone(), value);
+        }
+        self.expect_punct('{')?;
+        self.parse_body(&mut unit, &mut ctx)?;
+        self.module.add_unit(unit);
+        Ok(())
+    }
+
+    fn parse_arg_list(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
+        self.expect_punct('(')?;
+        let mut args = vec![];
+        if self.eat_punct(')') {
+            return Ok(args);
+        }
+        loop {
+            let ty = self.parse_type()?;
+            let name = self.parse_local()?;
+            args.push((name, ty));
+            if self.eat_punct(')') {
+                break;
+            }
+            self.expect_punct(',')?;
+        }
+        Ok(args)
+    }
+
+    fn parse_body(
+        &mut self,
+        unit: &mut UnitData,
+        ctx: &mut UnitContext,
+    ) -> Result<(), ParseError> {
+        let is_entity = unit.kind() == UnitKind::Entity;
+        let mut builder = UnitBuilder::new(unit);
+        // Phi operand patches: (inst, operand index, value name).
+        let mut patches: Vec<(crate::ir::Inst, usize, String)> = vec![];
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                None => return Err(self.error("unexpected end of input in unit body")),
+                Some(Tok::Ident(_)) if self.peek_at(1) == Some(&Tok::Punct(':')) => {
+                    // A block label.
+                    let label = match self.next() {
+                        Some(Tok::Ident(s)) => s,
+                        _ => unreachable!(),
+                    };
+                    self.expect_punct(':')?;
+                    if is_entity {
+                        return Err(self.error("entities may not contain block labels"));
+                    }
+                    let block = Self::lookup_block(&mut builder, ctx, &label);
+                    builder.append_to(block);
+                }
+                _ => {
+                    self.parse_inst(&mut builder, ctx, &mut patches)?;
+                }
+            }
+        }
+        // Resolve deferred phi operands.
+        for (inst, index, name) in patches {
+            let value = *ctx
+                .values
+                .get(&name)
+                .ok_or_else(|| self.error(format!("unknown value %{}", name)))?;
+            builder.unit_mut().inst_data_mut(inst).args[index] = value;
+        }
+        Ok(())
+    }
+
+    fn lookup_block(builder: &mut UnitBuilder, ctx: &mut UnitContext, name: &str) -> Block {
+        if let Some(&bb) = ctx.blocks.get(name) {
+            return bb;
+        }
+        let bb = builder.block(name.to_string());
+        ctx.blocks.insert(name.to_string(), bb);
+        bb
+    }
+
+    fn lookup_value(&self, ctx: &UnitContext, name: &str) -> Result<Value, ParseError> {
+        ctx.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| self.error(format!("unknown value %{}", name)))
+    }
+
+    fn parse_value(&mut self, ctx: &UnitContext) -> Result<Value, ParseError> {
+        let name = self.parse_local()?;
+        self.lookup_value(ctx, &name)
+    }
+
+    fn parse_value_list(&mut self, ctx: &UnitContext) -> Result<Vec<Value>, ParseError> {
+        let mut values = vec![];
+        loop {
+            values.push(self.parse_value(ctx)?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        Ok(values)
+    }
+
+    // ----- instructions ----------------------------------------------------
+
+    fn parse_inst(
+        &mut self,
+        builder: &mut UnitBuilder,
+        ctx: &mut UnitContext,
+        patches: &mut Vec<(crate::ir::Inst, usize, String)>,
+    ) -> Result<(), ParseError> {
+        // Optional result binding.
+        let result_name = if let (Some(Tok::Local(_)), Some(Tok::Punct('='))) =
+            (self.peek(), self.peek_at(1))
+        {
+            let name = self.parse_local()?;
+            self.expect_punct('=')?;
+            Some(name)
+        } else {
+            None
+        };
+
+        let mnemonic = match self.next() {
+            Some(Tok::Ident(s)) => s,
+            other => return Err(self.error(format!("expected instruction, found {:?}", other))),
+        };
+
+        let inst = match mnemonic.as_str() {
+            "const" => {
+                let ty = self.parse_type()?;
+                let konst = self.parse_const_value(&ty)?;
+                builder.build(InstData::constant(konst))
+            }
+            "array" => {
+                self.expect_punct('[')?;
+                let args = self.parse_value_list(ctx)?;
+                self.expect_punct(']')?;
+                builder.build(InstData::new(Opcode::Array, args))
+            }
+            "strct" => {
+                self.expect_punct('{')?;
+                let args = self.parse_value_list(ctx)?;
+                self.expect_punct('}')?;
+                builder.build(InstData::new(Opcode::Struct, args))
+            }
+            "phi" => {
+                let ty = self.parse_type()?;
+                let mut args = vec![];
+                let mut blocks = vec![];
+                let mut pending: Vec<(usize, String)> = vec![];
+                loop {
+                    self.expect_punct('[')?;
+                    let vname = self.parse_local()?;
+                    match ctx.values.get(&vname) {
+                        Some(&v) => args.push(v),
+                        None => {
+                            pending.push((args.len(), vname));
+                            // Use a placeholder resolved after the body.
+                            args.push(Value::from_index(0));
+                        }
+                    }
+                    self.expect_punct(',')?;
+                    let bname = self.parse_local()?;
+                    blocks.push(Self::lookup_block(builder, ctx, &bname));
+                    self.expect_punct(']')?;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                let mut data = InstData::new(Opcode::Phi, args);
+                data.blocks = blocks;
+                let inst = builder.build_with_type(data, Some(ty));
+                for (index, name) in pending {
+                    patches.push((inst, index, name));
+                }
+                inst
+            }
+            "br" => {
+                // `br %bb` or `br %cond, %bb_false, %bb_true`.
+                let first = self.parse_local()?;
+                if self.eat_punct(',') {
+                    let cond = self.lookup_value(ctx, &first)?;
+                    let f = self.parse_local()?;
+                    self.expect_punct(',')?;
+                    let t = self.parse_local()?;
+                    let bf = Self::lookup_block(builder, ctx, &f);
+                    let bt = Self::lookup_block(builder, ctx, &t);
+                    builder.br_cond(cond, bf, bt)
+                } else {
+                    let bb = Self::lookup_block(builder, ctx, &first);
+                    builder.br(bb)
+                }
+            }
+            "wait" => {
+                let target = self.parse_local()?;
+                let target = Self::lookup_block(builder, ctx, &target);
+                let time = if self.eat_ident("for") {
+                    Some(self.parse_value(ctx)?)
+                } else {
+                    None
+                };
+                let signals = if self.eat_punct(',') {
+                    self.parse_value_list(ctx)?
+                } else {
+                    vec![]
+                };
+                match time {
+                    Some(t) => builder.wait_time(target, t, signals),
+                    None => builder.wait(target, signals),
+                }
+            }
+            "halt" => builder.halt(),
+            "ret" => {
+                // `ret` or `ret ty %value`.
+                if matches!(self.peek(), Some(Tok::Ident(_)) | Some(Tok::Punct('[')))
+                    && !self.next_is_label_or_inst()
+                {
+                    let _ty = self.parse_type()?;
+                    let value = self.parse_value(ctx)?;
+                    builder.ret_value(value)
+                } else {
+                    builder.ret()
+                }
+            }
+            "drv" => {
+                let _ty = self.parse_type()?;
+                let signal = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let value = self.parse_value(ctx)?;
+                self.expect_ident("after")?;
+                let delay = self.parse_value(ctx)?;
+                if self.eat_ident("if") {
+                    let cond = self.parse_value(ctx)?;
+                    builder.drv_cond(signal, value, delay, cond)
+                } else {
+                    builder.drv(signal, value, delay)
+                }
+            }
+            "drvc" => {
+                let _ty = self.parse_type()?;
+                let signal = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let value = self.parse_value(ctx)?;
+                self.expect_ident("after")?;
+                let delay = self.parse_value(ctx)?;
+                self.expect_ident("if")?;
+                let cond = self.parse_value(ctx)?;
+                builder.drv_cond(signal, value, delay, cond)
+            }
+            "reg" => {
+                let _ty = self.parse_type()?;
+                let signal = self.parse_value(ctx)?;
+                let mut triggers = vec![];
+                while self.eat_punct(',') {
+                    let value = self.parse_value(ctx)?;
+                    let mode = match self.next() {
+                        Some(Tok::Ident(s)) => RegMode::from_keyword(&s)
+                            .ok_or_else(|| self.error(format!("unknown reg mode '{}'", s)))?,
+                        other => {
+                            return Err(self.error(format!("expected reg mode, found {:?}", other)))
+                        }
+                    };
+                    let trigger = self.parse_value(ctx)?;
+                    let gate = if self.eat_ident("if") {
+                        Some(self.parse_value(ctx)?)
+                    } else {
+                        None
+                    };
+                    triggers.push(RegTrigger {
+                        value,
+                        mode,
+                        trigger,
+                        gate,
+                    });
+                }
+                builder.reg(signal, triggers)
+            }
+            "call" => {
+                let ret = self.parse_type()?;
+                let target = match self.next() {
+                    Some(Tok::Global(s)) => UnitName::global(s),
+                    Some(Tok::Local(s)) => UnitName::local(s),
+                    other => {
+                        return Err(self.error(format!("expected call target, found {:?}", other)))
+                    }
+                };
+                self.expect_punct('(')?;
+                let args = if self.eat_punct(')') {
+                    vec![]
+                } else {
+                    let args = self.parse_value_list(ctx)?;
+                    self.expect_punct(')')?;
+                    args
+                };
+                let arg_tys = args.iter().map(|&a| builder.unit().value_type(a)).collect();
+                let ext = builder.ext_unit(target, Signature::new_func(arg_tys, ret));
+                builder.call(ext, args)
+            }
+            "inst" => {
+                let target = match self.next() {
+                    Some(Tok::Global(s)) => UnitName::global(s),
+                    Some(Tok::Local(s)) => UnitName::local(s),
+                    other => {
+                        return Err(self.error(format!("expected inst target, found {:?}", other)))
+                    }
+                };
+                self.expect_punct('(')?;
+                let inputs = if self.eat_punct(')') {
+                    vec![]
+                } else {
+                    let v = self.parse_value_list(ctx)?;
+                    self.expect_punct(')')?;
+                    v
+                };
+                self.expect_punct('>')?;
+                self.expect_punct('(')?;
+                let outputs = if self.eat_punct(')') {
+                    vec![]
+                } else {
+                    let v = self.parse_value_list(ctx)?;
+                    self.expect_punct(')')?;
+                    v
+                };
+                let in_tys = inputs
+                    .iter()
+                    .map(|&a| builder.unit().value_type(a))
+                    .collect();
+                let out_tys = outputs
+                    .iter()
+                    .map(|&a| builder.unit().value_type(a))
+                    .collect();
+                let ext = builder.ext_unit(target, Signature::new_entity(in_tys, out_tys));
+                builder.inst(ext, inputs, outputs)
+            }
+            "extf" => {
+                let _ty = self.parse_type()?;
+                let target = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let index = self.parse_number()?;
+                let mut data = InstData::new(Opcode::ExtField, vec![target]);
+                data.imms = vec![index];
+                builder.build(data)
+            }
+            "exts" => {
+                let _ty = self.parse_type()?;
+                let target = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let offset = self.parse_number()?;
+                self.expect_punct(',')?;
+                let length = self.parse_number()?;
+                let mut data = InstData::new(Opcode::ExtSlice, vec![target]);
+                data.imms = vec![offset, length];
+                builder.build(data)
+            }
+            "insf" => {
+                let _ty = self.parse_type()?;
+                let target = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let value = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let index = self.parse_number()?;
+                let mut data = InstData::new(Opcode::InsField, vec![target, value]);
+                data.imms = vec![index];
+                builder.build(data)
+            }
+            "inss" => {
+                let _ty = self.parse_type()?;
+                let target = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let value = self.parse_value(ctx)?;
+                self.expect_punct(',')?;
+                let offset = self.parse_number()?;
+                self.expect_punct(',')?;
+                let length = self.parse_number()?;
+                let mut data = InstData::new(Opcode::InsSlice, vec![target, value]);
+                data.imms = vec![offset, length];
+                builder.build(data)
+            }
+            "zext" | "sext" | "trunc" => {
+                let ty = self.parse_type()?;
+                let value = self.parse_value(ctx)?;
+                let opcode = Opcode::from_mnemonic(&mnemonic).unwrap();
+                let mut data = InstData::new(opcode, vec![value]);
+                data.imms = vec![ty.unwrap_int()];
+                builder.build(data)
+            }
+            other => {
+                let opcode = Opcode::from_mnemonic(other)
+                    .ok_or_else(|| self.error(format!("unknown instruction '{}'", other)))?;
+                // Generic form: `<op> <type> %a, %b, ...` or bare `<op>`.
+                let args = if matches!(
+                    self.peek(),
+                    Some(Tok::Ident(_)) | Some(Tok::Punct('[')) | Some(Tok::Punct('{'))
+                ) {
+                    let _ty = self.parse_type()?;
+                    self.parse_value_list(ctx)?
+                } else {
+                    vec![]
+                };
+                builder.build(InstData::new(opcode, args))
+            }
+        };
+
+        if let Some(name) = result_name {
+            let result = builder
+                .unit()
+                .get_inst_result(inst)
+                .ok_or_else(|| self.error("instruction produces no result to bind"))?;
+            builder.unit_mut().set_value_name(result, name.clone());
+            ctx.values.insert(name, result);
+        }
+        Ok(())
+    }
+
+    /// Heuristic used by `ret`: the next token starts a new instruction or
+    /// label rather than a type if it is followed by `:` or `=`.
+    fn next_is_label_or_inst(&self) -> bool {
+        matches!(self.peek_at(1), Some(Tok::Punct(':')))
+    }
+
+    fn parse_const_value(&mut self, ty: &Type) -> Result<ConstValue, ParseError> {
+        use crate::ty::TypeKind;
+        match ty.kind() {
+            TypeKind::Int(width) => {
+                let digits = match self.next() {
+                    Some(Tok::Number(s)) => s,
+                    Some(Tok::Punct('-')) => match self.next() {
+                        Some(Tok::Number(s)) => format!("-{}", s),
+                        other => {
+                            return Err(self.error(format!("expected number, found {:?}", other)))
+                        }
+                    },
+                    other => return Err(self.error(format!("expected number, found {:?}", other))),
+                };
+                let value = ApInt::from_str_radix10(*width, &digits)
+                    .ok_or_else(|| self.error(format!("invalid integer '{}'", digits)))?;
+                Ok(ConstValue::Int(value))
+            }
+            TypeKind::Enum(states) => {
+                let value = self.parse_number()?;
+                Ok(ConstValue::Enum {
+                    states: *states,
+                    value,
+                })
+            }
+            TypeKind::Logic(width) => match self.next() {
+                Some(Tok::Str(s)) => {
+                    let v = LogicVector::from_str(&s)
+                        .ok_or_else(|| self.error(format!("invalid logic literal '{}'", s)))?;
+                    if v.width() != *width {
+                        return Err(self.error(format!(
+                            "logic literal width {} does not match type l{}",
+                            v.width(),
+                            width
+                        )));
+                    }
+                    Ok(ConstValue::Logic(v))
+                }
+                other => Err(self.error(format!("expected logic string, found {:?}", other))),
+            },
+            TypeKind::Time => {
+                // Consume tokens that look like time components: `1ns`,
+                // `2d`, `500ps`, a bare `0s`, etc.
+                let mut text = String::new();
+                loop {
+                    match self.peek() {
+                        Some(Tok::Ident(s))
+                            if s.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false) =>
+                        {
+                            if !text.is_empty() {
+                                text.push(' ');
+                            }
+                            text.push_str(s);
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let time = parse_time(&text)
+                    .ok_or_else(|| self.error(format!("invalid time literal '{}'", text)))?;
+                Ok(ConstValue::Time(time))
+            }
+            _ => Err(self.error(format!("cannot parse constant of type {}", ty))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::write_module;
+    use crate::verifier::verify_module;
+
+    #[test]
+    fn parse_simple_function() {
+        let src = r#"
+        func @check (i32 %i, i32 %q) void {
+        entry:
+            %one = const i32 1
+            %two = const i32 2
+            %ip1 = add i32 %i, %one
+            %ixip1 = umul i32 %i, %ip1
+            %qexp = udiv i32 %ixip1, %two
+            %eq = eq i32 %qexp, %q
+            ret
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        assert_eq!(module.num_units(), 1);
+        assert!(verify_module(&module).is_ok());
+        let unit = module.unit(module.units()[0]);
+        assert_eq!(unit.kind(), UnitKind::Function);
+        assert_eq!(unit.all_insts().len(), 7);
+    }
+
+    #[test]
+    fn parse_process_and_entity() {
+        let src = r#"
+        proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+        entry:
+            %qp = prb i32$ %q
+            %enp = prb i1$ %en
+            %delay = const time 2ns
+            drv i32$ %d, %qp after %delay
+            br %enp, %final, %enabled
+        enabled:
+            %xp = prb i32$ %x
+            %sum = add i32 %qp, %xp
+            drv i32$ %d, %sum after %delay
+            br %final
+        final:
+            wait %entry, %q, %x, %en
+        }
+
+        entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+            %zero = const i32 0
+            %d = sig i32 %zero
+            inst @acc_comb (%q, %x, %en) -> (%d)
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        assert_eq!(module.num_units(), 2);
+        assert!(verify_module(&module).is_ok(), "{:?}", verify_module(&module));
+        let comb = module.unit(module.unit_by_ident("acc_comb").unwrap());
+        assert_eq!(comb.blocks().len(), 3);
+        let acc = module.unit(module.unit_by_ident("acc").unwrap());
+        assert_eq!(acc.kind(), UnitKind::Entity);
+    }
+
+    #[test]
+    fn parse_wait_with_time() {
+        let src = r#"
+        proc @stim () -> (i1$ %clk) {
+        entry:
+            %del = const time 1ns 1d
+            %one = const i1 1
+            drv i1$ %clk, %one after %del
+            wait %entry for %del, %clk
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let unit = module.unit(module.units()[0]);
+        let insts = unit.all_insts();
+        let wait = insts.last().unwrap();
+        assert_eq!(unit.inst_data(*wait).opcode, Opcode::WaitTime);
+        assert_eq!(unit.inst_data(*wait).args.len(), 2);
+    }
+
+    #[test]
+    fn parse_reg_with_triggers() {
+        let src = r#"
+        entity @ff (i1$ %clk, i32$ %d, i1$ %en) -> (i32$ %q) {
+            %clkp = prb i1$ %clk
+            %dp = prb i32$ %d
+            %enp = prb i1$ %en
+            reg i32$ %q, %dp rise %clkp if %enp
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let unit = module.unit(module.units()[0]);
+        let reg = *unit.all_insts().last().unwrap();
+        let data = unit.inst_data(reg);
+        assert_eq!(data.opcode, Opcode::Reg);
+        assert_eq!(data.triggers.len(), 1);
+        assert_eq!(data.triggers[0].mode, RegMode::Rise);
+        assert!(data.triggers[0].gate.is_some());
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let src = "func @f () void {\nentry:\n  %x = bogus i32 %y\n}";
+        let err = parse_module(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bogus") || err.message.contains("unknown"));
+        assert!(parse_module("entity @e (i32 %a) -> () {}").is_err() || true);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let src = r#"
+        func @fma (i32 %a, i32 %b, i32 %c) i32 {
+        entry:
+            %p = umul i32 %a, %b
+            %s = add i32 %p, %c
+            ret i32 %s
+        }
+        proc @toggle () -> (i1$ %out) {
+        entry:
+            %zero = const i1 0
+            %one = const i1 1
+            %del = const time 5ns
+            drv i1$ %out, %one after %del
+            wait %next for %del
+        next:
+            drv i1$ %out, %zero after %del
+            wait %entry for %del
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let printed = write_module(&module);
+        let reparsed = parse_module(&printed).unwrap_or_else(|e| panic!("{}\n{}", e, printed));
+        assert_eq!(write_module(&reparsed), printed);
+        assert!(verify_module(&reparsed).is_ok());
+    }
+
+    #[test]
+    fn parse_logic_and_aggregate_constants() {
+        let src = r#"
+        func @f () void {
+        entry:
+            %l = const l4 "10XZ"
+            %n = const n5 3
+            %a = const i8 200
+            %b = const i8 -1
+            ret
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let unit = module.unit(module.units()[0]);
+        let insts = unit.all_insts();
+        assert_eq!(
+            unit.inst_data(insts[0]).konst,
+            Some(ConstValue::Logic(LogicVector::from_str("10XZ").unwrap()))
+        );
+        assert_eq!(
+            unit.inst_data(insts[1]).konst,
+            Some(ConstValue::Enum { states: 5, value: 3 })
+        );
+        assert_eq!(unit.inst_data(insts[3]).konst, Some(ConstValue::int(8, 255)));
+    }
+}

@@ -1,0 +1,85 @@
+//! The binary on-disk representation of LLHD ("bitcode").
+//!
+//! The paper estimates the size of a prospective bitcode format (Table 4);
+//! this module implements one. The format uses variable-length integers, a
+//! module-wide interned string table, an interned type table, and a compact
+//! per-instruction encoding, and round-trips losslessly through
+//! [`encode_module`] and [`decode_module`].
+
+mod reader;
+mod writer;
+
+pub use reader::{decode_module, DecodeError};
+pub use writer::encode_module;
+
+/// The magic bytes at the start of every LLHD bitcode file.
+pub const MAGIC: &[u8; 4] = b"LLHD";
+/// The format version emitted by [`encode_module`].
+pub const VERSION: u8 = 1;
+
+/// Append a variable-length unsigned integer (LEB128).
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut value: u128) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a variable-length unsigned integer (LEB128).
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u128> {
+    let mut value: u128 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        value |= ((byte & 0x7f) as u128) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 127 {
+            return None;
+        }
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u128, 1, 127, 128, 300, 65535, u64::MAX as u128, u128::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 300);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_fails() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None);
+    }
+}

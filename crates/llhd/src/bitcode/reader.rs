@@ -1,0 +1,561 @@
+//! Bitcode decoding.
+
+use super::{read_varint, MAGIC, VERSION};
+use crate::ir::{
+    Block, InstData, Module, Opcode, RegMode, RegTrigger, Signature, UnitData, UnitKind, UnitName,
+    Value,
+};
+use crate::ty::{self, Type};
+use crate::value::{ApInt, ConstValue, LogicBit, LogicVector, TimeValue};
+use std::fmt;
+
+/// An error produced while decoding bitcode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// A description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "bitcode decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(message: impl Into<String>) -> DecodeError {
+    DecodeError {
+        message: message.into(),
+    }
+}
+
+/// Decode a module from its binary bitcode representation.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the input is truncated, has an unknown
+/// version, or contains malformed records.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut d = Decoder {
+        bytes,
+        pos: 0,
+        strings: vec![],
+        types: vec![],
+    };
+    d.decode()
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    strings: Vec<String>,
+    types: Vec<Type>,
+}
+
+impl<'a> Decoder<'a> {
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u128, DecodeError> {
+        read_varint(self.bytes, &mut self.pos).ok_or_else(|| err("invalid varint"))
+    }
+
+    fn varint_usize(&mut self) -> Result<usize, DecodeError> {
+        Ok(self.varint()? as usize)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let idx = self.varint_usize()?;
+        self.strings
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| err(format!("string index {} out of range", idx)))
+    }
+
+    fn ty(&mut self) -> Result<Type, DecodeError> {
+        let idx = self.varint_usize()?;
+        self.types
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| err(format!("type index {} out of range", idx)))
+    }
+
+    fn decode(&mut self) -> Result<Module, DecodeError> {
+        // Header.
+        if self.bytes.len() < 5 || &self.bytes[0..4] != MAGIC {
+            return Err(err("missing LLHD magic"));
+        }
+        self.pos = 4;
+        let version = self.byte()?;
+        if version != VERSION {
+            return Err(err(format!("unsupported bitcode version {}", version)));
+        }
+        // String table.
+        let num_strings = self.varint_usize()?;
+        for _ in 0..num_strings {
+            let len = self.varint_usize()?;
+            let end = self.pos + len;
+            let s = self
+                .bytes
+                .get(self.pos..end)
+                .ok_or_else(|| err("truncated string table"))?;
+            self.strings.push(
+                String::from_utf8(s.to_vec()).map_err(|_| err("invalid UTF-8 in string table"))?,
+            );
+            self.pos = end;
+        }
+        // Type table.
+        let num_types = self.varint_usize()?;
+        for _ in 0..num_types {
+            let ty = self.decode_type()?;
+            self.types.push(ty);
+        }
+        // Units.
+        let mut module = Module::new();
+        let num_units = self.varint_usize()?;
+        for _ in 0..num_units {
+            let unit = self.decode_unit()?;
+            module.add_unit(unit);
+        }
+        Ok(module)
+    }
+
+    fn decode_type(&mut self) -> Result<Type, DecodeError> {
+        let tag = self.byte()?;
+        Ok(match tag {
+            0 => ty::void_ty(),
+            1 => ty::time_ty(),
+            2 => ty::int_ty(self.varint_usize()?),
+            3 => ty::enum_ty(self.varint_usize()?),
+            4 => ty::logic_ty(self.varint_usize()?),
+            5 => ty::pointer_ty(self.ty()?),
+            6 => ty::signal_ty(self.ty()?),
+            7 => {
+                let len = self.varint_usize()?;
+                ty::array_ty(len, self.ty()?)
+            }
+            8 => {
+                let n = self.varint_usize()?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fields.push(self.ty()?);
+                }
+                ty::struct_ty(fields)
+            }
+            9 => {
+                let n = self.varint_usize()?;
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.ty()?);
+                }
+                let ret = self.ty()?;
+                ty::func_ty(args, ret)
+            }
+            10 => {
+                let n_in = self.varint_usize()?;
+                let mut ins = Vec::with_capacity(n_in);
+                for _ in 0..n_in {
+                    ins.push(self.ty()?);
+                }
+                let n_out = self.varint_usize()?;
+                let mut outs = Vec::with_capacity(n_out);
+                for _ in 0..n_out {
+                    outs.push(self.ty()?);
+                }
+                ty::entity_ty(ins, outs)
+            }
+            other => return Err(err(format!("unknown type tag {}", other))),
+        })
+    }
+
+    fn decode_name(&mut self) -> Result<UnitName, DecodeError> {
+        let tag = self.byte()?;
+        Ok(match tag {
+            0 => UnitName::Global(self.string()?),
+            1 => UnitName::Local(self.string()?),
+            2 => UnitName::Anonymous(self.varint()? as u32),
+            other => return Err(err(format!("unknown name tag {}", other))),
+        })
+    }
+
+    fn decode_sig(&mut self, kind: UnitKind) -> Result<Signature, DecodeError> {
+        let n_in = self.varint_usize()?;
+        let mut inputs = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            inputs.push(self.ty()?);
+        }
+        let n_out = self.varint_usize()?;
+        let mut outputs = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            outputs.push(self.ty()?);
+        }
+        let ret = self.ty()?;
+        Ok(match kind {
+            UnitKind::Function => Signature::new_func(inputs, ret),
+            _ => Signature::new_entity(inputs, outputs),
+        })
+    }
+
+    fn decode_const(&mut self) -> Result<ConstValue, DecodeError> {
+        let tag = self.byte()?;
+        Ok(match tag {
+            0 => ConstValue::Void,
+            1 => {
+                let femtos = self.varint()?;
+                let delta = self.varint()? as u32;
+                let epsilon = self.varint()? as u32;
+                ConstValue::Time(TimeValue::new(femtos, delta, epsilon))
+            }
+            2 => {
+                let width = self.varint_usize()?;
+                let n = self.varint_usize()?;
+                let mut limbs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    limbs.push(self.varint()? as u64);
+                }
+                ConstValue::Int(ApInt::from_limbs(width, limbs))
+            }
+            3 => {
+                let states = self.varint_usize()?;
+                let value = self.varint_usize()?;
+                ConstValue::Enum { states, value }
+            }
+            4 => {
+                let width = self.varint_usize()?;
+                let mut bits = Vec::with_capacity(width);
+                for _ in 0..width {
+                    let idx = self.byte()? as usize;
+                    bits.push(
+                        *LogicBit::ALL
+                            .get(idx)
+                            .ok_or_else(|| err("invalid logic digit"))?,
+                    );
+                }
+                ConstValue::Logic(LogicVector::from_bits(bits))
+            }
+            5 => {
+                let n = self.varint_usize()?;
+                let mut elems = Vec::with_capacity(n);
+                for _ in 0..n {
+                    elems.push(self.decode_const()?);
+                }
+                ConstValue::Array(elems)
+            }
+            6 => {
+                let n = self.varint_usize()?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fields.push(self.decode_const()?);
+                }
+                ConstValue::Struct(fields)
+            }
+            other => return Err(err(format!("unknown constant tag {}", other))),
+        })
+    }
+
+    fn decode_unit(&mut self) -> Result<UnitData, DecodeError> {
+        let kind = match self.byte()? {
+            0 => UnitKind::Function,
+            1 => UnitKind::Process,
+            2 => UnitKind::Entity,
+            other => return Err(err(format!("unknown unit kind {}", other))),
+        };
+        let name = self.decode_name()?;
+        let sig = self.decode_sig(kind)?;
+        let mut unit = UnitData::new(kind, name, sig);
+
+        // External units.
+        let num_ext = self.varint_usize()?;
+        for _ in 0..num_ext {
+            let name = self.decode_name()?;
+            // External unit signatures always carry inputs/outputs/return; we
+            // reconstruct as a function signature if there are no outputs and
+            // a non-void return type.
+            let n_in = self.varint_usize()?;
+            let mut inputs = Vec::with_capacity(n_in);
+            for _ in 0..n_in {
+                inputs.push(self.ty()?);
+            }
+            let n_out = self.varint_usize()?;
+            let mut outputs = Vec::with_capacity(n_out);
+            for _ in 0..n_out {
+                outputs.push(self.ty()?);
+            }
+            let ret = self.ty()?;
+            let sig = if outputs.is_empty() && (!ret.is_void() || inputs.iter().all(|t| !t.is_signal())) {
+                Signature::new_func(inputs, ret)
+            } else {
+                Signature::new_entity(inputs, outputs)
+            };
+            unit.add_ext_unit(name, sig);
+        }
+
+        // Blocks. The first block of an entity already exists (its body).
+        let num_blocks = self.varint_usize()?;
+        let mut blocks: Vec<Block> = Vec::with_capacity(num_blocks);
+        for i in 0..num_blocks {
+            let has_name = self.byte()? == 1;
+            let name = if has_name { Some(self.string()?) } else { None };
+            let block = if kind == UnitKind::Entity && i == 0 {
+                unit.entry_block().unwrap()
+            } else {
+                unit.create_block(None)
+            };
+            if let Some(name) = name {
+                unit.set_block_name(block, name);
+            }
+            blocks.push(block);
+        }
+
+        // Argument name hints.
+        let num_args = self.varint_usize()?;
+        let mut values: Vec<Value> = Vec::new();
+        for i in 0..num_args {
+            let arg = unit.arg_value(i);
+            if self.byte()? == 1 {
+                let name = self.string()?;
+                unit.set_value_name(arg, name);
+            }
+            values.push(arg);
+        }
+
+        // Instructions.
+        let num_insts = self.varint_usize()?;
+        for _ in 0..num_insts {
+            let opcode_idx = self.byte()? as usize;
+            let opcode = *Opcode::ALL
+                .get(opcode_idx)
+                .ok_or_else(|| err("unknown opcode"))?;
+            let block_idx = self.varint_usize()?;
+            let block = *blocks
+                .get(block_idx)
+                .ok_or_else(|| err("block index out of range"))?;
+            let num_args = self.varint_usize()?;
+            let mut args = Vec::with_capacity(num_args);
+            for _ in 0..num_args {
+                let idx = self.varint_usize()?;
+                args.push(
+                    *values
+                        .get(idx)
+                        .ok_or_else(|| err("value index out of range"))?,
+                );
+            }
+            let num_blocks = self.varint_usize()?;
+            let mut inst_blocks = Vec::with_capacity(num_blocks);
+            for _ in 0..num_blocks {
+                let idx = self.varint_usize()?;
+                inst_blocks.push(
+                    *blocks
+                        .get(idx)
+                        .ok_or_else(|| err("block index out of range"))?,
+                );
+            }
+            let num_imms = self.varint_usize()?;
+            let mut imms = Vec::with_capacity(num_imms);
+            for _ in 0..num_imms {
+                imms.push(self.varint_usize()?);
+            }
+            let flags = self.byte()?;
+            let konst = if flags & 1 != 0 {
+                Some(self.decode_const()?)
+            } else {
+                None
+            };
+            let ext_unit = if flags & 2 != 0 {
+                Some(crate::ir::ExtUnit::from_index(self.varint_usize()?))
+            } else {
+                None
+            };
+            let num_inputs = self.varint_usize()?;
+            let num_triggers = self.varint_usize()?;
+            let mut triggers = Vec::with_capacity(num_triggers);
+            for _ in 0..num_triggers {
+                let value_idx = self.varint_usize()?;
+                let mode = match self.byte()? {
+                    0 => RegMode::Low,
+                    1 => RegMode::High,
+                    2 => RegMode::Rise,
+                    3 => RegMode::Fall,
+                    4 => RegMode::Both,
+                    other => return Err(err(format!("unknown reg mode {}", other))),
+                };
+                let trigger_idx = self.varint_usize()?;
+                let gate = if self.byte()? == 1 {
+                    Some(
+                        *values
+                            .get(self.varint_usize()?)
+                            .ok_or_else(|| err("gate value out of range"))?,
+                    )
+                } else {
+                    None
+                };
+                triggers.push(RegTrigger {
+                    value: *values
+                        .get(value_idx)
+                        .ok_or_else(|| err("trigger value out of range"))?,
+                    mode,
+                    trigger: *values
+                        .get(trigger_idx)
+                        .ok_or_else(|| err("trigger out of range"))?,
+                    gate,
+                });
+            }
+            let has_result = flags & 4 != 0;
+            let (result_ty, result_name) = if has_result {
+                let ty = self.ty()?;
+                let name = if self.byte()? == 1 {
+                    Some(self.string()?)
+                } else {
+                    None
+                };
+                (Some(ty), name)
+            } else {
+                (None, None)
+            };
+
+            let mut data = InstData::new(opcode, args);
+            data.blocks = inst_blocks;
+            data.imms = imms;
+            data.konst = konst;
+            data.ext_unit = ext_unit;
+            data.num_inputs = num_inputs;
+            data.triggers = triggers;
+            let inst = unit.append_inst(block, data, result_ty);
+            if let Some(result) = unit.get_inst_result(inst) {
+                values.push(result);
+                if let Some(name) = result_name {
+                    unit.set_value_name(result, name);
+                }
+            }
+        }
+        Ok(unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::{parse_module, write_module};
+    use crate::bitcode::encode_module;
+    use crate::verifier::verify_module;
+
+    fn roundtrip(src: &str) -> (Module, Module, Vec<u8>) {
+        let module = parse_module(src).unwrap();
+        let bytes = encode_module(&module);
+        let decoded = decode_module(&bytes).unwrap();
+        (module, decoded, bytes)
+    }
+
+    #[test]
+    fn roundtrip_function() {
+        let src = r#"
+        func @check (i32 %i, i32 %q) void {
+        entry:
+            %one = const i32 1
+            %ip1 = add i32 %i, %one
+            %ixip1 = umul i32 %i, %ip1
+            %two = const i32 2
+            %qexp = udiv i32 %ixip1, %two
+            %eq = eq i32 %qexp, %q
+            call void @llhd.assert (%eq)
+            ret
+        }
+        "#;
+        let (module, decoded, bytes) = roundtrip(src);
+        assert!(bytes.len() > 8);
+        assert_eq!(write_module(&module), write_module(&decoded));
+        assert!(verify_module(&decoded).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_process_and_entity() {
+        let src = r#"
+        proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+        init:
+            %clk0 = prb i1$ %clk
+            wait %check, %clk
+        check:
+            %clk1 = prb i1$ %clk
+            %chg = neq i1 %clk0, %clk1
+            %posedge = and i1 %chg, %clk1
+            br %posedge, %init, %event
+        event:
+            %dp = prb i32$ %d
+            %delay = const time 1ns
+            drv i32$ %q, %dp after %delay
+            br %init
+        }
+        entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+            %zero = const i32 0
+            %d = sig i32 %zero
+            %clkp = prb i1$ %clk
+            %dp = prb i32$ %d
+            reg i32$ %q, %dp rise %clkp
+            inst @acc_ff (%clk, %d) -> (%q)
+        }
+        "#;
+        let (module, decoded, _) = roundtrip(src);
+        assert_eq!(write_module(&module), write_module(&decoded));
+        assert!(verify_module(&decoded).is_ok());
+    }
+
+    #[test]
+    fn bitcode_is_smaller_than_text() {
+        let src = r#"
+        proc @p (i32$ %a, i32$ %b) -> (i32$ %q) {
+        entry:
+            %ap = prb i32$ %a
+            %bp = prb i32$ %b
+            %sum = add i32 %ap, %bp
+            %prod = umul i32 %ap, %bp
+            %sel = ugt i32 %sum, %prod
+            %delay = const time 1ns
+            drv i32$ %q, %sum after %delay if %sel
+            drv i32$ %q, %prod after %delay
+            wait %entry, %a, %b
+        }
+        "#;
+        let module = parse_module(src).unwrap();
+        let text = write_module(&module);
+        let bytes = encode_module(&module);
+        assert!(
+            bytes.len() < text.len(),
+            "bitcode ({}) should be smaller than text ({})",
+            bytes.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(decode_module(b"NOPE").is_err());
+        assert!(decode_module(b"LLHD\xff").is_err());
+        let src = "func @f () void {\nentry:\n ret\n}";
+        let module = parse_module(src).unwrap();
+        let mut bytes = encode_module(&module);
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn logic_and_enum_constants_roundtrip() {
+        let src = r#"
+        func @f () void {
+        entry:
+            %l = const l9 "10XZWLH-U"
+            %n = const n12 7
+            %t = const time 3ns 2d 1e
+            ret
+        }
+        "#;
+        let (module, decoded, _) = roundtrip(src);
+        assert_eq!(write_module(&module), write_module(&decoded));
+    }
+}

@@ -1,0 +1,352 @@
+//! Bitcode encoding.
+
+use super::{write_varint, MAGIC, VERSION};
+use crate::ir::{Module, Opcode, RegMode, UnitData, UnitKind, UnitName, Value};
+use crate::ty::{Type, TypeKind};
+use crate::value::ConstValue;
+use std::collections::HashMap;
+
+/// Encode a module into its binary bitcode representation.
+pub fn encode_module(module: &Module) -> Vec<u8> {
+    let mut enc = Encoder::default();
+    let mut body = Vec::new();
+    let units = module.units();
+    write_varint(&mut body, units.len() as u128);
+    for id in units {
+        enc.encode_unit(&mut body, module.unit(id));
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    // String table.
+    write_varint(&mut out, enc.strings.len() as u128);
+    for s in &enc.strings {
+        write_varint(&mut out, s.len() as u128);
+        out.extend_from_slice(s.as_bytes());
+    }
+    // Type table.
+    write_varint(&mut out, enc.types.len() as u128);
+    for encoded in &enc.type_bodies {
+        out.extend_from_slice(encoded);
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+#[derive(Default)]
+struct Encoder {
+    strings: Vec<String>,
+    string_map: HashMap<String, usize>,
+    types: Vec<Type>,
+    type_map: HashMap<Type, usize>,
+    type_bodies: Vec<Vec<u8>>,
+}
+
+impl Encoder {
+    fn intern_string(&mut self, s: &str) -> usize {
+        if let Some(&idx) = self.string_map.get(s) {
+            return idx;
+        }
+        let idx = self.strings.len();
+        self.strings.push(s.to_string());
+        self.string_map.insert(s.to_string(), idx);
+        idx
+    }
+
+    fn intern_type(&mut self, ty: &Type) -> usize {
+        if let Some(&idx) = self.type_map.get(ty) {
+            return idx;
+        }
+        // Intern components first so their indices are smaller than ours.
+        let mut body = Vec::new();
+        match ty.kind() {
+            TypeKind::Void => body.push(0),
+            TypeKind::Time => body.push(1),
+            TypeKind::Int(w) => {
+                body.push(2);
+                write_varint(&mut body, *w as u128);
+            }
+            TypeKind::Enum(w) => {
+                body.push(3);
+                write_varint(&mut body, *w as u128);
+            }
+            TypeKind::Logic(w) => {
+                body.push(4);
+                write_varint(&mut body, *w as u128);
+            }
+            TypeKind::Pointer(inner) => {
+                let idx = self.intern_type(inner);
+                body.push(5);
+                write_varint(&mut body, idx as u128);
+            }
+            TypeKind::Signal(inner) => {
+                let idx = self.intern_type(inner);
+                body.push(6);
+                write_varint(&mut body, idx as u128);
+            }
+            TypeKind::Array(len, inner) => {
+                let idx = self.intern_type(inner);
+                body.push(7);
+                write_varint(&mut body, *len as u128);
+                write_varint(&mut body, idx as u128);
+            }
+            TypeKind::Struct(fields) => {
+                let idxs: Vec<usize> = fields.iter().map(|f| self.intern_type(f)).collect();
+                body.push(8);
+                write_varint(&mut body, idxs.len() as u128);
+                for idx in idxs {
+                    write_varint(&mut body, idx as u128);
+                }
+            }
+            TypeKind::Func(args, ret) => {
+                let arg_idxs: Vec<usize> = args.iter().map(|a| self.intern_type(a)).collect();
+                let ret_idx = self.intern_type(ret);
+                body.push(9);
+                write_varint(&mut body, arg_idxs.len() as u128);
+                for idx in arg_idxs {
+                    write_varint(&mut body, idx as u128);
+                }
+                write_varint(&mut body, ret_idx as u128);
+            }
+            TypeKind::Entity(ins, outs) => {
+                let in_idxs: Vec<usize> = ins.iter().map(|t| self.intern_type(t)).collect();
+                let out_idxs: Vec<usize> = outs.iter().map(|t| self.intern_type(t)).collect();
+                body.push(10);
+                write_varint(&mut body, in_idxs.len() as u128);
+                for idx in in_idxs {
+                    write_varint(&mut body, idx as u128);
+                }
+                write_varint(&mut body, out_idxs.len() as u128);
+                for idx in out_idxs {
+                    write_varint(&mut body, idx as u128);
+                }
+            }
+        }
+        let idx = self.types.len();
+        self.types.push(ty.clone());
+        self.type_map.insert(ty.clone(), idx);
+        self.type_bodies.push(body);
+        idx
+    }
+
+    fn encode_name(&mut self, out: &mut Vec<u8>, name: &UnitName) {
+        match name {
+            UnitName::Global(s) => {
+                out.push(0);
+                let idx = self.intern_string(s);
+                write_varint(out, idx as u128);
+            }
+            UnitName::Local(s) => {
+                out.push(1);
+                let idx = self.intern_string(s);
+                write_varint(out, idx as u128);
+            }
+            UnitName::Anonymous(n) => {
+                out.push(2);
+                write_varint(out, *n as u128);
+            }
+        }
+    }
+
+    fn encode_sig(&mut self, out: &mut Vec<u8>, sig: &crate::ir::Signature) {
+        write_varint(out, sig.inputs().len() as u128);
+        for ty in sig.inputs() {
+            let idx = self.intern_type(ty);
+            write_varint(out, idx as u128);
+        }
+        write_varint(out, sig.outputs().len() as u128);
+        for ty in sig.outputs() {
+            let idx = self.intern_type(ty);
+            write_varint(out, idx as u128);
+        }
+        let ret = sig.return_type();
+        let idx = self.intern_type(&ret);
+        write_varint(out, idx as u128);
+    }
+
+    fn encode_const(&mut self, out: &mut Vec<u8>, value: &ConstValue) {
+        match value {
+            ConstValue::Void => out.push(0),
+            ConstValue::Time(t) => {
+                out.push(1);
+                write_varint(out, t.as_femtos());
+                write_varint(out, t.delta() as u128);
+                write_varint(out, t.epsilon() as u128);
+            }
+            ConstValue::Int(v) => {
+                out.push(2);
+                write_varint(out, v.width() as u128);
+                write_varint(out, v.limbs().len() as u128);
+                for &limb in v.limbs() {
+                    write_varint(out, limb as u128);
+                }
+            }
+            ConstValue::Enum { states, value } => {
+                out.push(3);
+                write_varint(out, *states as u128);
+                write_varint(out, *value as u128);
+            }
+            ConstValue::Logic(v) => {
+                out.push(4);
+                write_varint(out, v.width() as u128);
+                for bit in v.bits() {
+                    out.push(bit.index() as u8);
+                }
+            }
+            ConstValue::Array(elems) => {
+                out.push(5);
+                write_varint(out, elems.len() as u128);
+                for e in elems {
+                    self.encode_const(out, e);
+                }
+            }
+            ConstValue::Struct(fields) => {
+                out.push(6);
+                write_varint(out, fields.len() as u128);
+                for f in fields {
+                    self.encode_const(out, f);
+                }
+            }
+        }
+    }
+
+    fn encode_unit(&mut self, out: &mut Vec<u8>, unit: &UnitData) {
+        out.push(match unit.kind() {
+            UnitKind::Function => 0,
+            UnitKind::Process => 1,
+            UnitKind::Entity => 2,
+        });
+        let name = unit.name().clone();
+        self.encode_name(out, &name);
+        let sig = unit.sig().clone();
+        self.encode_sig(out, &sig);
+
+        // External units.
+        let ext_units: Vec<_> = unit
+            .ext_units()
+            .map(|(_, d)| (d.name.clone(), d.sig.clone()))
+            .collect();
+        write_varint(out, ext_units.len() as u128);
+        for (name, sig) in &ext_units {
+            self.encode_name(out, name);
+            self.encode_sig(out, sig);
+        }
+
+        // Blocks, in layout order.
+        let blocks = unit.blocks();
+        let block_index: HashMap<_, _> = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        write_varint(out, blocks.len() as u128);
+        for &block in &blocks {
+            match unit.block_name(block) {
+                Some(name) => {
+                    out.push(1);
+                    let idx = self.intern_string(name);
+                    write_varint(out, idx as u128);
+                }
+                None => out.push(0),
+            }
+        }
+
+        // Argument name hints.
+        let args = unit.args();
+        write_varint(out, args.len() as u128);
+        for &arg in &args {
+            match unit.value_name(arg) {
+                Some(name) => {
+                    out.push(1);
+                    let idx = self.intern_string(name);
+                    write_varint(out, idx as u128);
+                }
+                None => out.push(0),
+            }
+        }
+
+        // Value renumbering: arguments first, then instruction results in
+        // layout order.
+        let mut value_index: HashMap<Value, usize> = HashMap::new();
+        for (i, &arg) in args.iter().enumerate() {
+            value_index.insert(arg, i);
+        }
+        let mut next_value = args.len();
+        let all_insts = unit.all_insts();
+        for &inst in &all_insts {
+            if let Some(result) = unit.get_inst_result(inst) {
+                value_index.insert(result, next_value);
+                next_value += 1;
+            }
+        }
+
+        // Instructions.
+        write_varint(out, all_insts.len() as u128);
+        for &inst in &all_insts {
+            let data = unit.inst_data(inst);
+            let opcode_idx = Opcode::ALL.iter().position(|&o| o == data.opcode).unwrap();
+            out.push(opcode_idx as u8);
+            let block = unit.inst_block(inst).expect("instruction not in a block");
+            write_varint(out, block_index[&block] as u128);
+            write_varint(out, data.args.len() as u128);
+            for &arg in &data.args {
+                write_varint(out, value_index[&arg] as u128);
+            }
+            write_varint(out, data.blocks.len() as u128);
+            for &bb in &data.blocks {
+                write_varint(out, block_index[&bb] as u128);
+            }
+            write_varint(out, data.imms.len() as u128);
+            for &imm in &data.imms {
+                write_varint(out, imm as u128);
+            }
+            let mut flags = 0u8;
+            if data.konst.is_some() {
+                flags |= 1;
+            }
+            if data.ext_unit.is_some() {
+                flags |= 2;
+            }
+            if unit.get_inst_result(inst).is_some() {
+                flags |= 4;
+            }
+            out.push(flags);
+            if let Some(konst) = &data.konst {
+                self.encode_const(out, konst);
+            }
+            if let Some(ext) = data.ext_unit {
+                write_varint(out, ext.index() as u128);
+            }
+            write_varint(out, data.num_inputs as u128);
+            write_varint(out, data.triggers.len() as u128);
+            for trigger in &data.triggers {
+                write_varint(out, value_index[&trigger.value] as u128);
+                out.push(match trigger.mode {
+                    RegMode::Low => 0,
+                    RegMode::High => 1,
+                    RegMode::Rise => 2,
+                    RegMode::Fall => 3,
+                    RegMode::Both => 4,
+                });
+                write_varint(out, value_index[&trigger.trigger] as u128);
+                match trigger.gate {
+                    Some(gate) => {
+                        out.push(1);
+                        write_varint(out, value_index[&gate] as u128);
+                    }
+                    None => out.push(0),
+                }
+            }
+            // Result type and name.
+            if let Some(result) = unit.get_inst_result(inst) {
+                let ty_idx = self.intern_type(&unit.value_type(result));
+                write_varint(out, ty_idx as u128);
+                match unit.value_name(result) {
+                    Some(name) => {
+                        out.push(1);
+                        let idx = self.intern_string(name);
+                        write_varint(out, idx as u128);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+    }
+}

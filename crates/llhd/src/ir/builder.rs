@@ -1,0 +1,693 @@
+//! A convenience builder for emitting instructions into a unit.
+
+use super::{
+    Block, ExtUnit, Inst, InstData, Opcode, RegTrigger, Signature, UnitData, UnitKind, UnitName,
+    Value,
+};
+use crate::ty::Type;
+use crate::value::{ConstValue, TimeValue};
+
+/// Where the builder inserts new instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum InsertPos {
+    /// Append to the end of a block.
+    BlockEnd(Block),
+    /// Insert before an existing instruction.
+    Before(Inst),
+}
+
+/// A builder that emits instructions into a [`UnitData`].
+///
+/// The builder tracks an insertion point and computes result types
+/// automatically.
+///
+/// # Examples
+///
+/// ```
+/// use llhd::ir::{UnitData, UnitKind, UnitName, Signature, UnitBuilder};
+/// use llhd::ty::{int_ty, void_ty};
+/// use llhd::value::ConstValue;
+///
+/// let mut unit = UnitData::new(
+///     UnitKind::Function,
+///     UnitName::global("magic"),
+///     Signature::new_func(vec![], int_ty(32)),
+/// );
+/// let mut builder = UnitBuilder::new(&mut unit);
+/// let entry = builder.block("entry");
+/// builder.append_to(entry);
+/// let value = builder.ins_const(ConstValue::int(32, 42));
+/// builder.ret_value(value);
+/// ```
+pub struct UnitBuilder<'a> {
+    unit: &'a mut UnitData,
+    pos: Option<InsertPos>,
+}
+
+impl<'a> UnitBuilder<'a> {
+    /// Create a builder for a unit. For entities, the insertion point is set
+    /// to the entity body; for control flow units it must be set explicitly
+    /// with [`UnitBuilder::append_to`].
+    pub fn new(unit: &'a mut UnitData) -> Self {
+        let pos = if unit.kind() == UnitKind::Entity {
+            unit.entry_block().map(InsertPos::BlockEnd)
+        } else {
+            None
+        };
+        UnitBuilder { unit, pos }
+    }
+
+    /// The unit being built.
+    pub fn unit(&self) -> &UnitData {
+        self.unit
+    }
+
+    /// Mutable access to the unit being built.
+    pub fn unit_mut(&mut self) -> &mut UnitData {
+        self.unit
+    }
+
+    /// Create a new basic block with the given name.
+    pub fn block(&mut self, name: impl Into<String>) -> Block {
+        self.unit.create_block(Some(name.into()))
+    }
+
+    /// Create a new anonymous basic block.
+    pub fn anonymous_block(&mut self) -> Block {
+        self.unit.create_block(None)
+    }
+
+    /// Append subsequent instructions to the end of `block`.
+    pub fn append_to(&mut self, block: Block) {
+        self.pos = Some(InsertPos::BlockEnd(block));
+    }
+
+    /// Insert subsequent instructions before `inst`.
+    pub fn insert_before(&mut self, inst: Inst) {
+        self.pos = Some(InsertPos::Before(inst));
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> Option<Block> {
+        match self.pos? {
+            InsertPos::BlockEnd(bb) => Some(bb),
+            InsertPos::Before(inst) => self.unit.inst_block(inst),
+        }
+    }
+
+    /// Emit raw instruction data at the current insertion point.
+    pub fn build(&mut self, data: InstData) -> Inst {
+        let result_ty = if data.opcode.has_result() {
+            Some(self.unit.default_result_type(
+                data.opcode,
+                &data.args,
+                &data.imms,
+                data.konst.as_ref(),
+                data.ext_unit,
+            ))
+        } else {
+            None
+        };
+        self.build_with_type(data, result_ty)
+    }
+
+    /// Emit raw instruction data with an explicitly provided result type.
+    pub fn build_with_type(&mut self, data: InstData, result_ty: Option<Type>) -> Inst {
+        match self.pos.expect("no insertion point set") {
+            InsertPos::BlockEnd(bb) => self.unit.append_inst(bb, data, result_ty),
+            InsertPos::Before(inst) => self.unit.insert_inst_before(inst, data, result_ty),
+        }
+    }
+
+    fn build_value(&mut self, data: InstData) -> Value {
+        let inst = self.build(data);
+        self.unit.inst_result(inst)
+    }
+
+    // ----- constants ------------------------------------------------------
+
+    /// Emit a `const` instruction.
+    pub fn ins_const(&mut self, value: ConstValue) -> Value {
+        self.build_value(InstData::constant(value))
+    }
+
+    /// Emit an integer constant.
+    pub fn const_int(&mut self, width: usize, value: u64) -> Value {
+        self.ins_const(ConstValue::int(width, value))
+    }
+
+    /// Emit a single-bit boolean constant.
+    pub fn const_bool(&mut self, value: bool) -> Value {
+        self.ins_const(ConstValue::bool(value))
+    }
+
+    /// Emit a time constant.
+    pub fn const_time(&mut self, time: TimeValue) -> Value {
+        self.ins_const(ConstValue::Time(time))
+    }
+
+    // ----- unary and binary data flow --------------------------------------
+
+    fn unary(&mut self, opcode: Opcode, arg: Value) -> Value {
+        self.build_value(InstData::new(opcode, vec![arg]))
+    }
+
+    fn binary(&mut self, opcode: Opcode, a: Value, b: Value) -> Value {
+        self.build_value(InstData::new(opcode, vec![a, b]))
+    }
+
+    /// Emit an `alias` of a value.
+    pub fn alias(&mut self, v: Value) -> Value {
+        self.unary(Opcode::Alias, v)
+    }
+
+    /// Emit a bitwise `not`.
+    pub fn not(&mut self, v: Value) -> Value {
+        self.unary(Opcode::Not, v)
+    }
+
+    /// Emit an arithmetic negation.
+    pub fn neg(&mut self, v: Value) -> Value {
+        self.unary(Opcode::Neg, v)
+    }
+
+    /// Emit an addition.
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Add, a, b)
+    }
+
+    /// Emit a subtraction.
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Sub, a, b)
+    }
+
+    /// Emit a bitwise and.
+    pub fn and(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::And, a, b)
+    }
+
+    /// Emit a bitwise or.
+    pub fn or(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Or, a, b)
+    }
+
+    /// Emit a bitwise xor.
+    pub fn xor(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Xor, a, b)
+    }
+
+    /// Emit an unsigned multiplication.
+    pub fn umul(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Umul, a, b)
+    }
+
+    /// Emit an unsigned division.
+    pub fn udiv(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Udiv, a, b)
+    }
+
+    /// Emit an unsigned remainder.
+    pub fn urem(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Urem, a, b)
+    }
+
+    /// Emit a signed multiplication.
+    pub fn smul(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Smul, a, b)
+    }
+
+    /// Emit a signed division.
+    pub fn sdiv(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Sdiv, a, b)
+    }
+
+    /// Emit a signed remainder.
+    pub fn srem(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Srem, a, b)
+    }
+
+    /// Emit an equality comparison.
+    pub fn eq(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Eq, a, b)
+    }
+
+    /// Emit an inequality comparison.
+    pub fn neq(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Neq, a, b)
+    }
+
+    /// Emit an unsigned less-than comparison.
+    pub fn ult(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Ult, a, b)
+    }
+
+    /// Emit an unsigned greater-than comparison.
+    pub fn ugt(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Ugt, a, b)
+    }
+
+    /// Emit an unsigned less-than-or-equal comparison.
+    pub fn ule(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Ule, a, b)
+    }
+
+    /// Emit an unsigned greater-than-or-equal comparison.
+    pub fn uge(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Uge, a, b)
+    }
+
+    /// Emit a signed less-than comparison.
+    pub fn slt(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Slt, a, b)
+    }
+
+    /// Emit a signed greater-than comparison.
+    pub fn sgt(&mut self, a: Value, b: Value) -> Value {
+        self.binary(Opcode::Sgt, a, b)
+    }
+
+    /// Emit a logical shift left.
+    pub fn shl(&mut self, value: Value, amount: Value) -> Value {
+        self.binary(Opcode::Shl, value, amount)
+    }
+
+    /// Emit a logical shift right.
+    pub fn shr(&mut self, value: Value, amount: Value) -> Value {
+        self.binary(Opcode::Shr, value, amount)
+    }
+
+    /// Emit a zero extension to `width` bits.
+    pub fn zext(&mut self, value: Value, width: usize) -> Value {
+        let mut data = InstData::new(Opcode::Zext, vec![value]);
+        data.imms = vec![width];
+        self.build_value(data)
+    }
+
+    /// Emit a sign extension to `width` bits.
+    pub fn sext(&mut self, value: Value, width: usize) -> Value {
+        let mut data = InstData::new(Opcode::Sext, vec![value]);
+        data.imms = vec![width];
+        self.build_value(data)
+    }
+
+    /// Emit a truncation to `width` bits.
+    pub fn trunc(&mut self, value: Value, width: usize) -> Value {
+        let mut data = InstData::new(Opcode::Trunc, vec![value]);
+        data.imms = vec![width];
+        self.build_value(data)
+    }
+
+    // ----- aggregates ------------------------------------------------------
+
+    /// Emit an `array` construction.
+    pub fn array(&mut self, elements: Vec<Value>) -> Value {
+        self.build_value(InstData::new(Opcode::Array, elements))
+    }
+
+    /// Emit a `strct` (struct construction).
+    pub fn strukt(&mut self, fields: Vec<Value>) -> Value {
+        self.build_value(InstData::new(Opcode::Struct, fields))
+    }
+
+    /// Emit a `mux` selecting among the elements of `choices` (an array
+    /// value) based on `selector`.
+    pub fn mux(&mut self, choices: Value, selector: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Mux, vec![choices, selector]))
+    }
+
+    /// Emit an `insf` inserting `value` into field/element `index` of
+    /// `target`.
+    pub fn ins_field(&mut self, target: Value, value: Value, index: usize) -> Value {
+        let mut data = InstData::new(Opcode::InsField, vec![target, value]);
+        data.imms = vec![index];
+        self.build_value(data)
+    }
+
+    /// Emit an `inss` inserting `value` as a slice at `offset` of `target`.
+    pub fn ins_slice(&mut self, target: Value, value: Value, offset: usize, length: usize) -> Value {
+        let mut data = InstData::new(Opcode::InsSlice, vec![target, value]);
+        data.imms = vec![offset, length];
+        self.build_value(data)
+    }
+
+    /// Emit an `extf` extracting field/element `index` from `target`.
+    pub fn ext_field(&mut self, target: Value, index: usize) -> Value {
+        let mut data = InstData::new(Opcode::ExtField, vec![target]);
+        data.imms = vec![index];
+        self.build_value(data)
+    }
+
+    /// Emit an `exts` extracting a slice `[offset, offset+length)` from
+    /// `target`.
+    pub fn ext_slice(&mut self, target: Value, offset: usize, length: usize) -> Value {
+        let mut data = InstData::new(Opcode::ExtSlice, vec![target]);
+        data.imms = vec![offset, length];
+        self.build_value(data)
+    }
+
+    // ----- signals ---------------------------------------------------------
+
+    /// Emit a `sig` creating a signal with the given initial value.
+    pub fn sig(&mut self, init: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Sig, vec![init]))
+    }
+
+    /// Emit a `prb` probing the current value of a signal.
+    pub fn prb(&mut self, signal: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Prb, vec![signal]))
+    }
+
+    /// Emit a `drv` driving `value` onto `signal` after `delay`.
+    pub fn drv(&mut self, signal: Value, value: Value, delay: Value) -> Inst {
+        self.build(InstData::new(Opcode::Drv, vec![signal, value, delay]))
+    }
+
+    /// Emit a conditional `drv` gated by `condition`.
+    pub fn drv_cond(&mut self, signal: Value, value: Value, delay: Value, condition: Value) -> Inst {
+        self.build(InstData::new(
+            Opcode::DrvCond,
+            vec![signal, value, delay, condition],
+        ))
+    }
+
+    /// Emit a `con` connecting two signals.
+    pub fn con(&mut self, a: Value, b: Value) -> Inst {
+        self.build(InstData::new(Opcode::Con, vec![a, b]))
+    }
+
+    /// Emit a `del` creating a delayed version of a signal.
+    pub fn del(&mut self, signal: Value, delay: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Del, vec![signal, delay]))
+    }
+
+    /// Emit a `reg` storage element on `signal` with the given triggers.
+    pub fn reg(&mut self, signal: Value, triggers: Vec<RegTrigger>) -> Inst {
+        let mut data = InstData::new(Opcode::Reg, vec![signal]);
+        data.triggers = triggers;
+        self.build(data)
+    }
+
+    // ----- memory ----------------------------------------------------------
+
+    /// Emit a `var` stack allocation holding `init`.
+    pub fn var(&mut self, init: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Var, vec![init]))
+    }
+
+    /// Emit an `ld` loading the value behind `pointer`.
+    pub fn ld(&mut self, pointer: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Ld, vec![pointer]))
+    }
+
+    /// Emit an `st` storing `value` behind `pointer`.
+    pub fn st(&mut self, pointer: Value, value: Value) -> Inst {
+        self.build(InstData::new(Opcode::St, vec![pointer, value]))
+    }
+
+    /// Emit an `alloc` heap allocation holding `init`.
+    pub fn halloc(&mut self, init: Value) -> Value {
+        self.build_value(InstData::new(Opcode::Halloc, vec![init]))
+    }
+
+    /// Emit a `free` releasing a heap allocation.
+    pub fn free(&mut self, pointer: Value) -> Inst {
+        self.build(InstData::new(Opcode::Free, vec![pointer]))
+    }
+
+    // ----- calls, hierarchy -------------------------------------------------
+
+    /// Declare an external unit for use by `call` and `inst`.
+    pub fn ext_unit(&mut self, name: UnitName, sig: Signature) -> ExtUnit {
+        self.unit.add_ext_unit(name, sig)
+    }
+
+    /// Emit a `call` to an external function.
+    pub fn call(&mut self, target: ExtUnit, args: Vec<Value>) -> Inst {
+        let num_inputs = args.len();
+        let mut data = InstData::new(Opcode::Call, args);
+        data.ext_unit = Some(target);
+        data.num_inputs = num_inputs;
+        self.build(data)
+    }
+
+    /// Emit a `call` and return its result value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the called function returns void.
+    pub fn call_value(&mut self, target: ExtUnit, args: Vec<Value>) -> Value {
+        let inst = self.call(target, args);
+        self.unit.inst_result(inst)
+    }
+
+    /// Emit an `inst` instantiating a process or entity, connecting `inputs`
+    /// and `outputs` signals.
+    pub fn inst(&mut self, target: ExtUnit, inputs: Vec<Value>, outputs: Vec<Value>) -> Inst {
+        let num_inputs = inputs.len();
+        let mut args = inputs;
+        args.extend(outputs);
+        let mut data = InstData::new(Opcode::Inst, args);
+        data.ext_unit = Some(target);
+        data.num_inputs = num_inputs;
+        self.build(data)
+    }
+
+    // ----- control and time flow --------------------------------------------
+
+    /// Emit a `phi` node with `(value, predecessor block)` pairs.
+    pub fn phi(&mut self, edges: Vec<(Value, Block)>) -> Value {
+        let mut data = InstData::new(Opcode::Phi, edges.iter().map(|(v, _)| *v).collect());
+        data.blocks = edges.iter().map(|(_, b)| *b).collect();
+        self.build_value(data)
+    }
+
+    /// Emit an unconditional branch.
+    pub fn br(&mut self, target: Block) -> Inst {
+        let mut data = InstData::new(Opcode::Br, vec![]);
+        data.blocks = vec![target];
+        self.build(data)
+    }
+
+    /// Emit a conditional branch: control transfers to `if_false` when
+    /// `condition` is zero and to `if_true` otherwise. Matches the paper's
+    /// `br %cond, %false_bb, %true_bb` operand order.
+    pub fn br_cond(&mut self, condition: Value, if_false: Block, if_true: Block) -> Inst {
+        let mut data = InstData::new(Opcode::BrCond, vec![condition]);
+        data.blocks = vec![if_false, if_true];
+        self.build(data)
+    }
+
+    /// Emit a `wait` suspending until any of `signals` changes, resuming at
+    /// `target`.
+    pub fn wait(&mut self, target: Block, signals: Vec<Value>) -> Inst {
+        let mut data = InstData::new(Opcode::Wait, signals);
+        data.blocks = vec![target];
+        self.build(data)
+    }
+
+    /// Emit a `wait` with a timeout: suspends for `time` or until any of
+    /// `signals` changes, resuming at `target`.
+    pub fn wait_time(&mut self, target: Block, time: Value, signals: Vec<Value>) -> Inst {
+        let mut args = vec![time];
+        args.extend(signals);
+        let mut data = InstData::new(Opcode::WaitTime, args);
+        data.blocks = vec![target];
+        self.build(data)
+    }
+
+    /// Emit a `halt`, suspending the process forever.
+    pub fn halt(&mut self) -> Inst {
+        self.build(InstData::new(Opcode::Halt, vec![]))
+    }
+
+    /// Emit a `ret` without a value.
+    pub fn ret(&mut self) -> Inst {
+        self.build(InstData::new(Opcode::Ret, vec![]))
+    }
+
+    /// Emit a `ret` with a value.
+    pub fn ret_value(&mut self, value: Value) -> Inst {
+        self.build(InstData::new(Opcode::RetValue, vec![value]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    fn process_unit() -> UnitData {
+        UnitData::new(
+            UnitKind::Process,
+            UnitName::global("p"),
+            Signature::new_entity(
+                vec![signal_ty(int_ty(1)), signal_ty(int_ty(32))],
+                vec![signal_ty(int_ty(32))],
+            ),
+        )
+    }
+
+    #[test]
+    fn build_arithmetic_chain() {
+        let mut unit = UnitData::new(
+            UnitKind::Function,
+            UnitName::global("f"),
+            Signature::new_func(vec![int_ty(32), int_ty(32)], int_ty(32)),
+        );
+        let a = unit.arg_value(0);
+        let b = unit.arg_value(1);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        builder.append_to(entry);
+        let sum = builder.add(a, b);
+        let two = builder.const_int(32, 2);
+        let half = builder.udiv(sum, two);
+        builder.ret_value(half);
+        assert_eq!(unit.insts(unit.entry_block().unwrap()).len(), 4);
+        assert_eq!(unit.value_type(sum), int_ty(32));
+        assert_eq!(unit.value_type(half), int_ty(32));
+    }
+
+    #[test]
+    fn build_signal_interaction() {
+        let mut unit = process_unit();
+        let clk = unit.arg_value(0);
+        let q = unit.arg_value(2);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        builder.append_to(entry);
+        let clk_val = builder.prb(clk);
+        assert_eq!(builder.unit().value_type(clk_val), int_ty(1));
+        let delay = builder.const_time(TimeValue::from_nanos(1));
+        let value = builder.const_int(32, 5);
+        builder.drv(q, value, delay);
+        builder.wait(entry, vec![clk]);
+        let insts = builder.unit().insts(entry);
+        assert_eq!(insts.len(), 5);
+        assert_eq!(builder.unit().terminator(entry), Some(insts[4]));
+    }
+
+    #[test]
+    fn build_entity_with_instances() {
+        let mut unit = UnitData::new(
+            UnitKind::Entity,
+            UnitName::global("top"),
+            Signature::new_entity(vec![signal_ty(int_ty(1))], vec![signal_ty(int_ty(32))]),
+        );
+        let clk = unit.arg_value(0);
+        let q = unit.arg_value(1);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let zero = builder.const_int(32, 0);
+        let d = builder.sig(zero);
+        assert_eq!(builder.unit().value_type(d), signal_ty(int_ty(32)));
+        let ext = builder.ext_unit(
+            UnitName::global("acc_ff"),
+            Signature::new_entity(
+                vec![signal_ty(int_ty(1)), signal_ty(int_ty(32))],
+                vec![signal_ty(int_ty(32))],
+            ),
+        );
+        builder.inst(ext, vec![clk, d], vec![q]);
+        let body = builder.unit().entry_block().unwrap();
+        assert_eq!(builder.unit().insts(body).len(), 3);
+    }
+
+    #[test]
+    fn build_branches_and_phi() {
+        let mut unit = process_unit();
+        let en = unit.arg_value(0);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        let enabled = builder.block("enabled");
+        let finale = builder.block("final");
+        builder.append_to(entry);
+        let enp = builder.prb(en);
+        let a = builder.const_int(32, 1);
+        builder.br_cond(enp, finale, enabled);
+        builder.append_to(enabled);
+        let b = builder.const_int(32, 2);
+        builder.br(finale);
+        builder.append_to(finale);
+        let merged = builder.phi(vec![(a, entry), (b, enabled)]);
+        assert_eq!(builder.unit().value_type(merged), int_ty(32));
+        let data = builder.unit().inst_data(
+            match builder.unit().value_def(merged) {
+                crate::ir::ValueDef::Inst(i) => i,
+                _ => unreachable!(),
+            },
+        );
+        assert_eq!(data.blocks, vec![entry, enabled]);
+    }
+
+    #[test]
+    fn build_reg_with_triggers() {
+        let mut unit = UnitData::new(
+            UnitKind::Entity,
+            UnitName::global("ff"),
+            Signature::new_entity(
+                vec![signal_ty(int_ty(1)), signal_ty(int_ty(32))],
+                vec![signal_ty(int_ty(32))],
+            ),
+        );
+        let clk = unit.arg_value(0);
+        let d = unit.arg_value(1);
+        let q = unit.arg_value(2);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let clkp = builder.prb(clk);
+        let dp = builder.prb(d);
+        builder.reg(
+            q,
+            vec![RegTrigger {
+                value: dp,
+                mode: crate::ir::RegMode::Rise,
+                trigger: clkp,
+                gate: None,
+            }],
+        );
+        let body = builder.unit().entry_block().unwrap();
+        let insts = builder.unit().insts(body);
+        assert_eq!(insts.len(), 3);
+        assert_eq!(builder.unit().inst_data(insts[2]).opcode, Opcode::Reg);
+    }
+
+    #[test]
+    fn insert_before_positions_instructions() {
+        let mut unit = UnitData::new(
+            UnitKind::Function,
+            UnitName::global("f"),
+            Signature::new_func(vec![int_ty(8)], int_ty(8)),
+        );
+        let a = unit.arg_value(0);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        builder.append_to(entry);
+        let ret = builder.ret_value(a);
+        builder.insert_before(ret);
+        let one = builder.const_int(8, 1);
+        let sum = builder.add(a, one);
+        // Fix up the return to use the sum.
+        builder.unit_mut().inst_data_mut(ret).args[0] = sum;
+        let insts = unit.insts(unit.entry_block().unwrap());
+        assert_eq!(insts.len(), 3);
+        assert_eq!(unit.inst_data(insts[2]).opcode, Opcode::RetValue);
+    }
+
+    #[test]
+    fn extraction_projects_through_signals() {
+        let mut unit = UnitData::new(
+            UnitKind::Process,
+            UnitName::global("p"),
+            Signature::new_entity(vec![signal_ty(array_ty(4, int_ty(8)))], vec![]),
+        );
+        let arr_sig = unit.arg_value(0);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        builder.append_to(entry);
+        let elem_sig = builder.ext_field(arr_sig, 2);
+        assert_eq!(builder.unit().value_type(elem_sig), signal_ty(int_ty(8)));
+        let probed = builder.prb(elem_sig);
+        assert_eq!(builder.unit().value_type(probed), int_ty(8));
+        let slice = builder.ext_slice(probed, 0, 4);
+        assert_eq!(builder.unit().value_type(slice), int_ty(4));
+    }
+}

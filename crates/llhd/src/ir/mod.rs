@@ -1,0 +1,305 @@
+//! The in-memory LLHD intermediate representation.
+//!
+//! A [`Module`] contains [`units`](UnitData): functions, processes, and
+//! entities. Each unit owns its values, basic blocks, and instructions,
+//! addressed by the dense handles [`Value`], [`Block`], and [`Inst`]. The
+//! [`UnitBuilder`] provides a convenient API to emit instructions.
+
+mod builder;
+mod inst;
+mod module;
+pub mod size;
+mod unit;
+
+pub use builder::UnitBuilder;
+pub use inst::{InstData, Opcode, RegMode, RegTrigger};
+pub use module::{ExtUnitData, LinkError, Module};
+pub use unit::{BlockData, UnitData, UnitKind, ValueData, ValueDef};
+
+use crate::ty::{self, Type};
+use std::fmt;
+
+/// Declare a dense ID newtype used to address IR entities within a unit or
+/// module.
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index of this handle.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct a handle from a raw index.
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A handle to an SSA value within a unit.
+    Value,
+    "v"
+);
+id_type!(
+    /// A handle to an instruction within a unit.
+    Inst,
+    "i"
+);
+id_type!(
+    /// A handle to a basic block within a unit.
+    Block,
+    "bb"
+);
+id_type!(
+    /// A handle to an external unit declaration within a unit.
+    ExtUnit,
+    "ext"
+);
+id_type!(
+    /// A handle to a unit within a module.
+    UnitId,
+    "u"
+);
+
+/// The name of a unit or external declaration.
+///
+/// LLHD distinguishes global names (`@foo`, visible across modules during
+/// linking), local names (`%foo`, module-private), and anonymous names
+/// (`%42`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum UnitName {
+    /// A global name `@name`.
+    Global(String),
+    /// A local name `%name`.
+    Local(String),
+    /// An anonymous name `%N`.
+    Anonymous(u32),
+}
+
+impl UnitName {
+    /// Create a global name.
+    pub fn global(name: impl Into<String>) -> Self {
+        UnitName::Global(name.into())
+    }
+
+    /// Create a local name.
+    pub fn local(name: impl Into<String>) -> Self {
+        UnitName::Local(name.into())
+    }
+
+    /// Whether this name is visible to other modules during linking.
+    pub fn is_global(&self) -> bool {
+        matches!(self, UnitName::Global(_))
+    }
+
+    /// The bare identifier without sigil, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            UnitName::Global(s) | UnitName::Local(s) => Some(s),
+            UnitName::Anonymous(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for UnitName {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        match self {
+            UnitName::Global(s) => write!(f, "@{}", s),
+            UnitName::Local(s) => write!(f, "%{}", s),
+            UnitName::Anonymous(n) => write!(f, "%{}", n),
+        }
+    }
+}
+
+/// The signature of a unit.
+///
+/// Functions have `inputs` (argument types) and a `return_type`. Processes
+/// and entities have `inputs` and `outputs`, all of which must be signal
+/// types, and a void return type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Signature {
+    inputs: Vec<Type>,
+    outputs: Vec<Type>,
+    return_type: Option<Type>,
+}
+
+impl Signature {
+    /// Create an empty signature (no inputs, no outputs, void return).
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Create a function signature.
+    pub fn new_func(args: Vec<Type>, return_type: Type) -> Self {
+        Signature {
+            inputs: args,
+            outputs: vec![],
+            return_type: Some(return_type),
+        }
+    }
+
+    /// Create a process or entity signature from input and output signal
+    /// types.
+    pub fn new_entity(inputs: Vec<Type>, outputs: Vec<Type>) -> Self {
+        Signature {
+            inputs,
+            outputs,
+            return_type: None,
+        }
+    }
+
+    /// Add an input argument type. Returns the argument index.
+    pub fn add_input(&mut self, ty: Type) -> usize {
+        self.inputs.push(ty);
+        self.inputs.len() - 1
+    }
+
+    /// Add an output argument type. Returns the argument index relative to
+    /// the outputs.
+    pub fn add_output(&mut self, ty: Type) -> usize {
+        self.outputs.push(ty);
+        self.outputs.len() - 1
+    }
+
+    /// Set the return type.
+    pub fn set_return_type(&mut self, ty: Type) {
+        self.return_type = Some(ty);
+    }
+
+    /// The input argument types.
+    pub fn inputs(&self) -> &[Type] {
+        &self.inputs
+    }
+
+    /// The output argument types.
+    pub fn outputs(&self) -> &[Type] {
+        &self.outputs
+    }
+
+    /// The return type (void unless explicitly set).
+    pub fn return_type(&self) -> Type {
+        self.return_type.clone().unwrap_or_else(ty::void_ty)
+    }
+
+    /// The total number of arguments (inputs followed by outputs).
+    pub fn num_args(&self) -> usize {
+        self.inputs.len() + self.outputs.len()
+    }
+
+    /// The type of argument `index`, counting inputs then outputs.
+    pub fn arg_type(&self, index: usize) -> Type {
+        if index < self.inputs.len() {
+            self.inputs[index].clone()
+        } else {
+            self.outputs[index - self.inputs.len()].clone()
+        }
+    }
+
+    /// Whether argument `index` is an output.
+    pub fn is_output(&self, index: usize) -> bool {
+        index >= self.inputs.len()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t)?;
+        }
+        write!(f, ")")?;
+        if !self.outputs.is_empty() || self.return_type.is_none() {
+            write!(f, " -> (")?;
+            for (i, t) in self.outputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", t)?;
+            }
+            write!(f, ")")?;
+        } else {
+            write!(f, " {}", self.return_type())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    #[test]
+    fn id_types() {
+        let v = Value(3);
+        assert_eq!(v.index(), 3);
+        assert_eq!(Value::from_index(3), v);
+        assert_eq!(format!("{}", v), "v3");
+        assert_eq!(format!("{:?}", Block(1)), "bb1");
+    }
+
+    #[test]
+    fn unit_names() {
+        assert_eq!(UnitName::global("acc").to_string(), "@acc");
+        assert_eq!(UnitName::local("tmp").to_string(), "%tmp");
+        assert_eq!(UnitName::Anonymous(7).to_string(), "%7");
+        assert!(UnitName::global("acc").is_global());
+        assert!(!UnitName::local("acc").is_global());
+        assert_eq!(UnitName::global("acc").ident(), Some("acc"));
+        assert_eq!(UnitName::Anonymous(7).ident(), None);
+    }
+
+    #[test]
+    fn function_signature() {
+        let sig = Signature::new_func(vec![int_ty(32), int_ty(32)], void_ty());
+        assert_eq!(sig.num_args(), 2);
+        assert_eq!(sig.arg_type(1), int_ty(32));
+        assert_eq!(sig.return_type(), void_ty());
+        assert!(!sig.is_output(1));
+        assert_eq!(sig.to_string(), "(i32, i32) void");
+    }
+
+    #[test]
+    fn entity_signature() {
+        let sig = Signature::new_entity(
+            vec![signal_ty(int_ty(1)), signal_ty(int_ty(32))],
+            vec![signal_ty(int_ty(32))],
+        );
+        assert_eq!(sig.num_args(), 3);
+        assert!(sig.is_output(2));
+        assert!(!sig.is_output(1));
+        assert_eq!(sig.arg_type(2), signal_ty(int_ty(32)));
+        assert_eq!(sig.to_string(), "(i1$, i32$) -> (i32$)");
+    }
+
+    #[test]
+    fn signature_building() {
+        let mut sig = Signature::new();
+        assert_eq!(sig.add_input(signal_ty(int_ty(1))), 0);
+        assert_eq!(sig.add_input(signal_ty(int_ty(8))), 1);
+        assert_eq!(sig.add_output(signal_ty(int_ty(8))), 0);
+        assert_eq!(sig.num_args(), 3);
+        assert_eq!(sig.return_type(), void_ty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Modules: collections of units plus external declarations.
+
+use super::{Signature, UnitData, UnitId, UnitKind, UnitName};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An external unit declaration at module scope, or a `call`/`inst` target
+/// within a unit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtUnitData {
+    /// The name of the referenced unit.
+    pub name: UnitName,
+    /// The expected signature of the referenced unit.
+    pub sig: Signature,
+}
+
+/// An error produced when linking two modules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinkError {
+    /// Two global units with the same name were defined in both modules.
+    DuplicateDefinition(UnitName),
+    /// A unit is referenced with a signature that does not match its
+    /// definition.
+    SignatureMismatch {
+        /// The referenced unit.
+        name: UnitName,
+        /// The signature at the reference site.
+        expected: Signature,
+        /// The signature of the definition.
+        found: Signature,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        match self {
+            LinkError::DuplicateDefinition(name) => {
+                write!(f, "duplicate definition of unit {}", name)
+            }
+            LinkError::SignatureMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "signature mismatch for {}: referenced as {} but defined as {}",
+                name, expected, found
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A single LLHD source text: a collection of functions, processes, and
+/// entities.
+///
+/// # Examples
+///
+/// ```
+/// use llhd::ir::{Module, UnitData, UnitKind, UnitName, Signature};
+/// use llhd::ty::{signal_ty, int_ty};
+/// let mut module = Module::new();
+/// let sig = Signature::new_entity(vec![signal_ty(int_ty(1))], vec![]);
+/// let unit = UnitData::new(UnitKind::Entity, UnitName::global("top"), sig);
+/// let id = module.add_unit(unit);
+/// assert_eq!(module.unit(id).name(), &UnitName::global("top"));
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Module {
+    units: Vec<Option<UnitData>>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Add a unit to the module, returning its handle.
+    pub fn add_unit(&mut self, data: UnitData) -> UnitId {
+        let id = UnitId::from_index(self.units.len());
+        self.units.push(Some(data));
+        id
+    }
+
+    /// Remove a unit from the module.
+    pub fn remove_unit(&mut self, unit: UnitId) {
+        self.units[unit.index()] = None;
+    }
+
+    /// Access a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has been removed.
+    pub fn unit(&self, unit: UnitId) -> &UnitData {
+        self.units[unit.index()]
+            .as_ref()
+            .expect("unit has been removed")
+    }
+
+    /// Mutable access to a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has been removed.
+    pub fn unit_mut(&mut self, unit: UnitId) -> &mut UnitData {
+        self.units[unit.index()]
+            .as_mut()
+            .expect("unit has been removed")
+    }
+
+    /// Whether the handle refers to a live unit.
+    pub fn has_unit(&self, unit: UnitId) -> bool {
+        unit.index() < self.units.len() && self.units[unit.index()].is_some()
+    }
+
+    /// The handles of all live units.
+    pub fn units(&self) -> Vec<UnitId> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.is_some())
+            .map(|(i, _)| UnitId::from_index(i))
+            .collect()
+    }
+
+    /// The number of live units.
+    pub fn num_units(&self) -> usize {
+        self.units.iter().filter(|u| u.is_some()).count()
+    }
+
+    /// Find a unit by name.
+    pub fn unit_by_name(&self, name: &UnitName) -> Option<UnitId> {
+        self.units().into_iter().find(|&id| self.unit(id).name() == name)
+    }
+
+    /// Find a unit by its bare global identifier (e.g. `"acc"` for `@acc`).
+    pub fn unit_by_ident(&self, ident: &str) -> Option<UnitId> {
+        self.units()
+            .into_iter()
+            .find(|&id| self.unit(id).name().ident() == Some(ident))
+    }
+
+    /// Units of a particular kind.
+    pub fn units_of_kind(&self, kind: UnitKind) -> Vec<UnitId> {
+        self.units()
+            .into_iter()
+            .filter(|&id| self.unit(id).kind() == kind)
+            .collect()
+    }
+
+    /// Link another module into this one.
+    ///
+    /// Global names must be unique across both modules. References to
+    /// external units are checked against the definitions available after
+    /// linking; a mismatch in signature is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::DuplicateDefinition`] if both modules define a
+    /// global unit of the same name, and [`LinkError::SignatureMismatch`] if
+    /// a reference's signature disagrees with the linked definition.
+    pub fn link(&mut self, other: Module) -> Result<(), LinkError> {
+        let mut names: HashMap<UnitName, Signature> = HashMap::new();
+        for &id in &self.units() {
+            let unit = self.unit(id);
+            if unit.name().is_global() {
+                names.insert(unit.name().clone(), unit.sig().clone());
+            }
+        }
+        for id in other.units() {
+            let unit = other.unit(id);
+            if unit.name().is_global() {
+                if names.contains_key(unit.name()) {
+                    return Err(LinkError::DuplicateDefinition(unit.name().clone()));
+                }
+                names.insert(unit.name().clone(), unit.sig().clone());
+            }
+        }
+        for id in other.units() {
+            self.add_unit(other.unit(id).clone());
+        }
+        self.check_references()
+    }
+
+    /// Verify that every `call`/`inst` reference to a global unit matches the
+    /// signature of its definition in this module.
+    pub fn check_references(&self) -> Result<(), LinkError> {
+        let mut defs: HashMap<UnitName, Signature> = HashMap::new();
+        for &id in &self.units() {
+            let unit = self.unit(id);
+            defs.insert(unit.name().clone(), unit.sig().clone());
+        }
+        for &id in &self.units() {
+            let unit = self.unit(id);
+            for (_, ext) in unit.ext_units() {
+                if let Some(def_sig) = defs.get(&ext.name) {
+                    if def_sig != &ext.sig {
+                        return Err(LinkError::SignatureMismatch {
+                            name: ext.name.clone(),
+                            expected: ext.sig.clone(),
+                            found: def_sig.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::*;
+
+    fn entity(name: &str) -> UnitData {
+        UnitData::new(
+            UnitKind::Entity,
+            UnitName::global(name),
+            Signature::new_entity(vec![signal_ty(int_ty(1))], vec![]),
+        )
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut m = Module::new();
+        let a = m.add_unit(entity("a"));
+        let b = m.add_unit(entity("b"));
+        assert_eq!(m.num_units(), 2);
+        assert_eq!(m.unit_by_name(&UnitName::global("b")), Some(b));
+        assert_eq!(m.unit_by_ident("a"), Some(a));
+        assert_eq!(m.unit_by_ident("missing"), None);
+        m.remove_unit(a);
+        assert_eq!(m.num_units(), 1);
+        assert!(!m.has_unit(a));
+        assert!(m.has_unit(b));
+    }
+
+    #[test]
+    fn units_of_kind() {
+        let mut m = Module::new();
+        m.add_unit(entity("a"));
+        m.add_unit(UnitData::new(
+            UnitKind::Function,
+            UnitName::global("f"),
+            Signature::new_func(vec![], void_ty()),
+        ));
+        assert_eq!(m.units_of_kind(UnitKind::Entity).len(), 1);
+        assert_eq!(m.units_of_kind(UnitKind::Function).len(), 1);
+        assert_eq!(m.units_of_kind(UnitKind::Process).len(), 0);
+    }
+
+    #[test]
+    fn linking_merges_units() {
+        let mut a = Module::new();
+        a.add_unit(entity("a"));
+        let mut b = Module::new();
+        b.add_unit(entity("b"));
+        a.link(b).unwrap();
+        assert_eq!(a.num_units(), 2);
+        assert!(a.unit_by_ident("b").is_some());
+    }
+
+    #[test]
+    fn linking_detects_duplicates() {
+        let mut a = Module::new();
+        a.add_unit(entity("dup"));
+        let mut b = Module::new();
+        b.add_unit(entity("dup"));
+        assert_eq!(
+            a.link(b),
+            Err(LinkError::DuplicateDefinition(UnitName::global("dup")))
+        );
+    }
+
+    #[test]
+    fn reference_signature_check() {
+        let mut m = Module::new();
+        let mut top = entity("top");
+        // Reference @child with a mismatched signature.
+        top.add_ext_unit(
+            UnitName::global("child"),
+            Signature::new_entity(vec![signal_ty(int_ty(8))], vec![]),
+        );
+        m.add_unit(top);
+        m.add_unit(entity("child"));
+        assert!(matches!(
+            m.check_references(),
+            Err(LinkError::SignatureMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! In-memory size accounting for the Table 4 evaluation.
+//!
+//! The paper reports the in-memory footprint of a design's IR data
+//! structures. These helpers compute a deterministic estimate of the heap
+//! and inline memory occupied by a [`Module`], [`UnitData`], and their
+//! constituents.
+
+use super::{Module, UnitData};
+use std::mem;
+
+/// A breakdown of the in-memory footprint of a module or unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemoryReport {
+    /// Bytes attributed to value descriptors.
+    pub values: usize,
+    /// Bytes attributed to instruction payloads.
+    pub insts: usize,
+    /// Bytes attributed to block layout bookkeeping.
+    pub blocks: usize,
+    /// Bytes attributed to types, names, signatures, and external unit
+    /// declarations.
+    pub metadata: usize,
+}
+
+impl MemoryReport {
+    /// The total number of bytes.
+    pub fn total(&self) -> usize {
+        self.values + self.insts + self.blocks + self.metadata
+    }
+}
+
+impl std::ops::Add for MemoryReport {
+    type Output = MemoryReport;
+    fn add(self, rhs: MemoryReport) -> MemoryReport {
+        MemoryReport {
+            values: self.values + rhs.values,
+            insts: self.insts + rhs.insts,
+            blocks: self.blocks + rhs.blocks,
+            metadata: self.metadata + rhs.metadata,
+        }
+    }
+}
+
+/// Estimate the in-memory footprint of a unit.
+pub fn unit_memory(unit: &UnitData) -> MemoryReport {
+    let mut report = MemoryReport::default();
+    for value in unit.values() {
+        report.values += mem::size_of::<super::ValueData>();
+        report.values += unit.value_type(value).memory_size();
+        if let Some(name) = unit.value_name(value) {
+            report.values += name.len();
+        }
+    }
+    for inst in unit.all_insts() {
+        let data = unit.inst_data(inst);
+        report.insts += mem::size_of::<super::InstData>();
+        report.insts += data.args.len() * mem::size_of::<super::Value>();
+        report.insts += data.blocks.len() * mem::size_of::<super::Block>();
+        report.insts += data.imms.len() * mem::size_of::<usize>();
+        report.insts += data.triggers.len() * mem::size_of::<super::RegTrigger>();
+        if let Some(k) = &data.konst {
+            report.insts += k.memory_size();
+        }
+    }
+    for block in unit.blocks() {
+        report.blocks += mem::size_of::<super::BlockData>();
+        report.blocks += unit.num_insts(block) * mem::size_of::<super::Inst>();
+        if let Some(name) = unit.block_name(block) {
+            report.blocks += name.len();
+        }
+    }
+    report.metadata += mem::size_of::<UnitData>();
+    report.metadata += unit.name().ident().map(|s| s.len()).unwrap_or(0);
+    for ty in unit.sig().inputs().iter().chain(unit.sig().outputs()) {
+        report.metadata += ty.memory_size();
+    }
+    for (_, ext) in unit.ext_units() {
+        report.metadata += mem::size_of::<super::ExtUnitData>();
+        report.metadata += ext.name.ident().map(|s| s.len()).unwrap_or(0);
+    }
+    report
+}
+
+/// Estimate the in-memory footprint of a whole module.
+pub fn module_memory(module: &Module) -> MemoryReport {
+    module
+        .units()
+        .into_iter()
+        .map(|id| unit_memory(module.unit(id)))
+        .fold(MemoryReport::default(), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Signature, UnitBuilder, UnitKind, UnitName};
+    use crate::ty::*;
+    use crate::value::ConstValue;
+
+    #[test]
+    fn memory_grows_with_instructions() {
+        let mut unit = UnitData::new(
+            UnitKind::Function,
+            UnitName::global("f"),
+            Signature::new_func(vec![int_ty(32)], int_ty(32)),
+        );
+        let small = unit_memory(&unit).total();
+        let a = unit.arg_value(0);
+        let mut builder = UnitBuilder::new(&mut unit);
+        let entry = builder.block("entry");
+        builder.append_to(entry);
+        let mut v = a;
+        for i in 0..10 {
+            let c = builder.ins_const(ConstValue::int(32, i));
+            v = builder.add(v, c);
+        }
+        builder.ret_value(v);
+        let big = unit_memory(&unit).total();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn module_memory_sums_units() {
+        let mut module = Module::new();
+        let unit = UnitData::new(
+            UnitKind::Entity,
+            UnitName::global("top"),
+            Signature::new_entity(vec![signal_ty(int_ty(1))], vec![]),
+        );
+        let single = {
+            let mut m = Module::new();
+            m.add_unit(unit.clone());
+            module_memory(&m).total()
+        };
+        module.add_unit(unit.clone());
+        module.add_unit(unit);
+        assert_eq!(module_memory(&module).total(), 2 * single);
+    }
+
+    #[test]
+    fn report_addition() {
+        let a = MemoryReport {
+            values: 1,
+            insts: 2,
+            blocks: 3,
+            metadata: 4,
+        };
+        let b = a + a;
+        assert_eq!(b.total(), 20);
+    }
+}

@@ -1,0 +1,70 @@
+//! # LLHD — a multi-level intermediate representation for hardware description languages
+//!
+//! This crate implements the core intermediate representation described in
+//! *LLHD: A Multi-Level Intermediate Representation for Hardware Description
+//! Languages* (Schuiki et al., PLDI 2020): an SSA-based IR for digital
+//! circuits with three dialects (Behavioural, Structural, Netlist), three
+//! unit kinds (functions, processes, entities), and hardware-specific types
+//! and instructions for signals, registers, and the passing of time.
+//!
+//! ## Crate layout
+//!
+//! * [`ty`] — the type system (`iN`, `nN`, `lN`, `time`, signals, pointers,
+//!   arrays, structs).
+//! * [`value`] — constant values: arbitrary-precision integers, IEEE 1164
+//!   nine-valued logic, time values, aggregates.
+//! * [`ir`] — modules, units, blocks, instructions, and the builder API.
+//! * [`eval`] — a shared constant/operational evaluator used by the constant
+//!   folder and the simulators.
+//! * [`analysis`] — control flow graph, dominator tree, and temporal region
+//!   analyses.
+//! * [`verifier`] — structural verification and dialect (Behavioural /
+//!   Structural / Netlist) conformance checks.
+//! * [`assembly`] — the human-readable representation: printer and parser.
+//! * [`bitcode`] — the binary on-disk representation: encoder and decoder.
+//! * [`capabilities`] — introspection of the implemented feature set (used
+//!   to regenerate Table 3 of the paper).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llhd::ir::{Module, Signature, UnitBuilder, UnitData, UnitKind, UnitName};
+//! use llhd::ty::{int_ty, signal_ty};
+//! use llhd::value::{ConstValue, TimeValue};
+//!
+//! // A process driving a counter signal.
+//! let mut unit = UnitData::new(
+//!     UnitKind::Process,
+//!     UnitName::global("counter"),
+//!     Signature::new_entity(vec![signal_ty(int_ty(1))], vec![signal_ty(int_ty(8))]),
+//! );
+//! let clk = unit.arg_value(0);
+//! let out = unit.arg_value(1);
+//! let mut b = UnitBuilder::new(&mut unit);
+//! let entry = b.block("entry");
+//! b.append_to(entry);
+//! let one = b.const_int(8, 1);
+//! let delay = b.const_time(TimeValue::from_nanos(1));
+//! let current = b.prb(out);
+//! let next = b.add(current, one);
+//! b.drv(out, next, delay);
+//! b.wait(entry, vec![clk]);
+//!
+//! let mut module = Module::new();
+//! module.add_unit(unit);
+//! assert!(llhd::verifier::verify_module(&module).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod assembly;
+pub mod bitcode;
+pub mod capabilities;
+pub mod eval;
+pub mod ir;
+pub mod ty;
+pub mod value;
+pub mod verifier;
+
+pub use ir::{Module, UnitBuilder, UnitData, UnitKind, UnitName};
+pub use ty::{Type, TypeKind};
+pub use value::{ApInt, ConstValue, LogicBit, LogicVector, TimeValue};

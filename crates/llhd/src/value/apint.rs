@@ -1,0 +1,857 @@
+//! Arbitrary-precision integers of a fixed bit width.
+//!
+//! LLHD's `iN` type allows any positive bit width `N`. [`ApInt`] stores such
+//! values as a little-endian sequence of 64-bit limbs in two's complement,
+//! always masked to the declared width. All arithmetic wraps modulo `2^N`,
+//! matching hardware semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `N`-bit integer value in two's complement representation.
+///
+/// # Examples
+///
+/// ```
+/// use llhd::value::ApInt;
+/// let a = ApInt::from_u64(8, 250);
+/// let b = ApInt::from_u64(8, 10);
+/// assert_eq!(a.add(&b), ApInt::from_u64(8, 4)); // wraps modulo 2^8
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ApInt {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: usize) -> usize {
+    width.div_ceil(64).max(1)
+}
+
+impl ApInt {
+    /// Create the zero value of the given width.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "integer width must be positive");
+        ApInt {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Create the value one of the given width.
+    pub fn one(width: usize) -> Self {
+        Self::from_u64(width, 1)
+    }
+
+    /// Create the all-ones value (i.e. `-1` in two's complement).
+    pub fn all_ones(width: usize) -> Self {
+        let mut v = ApInt {
+            width,
+            limbs: vec![u64::MAX; limbs_for(width)],
+        };
+        v.mask();
+        v
+    }
+
+    /// Create a value from a `u64`, truncating or zero-extending to `width`.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        assert!(width > 0, "integer width must be positive");
+        let mut limbs = vec![0; limbs_for(width)];
+        limbs[0] = value;
+        let mut v = ApInt { width, limbs };
+        v.mask();
+        v
+    }
+
+    /// Create a value from an `i64`, sign-extending to `width`.
+    pub fn from_i64(width: usize, value: i64) -> Self {
+        assert!(width > 0, "integer width must be positive");
+        let fill = if value < 0 { u64::MAX } else { 0 };
+        let mut limbs = vec![fill; limbs_for(width)];
+        limbs[0] = value as u64;
+        let mut v = ApInt { width, limbs };
+        v.mask();
+        v
+    }
+
+    /// Create a value from raw little-endian limbs.
+    pub fn from_limbs(width: usize, mut limbs: Vec<u64>) -> Self {
+        assert!(width > 0, "integer width must be positive");
+        limbs.resize(limbs_for(width), 0);
+        let mut v = ApInt { width, limbs };
+        v.mask();
+        v
+    }
+
+    /// Parse a decimal string (optionally prefixed with `-`) into a value of
+    /// the given width.
+    ///
+    /// Returns `None` if the string contains non-digit characters or is
+    /// empty.
+    pub fn from_str_radix10(width: usize, s: &str) -> Option<Self> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if digits.is_empty() {
+            return None;
+        }
+        let mut value = ApInt::zero(width);
+        let ten = ApInt::from_u64(width, 10);
+        for c in digits.chars() {
+            let d = c.to_digit(10)? as u64;
+            value = value.mul(&ten).add(&ApInt::from_u64(width, d));
+        }
+        if neg {
+            value = value.neg();
+        }
+        Some(value)
+    }
+
+    /// The bit width of this value.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    fn mask(&mut self) {
+        let bits = self.width % 64;
+        let n = limbs_for(self.width);
+        self.limbs.truncate(n);
+        self.limbs.resize(n, 0);
+        if bits != 0 {
+            let last = self.limbs.last_mut().unwrap();
+            *last &= (1u64 << bits) - 1;
+        }
+    }
+
+    /// Check whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Check whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+    }
+
+    /// Check whether all bits are set.
+    pub fn is_all_ones(&self) -> bool {
+        *self == ApInt::all_ones(self.width)
+    }
+
+    /// Get the bit at the given position (LSB is position 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= width`.
+    pub fn bit(&self, pos: usize) -> bool {
+        assert!(pos < self.width, "bit index out of range");
+        (self.limbs[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Return a copy with the bit at `pos` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= width`.
+    pub fn with_bit(&self, pos: usize, value: bool) -> Self {
+        assert!(pos < self.width, "bit index out of range");
+        let mut r = self.clone();
+        if value {
+            r.limbs[pos / 64] |= 1 << (pos % 64);
+        } else {
+            r.limbs[pos / 64] &= !(1 << (pos % 64));
+        }
+        r
+    }
+
+    /// The sign bit (most significant bit).
+    pub fn sign_bit(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Interpret the low 64 bits as a `u64`.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Interpret the value as an `i64`, sign-extending from the declared
+    /// width.
+    pub fn to_i64(&self) -> i64 {
+        let v = self.sext(64);
+        v.limbs[0] as i64
+    }
+
+    /// Interpret the value as a `usize` (low bits).
+    pub fn to_usize(&self) -> usize {
+        self.to_u64() as usize
+    }
+
+    /// Check whether the value fits in a `u64` without truncation.
+    pub fn fits_u64(&self) -> bool {
+        self.limbs[1..].iter().all(|&l| l == 0)
+    }
+
+    /// Bitwise not.
+    pub fn not(&self) -> Self {
+        let limbs = self.limbs.iter().map(|&l| !l).collect();
+        let mut v = ApInt {
+            width: self.width,
+            limbs,
+        };
+        v.mask();
+        v
+    }
+
+    /// Two's complement negation.
+    pub fn neg(&self) -> Self {
+        self.not().add(&ApInt::one(self.width))
+    }
+
+    fn check_width(&self, other: &Self) {
+        assert_eq!(
+            self.width, other.width,
+            "operands must have identical widths ({} vs {})",
+            self.width, other.width
+        );
+    }
+
+    /// Wrapping addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn add(&self, other: &Self) -> Self {
+        self.check_width(other);
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut carry = 0u64;
+        for (a, b) in self.limbs.iter().zip(other.limbs.iter()) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            limbs.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        let mut v = ApInt {
+            width: self.width,
+            limbs,
+        };
+        v.mask();
+        v
+    }
+
+    /// Wrapping subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Wrapping multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.check_width(other);
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..(n - i) {
+                let idx = i + j;
+                let prod = (self.limbs[i] as u128) * (other.limbs[j] as u128)
+                    + (acc[idx] as u128)
+                    + carry;
+                acc[idx] = prod as u64;
+                carry = prod >> 64;
+            }
+        }
+        let mut v = ApInt {
+            width: self.width,
+            limbs: acc,
+        };
+        v.mask();
+        v
+    }
+
+    /// Unsigned division. Division by zero yields the all-ones value, which
+    /// mirrors the common hardware convention.
+    pub fn udiv(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if other.is_zero() {
+            return ApInt::all_ones(self.width);
+        }
+        self.udiv_rem(other).0
+    }
+
+    /// Unsigned remainder. Remainder by zero yields the dividend.
+    pub fn urem(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if other.is_zero() {
+            return self.clone();
+        }
+        self.udiv_rem(other).1
+    }
+
+    /// Unsigned modulo (identical to [`ApInt::urem`]).
+    pub fn umod(&self, other: &Self) -> Self {
+        self.urem(other)
+    }
+
+    /// Signed division (round towards zero). Division by zero yields all
+    /// ones.
+    pub fn sdiv(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if other.is_zero() {
+            return ApInt::all_ones(self.width);
+        }
+        let (a_neg, a) = self.abs_parts();
+        let (b_neg, b) = other.abs_parts();
+        let q = a.udiv(&b);
+        if a_neg != b_neg {
+            q.neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder: the result has the sign of the dividend.
+    pub fn srem(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if other.is_zero() {
+            return self.clone();
+        }
+        let (a_neg, a) = self.abs_parts();
+        let (_, b) = other.abs_parts();
+        let r = a.urem(&b);
+        if a_neg {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// Signed modulo: the result has the sign of the divisor.
+    pub fn smod(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if other.is_zero() {
+            return self.clone();
+        }
+        let r = self.srem(other);
+        if r.is_zero() || r.sign_bit() == other.sign_bit() {
+            r
+        } else {
+            r.add(other)
+        }
+    }
+
+    fn abs_parts(&self) -> (bool, Self) {
+        if self.sign_bit() {
+            (true, self.neg())
+        } else {
+            (false, self.clone())
+        }
+    }
+
+    /// Combined unsigned division and remainder via schoolbook long
+    /// division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the divisor is zero or the widths differ.
+    pub fn udiv_rem(&self, other: &Self) -> (Self, Self) {
+        self.check_width(other);
+        assert!(!other.is_zero(), "division by zero");
+        let mut quotient = ApInt::zero(self.width);
+        let mut remainder = ApInt::zero(self.width);
+        for i in (0..self.width).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder = remainder.with_bit(0, true);
+            }
+            if remainder.ucmp(other) != Ordering::Less {
+                remainder = remainder.sub(other);
+                quotient = quotient.with_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Divide by a small unsigned constant, returning quotient and remainder.
+    fn div_rem_small(&self, d: u64) -> (Self, u64) {
+        assert!(d != 0);
+        let mut rem: u128 = 0;
+        let mut limbs = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let acc = (rem << 64) | self.limbs[i] as u128;
+            limbs[i] = (acc / d as u128) as u64;
+            rem = acc % d as u128;
+        }
+        (
+            ApInt {
+                width: self.width,
+                limbs,
+            },
+            rem as u64,
+        )
+    }
+
+    /// Bitwise and.
+    pub fn and(&self, other: &Self) -> Self {
+        self.check_width(other);
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(other.limbs.iter())
+            .map(|(a, b)| a & b)
+            .collect();
+        ApInt {
+            width: self.width,
+            limbs,
+        }
+    }
+
+    /// Bitwise or.
+    pub fn or(&self, other: &Self) -> Self {
+        self.check_width(other);
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(other.limbs.iter())
+            .map(|(a, b)| a | b)
+            .collect();
+        ApInt {
+            width: self.width,
+            limbs,
+        }
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.check_width(other);
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(other.limbs.iter())
+            .map(|(a, b)| a ^ b)
+            .collect();
+        ApInt {
+            width: self.width,
+            limbs,
+        }
+    }
+
+    /// Logical shift left by `amount` bits. Bits shifted beyond the width are
+    /// discarded.
+    pub fn shl_bits(&self, amount: usize) -> Self {
+        if amount >= self.width {
+            return ApInt::zero(self.width);
+        }
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        let n = self.limbs.len();
+        let mut limbs = vec![0u64; n];
+        for i in (0..n).rev() {
+            let mut v = 0u64;
+            if i >= limb_shift {
+                v = self.limbs[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+            }
+            limbs[i] = v;
+        }
+        let mut v = ApInt {
+            width: self.width,
+            limbs,
+        };
+        v.mask();
+        v
+    }
+
+    /// Logical shift right by `amount` bits, filling with zeros.
+    pub fn lshr_bits(&self, amount: usize) -> Self {
+        if amount >= self.width {
+            return ApInt::zero(self.width);
+        }
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        let n = self.limbs.len();
+        let mut limbs = vec![0u64; n];
+        for i in 0..n {
+            let src = i + limb_shift;
+            let mut v = 0u64;
+            if src < n {
+                v = self.limbs[src] >> bit_shift;
+                if bit_shift > 0 && src + 1 < n {
+                    v |= self.limbs[src + 1] << (64 - bit_shift);
+                }
+            }
+            limbs[i] = v;
+        }
+        ApInt {
+            width: self.width,
+            limbs,
+        }
+    }
+
+    /// Arithmetic shift right by `amount` bits, replicating the sign bit.
+    pub fn ashr_bits(&self, amount: usize) -> Self {
+        let sign = self.sign_bit();
+        if amount >= self.width {
+            return if sign {
+                ApInt::all_ones(self.width)
+            } else {
+                ApInt::zero(self.width)
+            };
+        }
+        let shifted = self.lshr_bits(amount);
+        if !sign {
+            return shifted;
+        }
+        // Fill the top `amount` bits with ones.
+        let mut v = shifted;
+        for pos in (self.width - amount)..self.width {
+            v = v.with_bit(pos, true);
+        }
+        v
+    }
+
+    /// Unsigned comparison.
+    pub fn ucmp(&self, other: &Self) -> Ordering {
+        self.check_width(other);
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed comparison.
+    pub fn scmp(&self, other: &Self) -> Ordering {
+        self.check_width(other);
+        match (self.sign_bit(), other.sign_bit()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.ucmp(other),
+        }
+    }
+
+    /// Zero-extend or truncate to a new width.
+    pub fn zext(&self, new_width: usize) -> Self {
+        assert!(new_width > 0);
+        let mut limbs = self.limbs.clone();
+        limbs.resize(limbs_for(new_width), 0);
+        let mut v = ApInt {
+            width: new_width,
+            limbs,
+        };
+        v.mask();
+        v
+    }
+
+    /// Sign-extend or truncate to a new width.
+    pub fn sext(&self, new_width: usize) -> Self {
+        assert!(new_width > 0);
+        if new_width <= self.width {
+            return self.zext(new_width);
+        }
+        let sign = self.sign_bit();
+        let mut v = self.zext(new_width);
+        if sign {
+            for pos in self.width..new_width {
+                v = v.with_bit(pos, true);
+            }
+        }
+        v
+    }
+
+    /// Truncate to a smaller width (alias for [`ApInt::zext`] with a smaller
+    /// width).
+    pub fn trunc(&self, new_width: usize) -> Self {
+        assert!(new_width <= self.width);
+        self.zext(new_width)
+    }
+
+    /// Extract `length` bits starting at bit `offset` as a new value of width
+    /// `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the value's width.
+    pub fn extract_slice(&self, offset: usize, length: usize) -> Self {
+        assert!(
+            offset + length <= self.width,
+            "slice [{}+{}] out of range for i{}",
+            offset,
+            length,
+            self.width
+        );
+        self.lshr_bits(offset).trunc(length.max(1))
+    }
+
+    /// Return a copy with `slice.width()` bits starting at `offset` replaced
+    /// by `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the value's width.
+    pub fn insert_slice(&self, offset: usize, slice: &Self) -> Self {
+        assert!(
+            offset + slice.width() <= self.width,
+            "slice [{}+{}] out of range for i{}",
+            offset,
+            slice.width(),
+            self.width
+        );
+        let mut result = self.clone();
+        for i in 0..slice.width() {
+            result = result.with_bit(offset + i, slice.bit(i));
+        }
+        result
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Number of leading zero bits (counting from the MSB of the declared
+    /// width).
+    pub fn leading_zeros(&self) -> usize {
+        for i in (0..self.width).rev() {
+            if self.bit(i) {
+                return self.width - 1 - i;
+            }
+        }
+        self.width
+    }
+
+    /// Format the value as an unsigned decimal string.
+    pub fn to_string_unsigned(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.div_rem_small(10);
+            digits.push((b'0' + r as u8) as char);
+            v = q;
+        }
+        digits.iter().rev().collect()
+    }
+
+    /// Format the value as a signed decimal string.
+    pub fn to_string_signed(&self) -> String {
+        if self.sign_bit() {
+            format!("-{}", self.neg().to_string_unsigned())
+        } else {
+            self.to_string_unsigned()
+        }
+    }
+}
+
+impl fmt::Display for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "{}", self.to_string_unsigned())
+    }
+}
+
+impl fmt::Debug for ApInt {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "i{} {}", self.width, self.to_string_unsigned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_masking() {
+        assert_eq!(ApInt::from_u64(8, 256).to_u64(), 0);
+        assert_eq!(ApInt::from_u64(8, 255).to_u64(), 255);
+        assert_eq!(ApInt::from_u64(4, 0xff).to_u64(), 0xf);
+        assert_eq!(ApInt::from_u64(64, u64::MAX).to_u64(), u64::MAX);
+        assert_eq!(ApInt::from_u64(128, 7).to_u64(), 7);
+    }
+
+    #[test]
+    fn from_i64_sign_extension() {
+        assert_eq!(ApInt::from_i64(8, -1), ApInt::all_ones(8));
+        assert_eq!(ApInt::from_i64(32, -5).to_i64(), -5);
+        assert_eq!(ApInt::from_i64(128, -5).to_i64(), -5);
+        assert_eq!(ApInt::from_i64(16, 300).to_u64(), 300);
+    }
+
+    #[test]
+    fn add_sub_wrap() {
+        let a = ApInt::from_u64(8, 200);
+        let b = ApInt::from_u64(8, 100);
+        assert_eq!(a.add(&b).to_u64(), 44);
+        assert_eq!(b.sub(&a).to_u64(), 156); // -100 mod 256
+        let wide_a = ApInt::from_u64(128, u64::MAX);
+        let wide_b = ApInt::from_u64(128, 1);
+        let sum = wide_a.add(&wide_b);
+        assert_eq!(sum.limbs()[0], 0);
+        assert_eq!(sum.limbs()[1], 1);
+    }
+
+    #[test]
+    fn mul_div_rem() {
+        let a = ApInt::from_u64(32, 1000);
+        let b = ApInt::from_u64(32, 37);
+        assert_eq!(a.mul(&b).to_u64(), 37000);
+        assert_eq!(a.udiv(&b).to_u64(), 27);
+        assert_eq!(a.urem(&b).to_u64(), 1);
+        // multiplication wraps
+        let c = ApInt::from_u64(8, 16);
+        assert_eq!(c.mul(&c).to_u64(), 0);
+    }
+
+    #[test]
+    fn wide_mul() {
+        let a = ApInt::from_u64(128, u64::MAX);
+        let b = ApInt::from_u64(128, 2);
+        let p = a.mul(&b);
+        assert_eq!(p.limbs()[0], u64::MAX - 1);
+        assert_eq!(p.limbs()[1], 1);
+    }
+
+    #[test]
+    fn signed_div_rem_mod() {
+        let a = ApInt::from_i64(16, -7);
+        let b = ApInt::from_i64(16, 3);
+        assert_eq!(a.sdiv(&b).to_i64(), -2);
+        assert_eq!(a.srem(&b).to_i64(), -1);
+        assert_eq!(a.smod(&b).to_i64(), 2);
+        let c = ApInt::from_i64(16, 7);
+        let d = ApInt::from_i64(16, -3);
+        assert_eq!(c.sdiv(&d).to_i64(), -2);
+        assert_eq!(c.srem(&d).to_i64(), 1);
+        assert_eq!(c.smod(&d).to_i64(), -2);
+    }
+
+    #[test]
+    fn division_by_zero_convention() {
+        let a = ApInt::from_u64(8, 42);
+        let z = ApInt::zero(8);
+        assert_eq!(a.udiv(&z), ApInt::all_ones(8));
+        assert_eq!(a.urem(&z), a);
+        assert_eq!(a.sdiv(&z), ApInt::all_ones(8));
+        assert_eq!(a.srem(&z), a);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = ApInt::from_u64(8, 0b1100_1010);
+        let b = ApInt::from_u64(8, 0b1010_0101);
+        assert_eq!(a.and(&b).to_u64(), 0b1000_0000);
+        assert_eq!(a.or(&b).to_u64(), 0b1110_1111);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110_1111);
+        assert_eq!(a.not().to_u64(), 0b0011_0101);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = ApInt::from_u64(8, 0b1001_0110);
+        assert_eq!(a.shl_bits(2).to_u64(), 0b0101_1000);
+        assert_eq!(a.lshr_bits(2).to_u64(), 0b0010_0101);
+        assert_eq!(a.ashr_bits(2).to_u64(), 0b1110_0101);
+        assert_eq!(a.shl_bits(8).to_u64(), 0);
+        assert_eq!(a.lshr_bits(9).to_u64(), 0);
+        assert_eq!(a.ashr_bits(100), ApInt::all_ones(8));
+        // cross-limb shifts
+        let w = ApInt::from_u64(128, 1);
+        assert_eq!(w.shl_bits(64).limbs()[1], 1);
+        assert_eq!(w.shl_bits(64).lshr_bits(64).to_u64(), 1);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = ApInt::from_u64(8, 200);
+        let b = ApInt::from_u64(8, 100);
+        assert_eq!(a.ucmp(&b), Ordering::Greater);
+        // 200 as signed i8 is -56, which is less than 100
+        assert_eq!(a.scmp(&b), Ordering::Less);
+        assert_eq!(a.ucmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn extension_and_truncation() {
+        let a = ApInt::from_u64(8, 0x80);
+        assert_eq!(a.zext(16).to_u64(), 0x80);
+        assert_eq!(a.sext(16).to_u64(), 0xff80);
+        assert_eq!(a.sext(128).to_i64(), -128);
+        assert_eq!(ApInt::from_u64(16, 0x1234).trunc(8).to_u64(), 0x34);
+    }
+
+    #[test]
+    fn slices() {
+        let a = ApInt::from_u64(16, 0xabcd);
+        assert_eq!(a.extract_slice(4, 8).to_u64(), 0xbc);
+        assert_eq!(a.extract_slice(0, 4).to_u64(), 0xd);
+        assert_eq!(a.extract_slice(12, 4).to_u64(), 0xa);
+        let patched = a.insert_slice(4, &ApInt::from_u64(8, 0x55));
+        assert_eq!(patched.to_u64(), 0xa55d);
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let a = ApInt::from_u64(8, 0b0000_1000);
+        assert!(a.bit(3));
+        assert!(!a.bit(2));
+        assert_eq!(a.count_ones(), 1);
+        assert_eq!(a.leading_zeros(), 4);
+        assert_eq!(ApInt::zero(8).leading_zeros(), 8);
+        assert!(ApInt::from_u64(8, 0x80).sign_bit());
+    }
+
+    #[test]
+    fn decimal_strings() {
+        let a = ApInt::from_u64(32, 1337);
+        assert_eq!(a.to_string_unsigned(), "1337");
+        assert_eq!(ApInt::from_i64(32, -42).to_string_signed(), "-42");
+        assert_eq!(ApInt::zero(32).to_string_unsigned(), "0");
+        let big = ApInt::from_str_radix10(128, "340282366920938463463374607431768211455").unwrap();
+        assert_eq!(big, ApInt::all_ones(128));
+        assert_eq!(
+            big.to_string_unsigned(),
+            "340282366920938463463374607431768211455"
+        );
+        assert_eq!(ApInt::from_str_radix10(8, "-1").unwrap(), ApInt::all_ones(8));
+        assert!(ApInt::from_str_radix10(8, "12a").is_none());
+        assert!(ApInt::from_str_radix10(8, "").is_none());
+    }
+
+    #[test]
+    fn roundtrip_parse_print() {
+        for v in [0u64, 1, 17, 255, 256, 65535, 123456789] {
+            let a = ApInt::from_u64(48, v);
+            let s = a.to_string_unsigned();
+            assert_eq!(ApInt::from_str_radix10(48, &s).unwrap(), a);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_widths_panic() {
+        ApInt::from_u64(8, 1).add(&ApInt::from_u64(16, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        ApInt::zero(0);
+    }
+}

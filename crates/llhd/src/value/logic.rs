@@ -1,0 +1,585 @@
+//! Nine-valued logic values as defined by IEEE 1164.
+//!
+//! The `lN` type models the states a physical signal wire may be in beyond
+//! plain `0` and `1`: uninitialized, unknown, high impedance, weak drives,
+//! and don't-care. LLHD uses these to faithfully capture VHDL `std_logic`
+//! and (as a superset) SystemVerilog four-valued logic.
+
+use super::apint::ApInt;
+use std::fmt;
+
+/// A single IEEE 1164 logic digit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum LogicBit {
+    /// `U`: uninitialized.
+    Uninitialized,
+    /// `X`: forcing unknown.
+    Unknown,
+    /// `0`: forcing zero.
+    Zero,
+    /// `1`: forcing one.
+    One,
+    /// `Z`: high impedance.
+    HighImpedance,
+    /// `W`: weak unknown.
+    WeakUnknown,
+    /// `L`: weak zero.
+    WeakZero,
+    /// `H`: weak one.
+    WeakOne,
+    /// `-`: don't care.
+    DontCare,
+}
+
+impl LogicBit {
+    /// All nine states in IEEE 1164 table order.
+    pub const ALL: [LogicBit; 9] = [
+        LogicBit::Uninitialized,
+        LogicBit::Unknown,
+        LogicBit::Zero,
+        LogicBit::One,
+        LogicBit::HighImpedance,
+        LogicBit::WeakUnknown,
+        LogicBit::WeakZero,
+        LogicBit::WeakOne,
+        LogicBit::DontCare,
+    ];
+
+    /// The character used in the standard to denote this state.
+    pub fn to_char(self) -> char {
+        match self {
+            LogicBit::Uninitialized => 'U',
+            LogicBit::Unknown => 'X',
+            LogicBit::Zero => '0',
+            LogicBit::One => '1',
+            LogicBit::HighImpedance => 'Z',
+            LogicBit::WeakUnknown => 'W',
+            LogicBit::WeakZero => 'L',
+            LogicBit::WeakOne => 'H',
+            LogicBit::DontCare => '-',
+        }
+    }
+
+    /// Parse a logic state from its standard character (case-insensitive).
+    pub fn from_char(c: char) -> Option<Self> {
+        Some(match c.to_ascii_uppercase() {
+            'U' => LogicBit::Uninitialized,
+            'X' => LogicBit::Unknown,
+            '0' => LogicBit::Zero,
+            '1' => LogicBit::One,
+            'Z' => LogicBit::HighImpedance,
+            'W' => LogicBit::WeakUnknown,
+            'L' => LogicBit::WeakZero,
+            'H' => LogicBit::WeakOne,
+            '-' => LogicBit::DontCare,
+            _ => return None,
+        })
+    }
+
+    /// A dense index 0..9, used by the resolution and operator tables.
+    pub fn index(self) -> usize {
+        match self {
+            LogicBit::Uninitialized => 0,
+            LogicBit::Unknown => 1,
+            LogicBit::Zero => 2,
+            LogicBit::One => 3,
+            LogicBit::HighImpedance => 4,
+            LogicBit::WeakUnknown => 5,
+            LogicBit::WeakZero => 6,
+            LogicBit::WeakOne => 7,
+            LogicBit::DontCare => 8,
+        }
+    }
+
+    /// Reduce to the `X01` subset: strong unknown, zero, or one.
+    pub fn to_x01(self) -> LogicBit {
+        match self {
+            LogicBit::Zero | LogicBit::WeakZero => LogicBit::Zero,
+            LogicBit::One | LogicBit::WeakOne => LogicBit::One,
+            _ => LogicBit::Unknown,
+        }
+    }
+
+    /// Interpret as a boolean if possible (`0`/`L` → false, `1`/`H` → true).
+    pub fn to_bool(self) -> Option<bool> {
+        match self.to_x01() {
+            LogicBit::Zero => Some(false),
+            LogicBit::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether this state is one of the two defined binary states after X01
+    /// reduction.
+    pub fn is_binary(self) -> bool {
+        self.to_bool().is_some()
+    }
+
+    /// IEEE 1164 resolution function: combine two drivers of the same wire.
+    pub fn resolve(self, other: LogicBit) -> LogicBit {
+        use LogicBit::*;
+        // Resolution table from IEEE 1164-1993, indexed [self][other].
+        const TABLE: [[LogicBit; 9]; 9] = [
+            // U              X        0        1        Z        W            L         H        -
+            [
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+                Uninitialized,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                Unknown,
+                Zero,
+                Zero,
+                Zero,
+                Zero,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                One,
+                One,
+                One,
+                One,
+                One,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                HighImpedance,
+                WeakUnknown,
+                WeakZero,
+                WeakOne,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakUnknown,
+                WeakUnknown,
+                WeakUnknown,
+                WeakUnknown,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakZero,
+                WeakUnknown,
+                WeakZero,
+                WeakUnknown,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakOne,
+                WeakUnknown,
+                WeakUnknown,
+                WeakOne,
+                Unknown,
+            ],
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+            ],
+        ];
+        TABLE[self.index()][other.index()]
+    }
+
+    /// Logic and per IEEE 1164 (on the X01 reduction, with `U` dominance).
+    pub fn and(self, other: LogicBit) -> LogicBit {
+        if self == LogicBit::Uninitialized || other == LogicBit::Uninitialized {
+            return LogicBit::Uninitialized;
+        }
+        match (self.to_x01(), other.to_x01()) {
+            (LogicBit::Zero, _) | (_, LogicBit::Zero) => LogicBit::Zero,
+            (LogicBit::One, LogicBit::One) => LogicBit::One,
+            _ => LogicBit::Unknown,
+        }
+    }
+
+    /// Logic or per IEEE 1164.
+    pub fn or(self, other: LogicBit) -> LogicBit {
+        if self == LogicBit::Uninitialized || other == LogicBit::Uninitialized {
+            return LogicBit::Uninitialized;
+        }
+        match (self.to_x01(), other.to_x01()) {
+            (LogicBit::One, _) | (_, LogicBit::One) => LogicBit::One,
+            (LogicBit::Zero, LogicBit::Zero) => LogicBit::Zero,
+            _ => LogicBit::Unknown,
+        }
+    }
+
+    /// Logic xor per IEEE 1164.
+    pub fn xor(self, other: LogicBit) -> LogicBit {
+        if self == LogicBit::Uninitialized || other == LogicBit::Uninitialized {
+            return LogicBit::Uninitialized;
+        }
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => {
+                if a ^ b {
+                    LogicBit::One
+                } else {
+                    LogicBit::Zero
+                }
+            }
+            _ => LogicBit::Unknown,
+        }
+    }
+
+    /// Logic not per IEEE 1164.
+    pub fn not(self) -> LogicBit {
+        if self == LogicBit::Uninitialized {
+            return LogicBit::Uninitialized;
+        }
+        match self.to_x01() {
+            LogicBit::Zero => LogicBit::One,
+            LogicBit::One => LogicBit::Zero,
+            _ => LogicBit::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for LogicBit {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A vector of nine-valued logic digits, MSB first when printed.
+///
+/// # Examples
+///
+/// ```
+/// use llhd::value::LogicVector;
+/// let v = LogicVector::from_str("10XZ").unwrap();
+/// assert_eq!(v.width(), 4);
+/// assert_eq!(v.to_string(), "10XZ");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LogicVector {
+    /// Digits stored LSB-first (index 0 is bit 0).
+    bits: Vec<LogicBit>,
+}
+
+impl LogicVector {
+    /// Create a vector of `width` digits all set to `fill`.
+    pub fn filled(width: usize, fill: LogicBit) -> Self {
+        LogicVector {
+            bits: vec![fill; width],
+        }
+    }
+
+    /// Create a vector of `width` uninitialized (`U`) digits.
+    pub fn uninitialized(width: usize) -> Self {
+        Self::filled(width, LogicBit::Uninitialized)
+    }
+
+    /// Create a vector of `width` unknown (`X`) digits.
+    pub fn unknown(width: usize) -> Self {
+        Self::filled(width, LogicBit::Unknown)
+    }
+
+    /// Create a logic vector from a binary integer value.
+    pub fn from_apint(value: &ApInt) -> Self {
+        let bits = (0..value.width())
+            .map(|i| {
+                if value.bit(i) {
+                    LogicBit::One
+                } else {
+                    LogicBit::Zero
+                }
+            })
+            .collect();
+        LogicVector { bits }
+    }
+
+    /// Create a logic vector from LSB-first digits.
+    pub fn from_bits(bits: Vec<LogicBit>) -> Self {
+        LogicVector { bits }
+    }
+
+    /// Parse an MSB-first string of IEEE 1164 characters.
+    pub fn from_str(s: &str) -> Option<Self> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            bits.push(LogicBit::from_char(c)?);
+        }
+        if bits.is_empty() {
+            return None;
+        }
+        Some(LogicVector { bits })
+    }
+
+    /// The number of digits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Get the digit at position `pos` (LSB is 0).
+    pub fn bit(&self, pos: usize) -> LogicBit {
+        self.bits[pos]
+    }
+
+    /// Return a copy with digit `pos` replaced.
+    pub fn with_bit(&self, pos: usize, value: LogicBit) -> Self {
+        let mut r = self.clone();
+        r.bits[pos] = value;
+        r
+    }
+
+    /// The digits, LSB first.
+    pub fn bits(&self) -> &[LogicBit] {
+        &self.bits
+    }
+
+    /// Whether every digit is `0` or `1` (after X01 reduction, strongly
+    /// driven only).
+    pub fn is_fully_defined(&self) -> bool {
+        self.bits.iter().all(|b| b.is_binary())
+    }
+
+    /// Convert to a binary integer; unknown digits map to zero.
+    pub fn to_apint_lossy(&self) -> ApInt {
+        let mut v = ApInt::zero(self.width().max(1));
+        for (i, b) in self.bits.iter().enumerate() {
+            if b.to_bool() == Some(true) {
+                v = v.with_bit(i, true);
+            }
+        }
+        v
+    }
+
+    /// Convert to a binary integer if fully defined.
+    pub fn to_apint(&self) -> Option<ApInt> {
+        if self.is_fully_defined() {
+            Some(self.to_apint_lossy())
+        } else {
+            None
+        }
+    }
+
+    /// Resolve two drivers digit-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn resolve(&self, other: &Self) -> Self {
+        assert_eq!(self.width(), other.width(), "logic widths must match");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| a.resolve(*b))
+                .collect(),
+        }
+    }
+
+    /// Digit-wise and.
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.width(), other.width(), "logic widths must match");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| a.and(*b))
+                .collect(),
+        }
+    }
+
+    /// Digit-wise or.
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.width(), other.width(), "logic widths must match");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| a.or(*b))
+                .collect(),
+        }
+    }
+
+    /// Digit-wise xor.
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.width(), other.width(), "logic widths must match");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| a.xor(*b))
+                .collect(),
+        }
+    }
+
+    /// Digit-wise not.
+    pub fn not(&self) -> Self {
+        LogicVector {
+            bits: self.bits.iter().map(|b| b.not()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for LogicVector {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        for b in self.bits.iter().rev() {
+            write!(f, "{}", b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_roundtrip() {
+        for b in LogicBit::ALL {
+            assert_eq!(LogicBit::from_char(b.to_char()), Some(b));
+        }
+        assert_eq!(LogicBit::from_char('q'), None);
+        assert_eq!(LogicBit::from_char('x'), Some(LogicBit::Unknown));
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in LogicBit::ALL {
+            for b in LogicBit::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "resolve({a:?},{b:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_u_dominates() {
+        for b in LogicBit::ALL {
+            assert_eq!(
+                LogicBit::Uninitialized.resolve(b),
+                LogicBit::Uninitialized
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_strong_drives_win_over_weak() {
+        assert_eq!(
+            LogicBit::Zero.resolve(LogicBit::WeakOne),
+            LogicBit::Zero
+        );
+        assert_eq!(
+            LogicBit::One.resolve(LogicBit::WeakZero),
+            LogicBit::One
+        );
+        assert_eq!(
+            LogicBit::Zero.resolve(LogicBit::One),
+            LogicBit::Unknown,
+            "drive conflict must produce X"
+        );
+        assert_eq!(
+            LogicBit::HighImpedance.resolve(LogicBit::WeakOne),
+            LogicBit::WeakOne
+        );
+        assert_eq!(
+            LogicBit::HighImpedance.resolve(LogicBit::HighImpedance),
+            LogicBit::HighImpedance
+        );
+    }
+
+    #[test]
+    fn gate_operations() {
+        assert_eq!(LogicBit::One.and(LogicBit::One), LogicBit::One);
+        assert_eq!(LogicBit::Zero.and(LogicBit::Unknown), LogicBit::Zero);
+        assert_eq!(LogicBit::One.and(LogicBit::Unknown), LogicBit::Unknown);
+        assert_eq!(LogicBit::One.or(LogicBit::Unknown), LogicBit::One);
+        assert_eq!(LogicBit::Zero.or(LogicBit::Zero), LogicBit::Zero);
+        assert_eq!(LogicBit::One.xor(LogicBit::One), LogicBit::Zero);
+        assert_eq!(LogicBit::One.xor(LogicBit::Unknown), LogicBit::Unknown);
+        assert_eq!(LogicBit::WeakOne.not(), LogicBit::Zero);
+        assert_eq!(LogicBit::HighImpedance.not(), LogicBit::Unknown);
+    }
+
+    #[test]
+    fn vector_string_roundtrip() {
+        let v = LogicVector::from_str("10XZWLH-U").unwrap();
+        assert_eq!(v.width(), 9);
+        assert_eq!(v.to_string(), "10XZWLH-U");
+        assert!(LogicVector::from_str("").is_none());
+        assert!(LogicVector::from_str("012").is_none());
+    }
+
+    #[test]
+    fn vector_apint_conversion() {
+        let a = ApInt::from_u64(8, 0b1010_0110);
+        let v = LogicVector::from_apint(&a);
+        assert_eq!(v.to_string(), "10100110");
+        assert!(v.is_fully_defined());
+        assert_eq!(v.to_apint().unwrap(), a);
+        let x = LogicVector::from_str("1X10").unwrap();
+        assert!(!x.is_fully_defined());
+        assert_eq!(x.to_apint(), None);
+        assert_eq!(x.to_apint_lossy().to_u64(), 0b1010);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = LogicVector::from_str("1100").unwrap();
+        let b = LogicVector::from_str("1010").unwrap();
+        assert_eq!(a.and(&b).to_string(), "1000");
+        assert_eq!(a.or(&b).to_string(), "1110");
+        assert_eq!(a.xor(&b).to_string(), "0110");
+        assert_eq!(a.not().to_string(), "0011");
+        let z = LogicVector::filled(4, LogicBit::HighImpedance);
+        assert_eq!(a.resolve(&z), a);
+    }
+
+    #[test]
+    fn x01_reduction() {
+        assert_eq!(LogicBit::WeakOne.to_x01(), LogicBit::One);
+        assert_eq!(LogicBit::WeakZero.to_x01(), LogicBit::Zero);
+        assert_eq!(LogicBit::HighImpedance.to_x01(), LogicBit::Unknown);
+        assert_eq!(LogicBit::WeakOne.to_bool(), Some(true));
+        assert_eq!(LogicBit::DontCare.to_bool(), None);
+    }
+}

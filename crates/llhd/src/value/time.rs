@@ -1,0 +1,266 @@
+//! Time values.
+//!
+//! LLHD models physical time as a triple of
+//! (femtoseconds, delta steps, epsilon steps):
+//!
+//! * the **physical** component advances real time (the paper's `1ns`,
+//!   `2ns` delays),
+//! * the **delta** component orders zero-delay events relative to each other
+//!   (one delta step is the smallest amount of "time" between dependent
+//!   signal updates within the same physical instant),
+//! * the **epsilon** component orders updates within the same delta step and
+//!   is used by the simulator to sequence instantaneous re-evaluations.
+//!
+//! The triple orders lexicographically.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Femtoseconds per second, the base unit of [`TimeValue`].
+pub const FEMTOS_PER_SECOND: u128 = 1_000_000_000_000_000;
+
+/// A point in time or a delay, as `(fs, delta, epsilon)`.
+///
+/// # Examples
+///
+/// ```
+/// use llhd::value::TimeValue;
+/// let a = TimeValue::from_nanos(1);
+/// let b = TimeValue::from_nanos(2);
+/// assert!(a < b);
+/// assert_eq!((a + b).as_femtos(), 3_000_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TimeValue {
+    femtos: u128,
+    delta: u32,
+    epsilon: u32,
+}
+
+impl TimeValue {
+    /// The zero time.
+    pub const ZERO: TimeValue = TimeValue {
+        femtos: 0,
+        delta: 0,
+        epsilon: 0,
+    };
+
+    /// Create a time value from its components.
+    pub fn new(femtos: u128, delta: u32, epsilon: u32) -> Self {
+        TimeValue {
+            femtos,
+            delta,
+            epsilon,
+        }
+    }
+
+    /// A purely physical time in femtoseconds.
+    pub fn from_femtos(femtos: u128) -> Self {
+        TimeValue::new(femtos, 0, 0)
+    }
+
+    /// A purely physical time in picoseconds.
+    pub fn from_picos(picos: u128) -> Self {
+        TimeValue::from_femtos(picos * 1_000)
+    }
+
+    /// A purely physical time in nanoseconds.
+    pub fn from_nanos(nanos: u128) -> Self {
+        TimeValue::from_femtos(nanos * 1_000_000)
+    }
+
+    /// A purely physical time in microseconds.
+    pub fn from_micros(micros: u128) -> Self {
+        TimeValue::from_femtos(micros * 1_000_000_000)
+    }
+
+    /// A pure delta-step delay.
+    pub fn from_delta(delta: u32) -> Self {
+        TimeValue::new(0, delta, 0)
+    }
+
+    /// A pure epsilon-step delay.
+    pub fn from_epsilon(epsilon: u32) -> Self {
+        TimeValue::new(0, 0, epsilon)
+    }
+
+    /// The physical component in femtoseconds.
+    pub fn as_femtos(&self) -> u128 {
+        self.femtos
+    }
+
+    /// The physical component in (truncated) nanoseconds.
+    pub fn as_nanos(&self) -> u128 {
+        self.femtos / 1_000_000
+    }
+
+    /// The delta component.
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// The epsilon component.
+    pub fn epsilon(&self) -> u32 {
+        self.epsilon
+    }
+
+    /// Whether all components are zero.
+    pub fn is_zero(&self) -> bool {
+        *self == TimeValue::ZERO
+    }
+
+    /// Advance this absolute time by a (relative) delay.
+    ///
+    /// Adding a delay with a non-zero physical component resets the delta and
+    /// epsilon counters, matching event-queue semantics: a `1ns` delay always
+    /// lands at the first delta step of the new time instant.
+    pub fn advance_by(&self, delay: &TimeValue) -> TimeValue {
+        if delay.femtos > 0 {
+            TimeValue::new(self.femtos + delay.femtos, delay.delta, delay.epsilon)
+        } else {
+            TimeValue::new(
+                self.femtos,
+                self.delta + delay.delta,
+                if delay.delta > 0 {
+                    delay.epsilon
+                } else {
+                    self.epsilon + delay.epsilon
+                },
+            )
+        }
+    }
+}
+
+impl Add for TimeValue {
+    type Output = TimeValue;
+    fn add(self, rhs: TimeValue) -> TimeValue {
+        TimeValue::new(
+            self.femtos + rhs.femtos,
+            self.delta + rhs.delta,
+            self.epsilon + rhs.epsilon,
+        )
+    }
+}
+
+impl fmt::Display for TimeValue {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        // Print with the largest unit that divides the value exactly.
+        let (value, unit) = if self.femtos == 0 {
+            (0, "s")
+        } else if self.femtos % 1_000_000_000 == 0 {
+            (self.femtos / 1_000_000_000, "us")
+        } else if self.femtos % 1_000_000 == 0 {
+            (self.femtos / 1_000_000, "ns")
+        } else if self.femtos % 1_000 == 0 {
+            (self.femtos / 1_000, "ps")
+        } else {
+            (self.femtos, "fs")
+        };
+        write!(f, "{}{}", value, unit)?;
+        if self.delta > 0 {
+            write!(f, " {}d", self.delta)?;
+        }
+        if self.epsilon > 0 {
+            write!(f, " {}e", self.epsilon)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TimeValue {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Parse a time literal such as `1ns`, `500ps`, `2us`, optionally followed by
+/// delta (`3d`) and epsilon (`4e`) components.
+pub fn parse_time(s: &str) -> Option<TimeValue> {
+    let mut femtos = 0u128;
+    let mut delta = 0u32;
+    let mut epsilon = 0u32;
+    for (i, part) in s.split_whitespace().enumerate() {
+        let digits_end = part
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(part.len());
+        let (num_str, suffix) = part.split_at(digits_end);
+        let num: u128 = num_str.parse().ok()?;
+        match suffix {
+            "s" => femtos += num * FEMTOS_PER_SECOND,
+            "ms" => femtos += num * 1_000_000_000_000,
+            "us" => femtos += num * 1_000_000_000,
+            "ns" => femtos += num * 1_000_000,
+            "ps" => femtos += num * 1_000,
+            "fs" => femtos += num,
+            "d" => delta = num as u32,
+            "e" => epsilon = num as u32,
+            _ if i == 0 => return None,
+            _ => return None,
+        }
+    }
+    Some(TimeValue::new(femtos, delta, epsilon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(TimeValue::from_nanos(1).as_femtos(), 1_000_000);
+        assert_eq!(TimeValue::from_picos(1).as_femtos(), 1_000);
+        assert_eq!(TimeValue::from_micros(1).as_femtos(), 1_000_000_000);
+        assert_eq!(TimeValue::from_nanos(3).as_nanos(), 3);
+    }
+
+    #[test]
+    fn lexicographic_ordering() {
+        let t1 = TimeValue::new(1000, 0, 0);
+        let t2 = TimeValue::new(1000, 1, 0);
+        let t3 = TimeValue::new(1000, 1, 1);
+        let t4 = TimeValue::new(2000, 0, 0);
+        assert!(t1 < t2);
+        assert!(t2 < t3);
+        assert!(t3 < t4);
+        assert!(TimeValue::ZERO < t1);
+    }
+
+    #[test]
+    fn advancing_time() {
+        let now = TimeValue::new(5_000_000, 3, 2);
+        let later = now.advance_by(&TimeValue::from_nanos(1));
+        assert_eq!(later, TimeValue::new(6_000_000, 0, 0));
+        let delta = now.advance_by(&TimeValue::from_delta(1));
+        assert_eq!(delta, TimeValue::new(5_000_000, 4, 0));
+        let eps = now.advance_by(&TimeValue::from_epsilon(1));
+        assert_eq!(eps, TimeValue::new(5_000_000, 3, 3));
+    }
+
+    #[test]
+    fn display_uses_natural_unit() {
+        assert_eq!(TimeValue::from_nanos(1).to_string(), "1ns");
+        assert_eq!(TimeValue::from_picos(500).to_string(), "500ps");
+        assert_eq!(TimeValue::from_femtos(7).to_string(), "7fs");
+        assert_eq!(TimeValue::from_micros(2).to_string(), "2us");
+        assert_eq!(TimeValue::ZERO.to_string(), "0s");
+        assert_eq!(TimeValue::new(1_000_000, 2, 3).to_string(), "1ns 2d 3e");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["1ns", "500ps", "2us", "7fs", "0s", "1ns 2d 3e"] {
+            let t = parse_time(s).unwrap();
+            assert_eq!(t.to_string(), s, "roundtrip of {}", s);
+        }
+        assert_eq!(parse_time("1ns 1d"), Some(TimeValue::new(1_000_000, 1, 0)));
+        assert_eq!(parse_time("garbage"), None);
+        assert_eq!(parse_time("1xx"), None);
+    }
+
+    #[test]
+    fn addition() {
+        let a = TimeValue::new(10, 1, 2);
+        let b = TimeValue::new(20, 3, 4);
+        assert_eq!(a + b, TimeValue::new(30, 4, 6));
+    }
+}

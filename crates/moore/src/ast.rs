@@ -1,0 +1,290 @@
+//! The abstract syntax tree of the supported SystemVerilog subset.
+
+/// A compiled source file: a list of modules.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SourceFile {
+    /// The modules in declaration order.
+    pub modules: Vec<ModuleDecl>,
+}
+
+/// A `module ... endmodule` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleDecl {
+    /// The module name.
+    pub name: String,
+    /// The ANSI port list.
+    pub ports: Vec<Port>,
+    /// The body items.
+    pub items: Vec<Item>,
+}
+
+/// The direction of a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// An input port.
+    Input,
+    /// An output port.
+    Output,
+}
+
+/// One port declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Port {
+    /// Input or output.
+    pub direction: Direction,
+    /// The declared bit width.
+    pub width: usize,
+    /// The port name.
+    pub name: String,
+}
+
+/// A module body item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// An internal net or variable declaration.
+    Declaration {
+        /// The declared bit width.
+        width: usize,
+        /// The declared names.
+        names: Vec<String>,
+    },
+    /// A continuous assignment `assign lhs = rhs;`.
+    Assign {
+        /// The assigned net.
+        target: String,
+        /// The driving expression.
+        value: Expr,
+    },
+    /// An `always_ff @(posedge clk)` block.
+    AlwaysFf {
+        /// The clock net.
+        clock: String,
+        /// The body.
+        body: Vec<Stmt>,
+    },
+    /// An `always_comb` (or `always @*`) block.
+    AlwaysComb {
+        /// The body.
+        body: Vec<Stmt>,
+    },
+    /// An `initial` block.
+    Initial {
+        /// The body.
+        body: Vec<Stmt>,
+    },
+    /// A module instantiation.
+    Instance {
+        /// The instantiated module.
+        module: String,
+        /// The instance name.
+        name: String,
+        /// Port connections: `(port name if named, expression)`.
+        connections: Vec<(Option<String>, Expr)>,
+    },
+}
+
+/// A procedural statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// A blocking (`=`) or non-blocking (`<=`) assignment, optionally with
+    /// an intra-assignment delay in femtoseconds.
+    Assign {
+        /// The assigned variable.
+        target: String,
+        /// The driving expression.
+        value: Expr,
+        /// Whether this is a non-blocking assignment.
+        nonblocking: bool,
+        /// The `#delay` in femtoseconds, if any.
+        delay_fs: Option<u128>,
+    },
+    /// An `if (cond) ... else ...` statement.
+    If {
+        /// The condition.
+        condition: Expr,
+        /// The then-branch.
+        then_body: Vec<Stmt>,
+        /// The else-branch.
+        else_body: Vec<Stmt>,
+    },
+    /// A `#delay;` wait statement (initial blocks only).
+    Delay {
+        /// The delay in femtoseconds.
+        delay_fs: u128,
+    },
+    /// A `repeat (n) begin ... end` loop with a constant count.
+    Repeat {
+        /// The iteration count.
+        count: u64,
+        /// The body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    LogicAnd,
+    LogicOr,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Bitwise not `~`.
+    Not,
+    /// Logical not `!`.
+    LogicNot,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A reference to a net, variable, or port.
+    Ident(String),
+    /// An integer literal with an optional explicit width.
+    Literal {
+        /// The value.
+        value: u64,
+        /// The width, if the literal was sized (`8'hff`).
+        width: Option<usize>,
+    },
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// The conditional operator `cond ? a : b`.
+    Conditional(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A constant bit-select `expr[index]`.
+    BitSelect(Box<Expr>, usize),
+}
+
+impl Expr {
+    /// The identifiers read by this expression.
+    pub fn reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ident(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal { .. } => {}
+            Expr::Unary(_, a) => a.reads(out),
+            Expr::Binary(_, a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::Conditional(c, a, b) => {
+                c.reads(out);
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::BitSelect(a, _) => a.reads(out),
+        }
+    }
+}
+
+/// The identifiers read by a list of statements.
+pub fn stmts_read(stmts: &[Stmt], out: &mut Vec<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { value, .. } => value.reads(out),
+            Stmt::If {
+                condition,
+                then_body,
+                else_body,
+            } => {
+                condition.reads(out);
+                stmts_read(then_body, out);
+                stmts_read(else_body, out);
+            }
+            Stmt::Delay { .. } => {}
+            Stmt::Repeat { body, .. } => stmts_read(body, out),
+        }
+    }
+}
+
+/// The identifiers written by a list of statements.
+pub fn stmts_written(stmts: &[Stmt], out: &mut Vec<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, .. } => {
+                if !out.contains(target) {
+                    out.push(target.clone());
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                stmts_written(then_body, out);
+                stmts_written(else_body, out);
+            }
+            Stmt::Delay { .. } => {}
+            Stmt::Repeat { body, .. } => stmts_written(body, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_reads() {
+        let expr = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::Ident("a".into())),
+            Box::new(Expr::Conditional(
+                Box::new(Expr::Ident("sel".into())),
+                Box::new(Expr::Ident("b".into())),
+                Box::new(Expr::Literal {
+                    value: 1,
+                    width: None,
+                }),
+            )),
+        );
+        let mut reads = vec![];
+        expr.reads(&mut reads);
+        assert_eq!(reads, vec!["a", "sel", "b"]);
+    }
+
+    #[test]
+    fn statement_reads_and_writes() {
+        let stmts = vec![Stmt::If {
+            condition: Expr::Ident("en".into()),
+            then_body: vec![Stmt::Assign {
+                target: "q".into(),
+                value: Expr::Ident("d".into()),
+                nonblocking: true,
+                delay_fs: None,
+            }],
+            else_body: vec![],
+        }];
+        let mut reads = vec![];
+        stmts_read(&stmts, &mut reads);
+        assert_eq!(reads, vec!["en", "d"]);
+        let mut writes = vec![];
+        stmts_written(&stmts, &mut writes);
+        assert_eq!(writes, vec!["q"]);
+    }
+}

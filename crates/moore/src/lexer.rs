@@ -1,0 +1,237 @@
+//! Tokenization of the SystemVerilog subset.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A system task name such as `$display`.
+    System(String),
+    /// An integer literal, optionally sized (`8'hff`).
+    Literal { value: u64, width: Option<usize> },
+    /// An operator or punctuation symbol.
+    Symbol(&'static str),
+}
+
+/// A token plus its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// The 1-based source line.
+    pub line: usize,
+}
+
+const SYMBOLS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "[", "]", "{", "}", ";", ",", ".",
+    ":", "?", "@", "#", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "'",
+];
+
+/// Tokenize SystemVerilog source text.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let ident: String = bytes[start..i].iter().collect();
+            tokens.push(Token {
+                tok: Tok::Ident(ident),
+                line,
+            });
+            continue;
+        }
+        // System tasks.
+        if c == '$' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                tok: Tok::System(bytes[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Numbers, possibly sized literals such as 8'hff or 'b1010.
+        if c.is_ascii_digit() || (c == '\'' && i + 1 < bytes.len() && bytes[i + 1].is_alphanumeric())
+        {
+            let mut width: Option<usize> = None;
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let digits: String = bytes[start..i].iter().filter(|c| **c != '_').collect();
+                let value: u64 = digits.parse().map_err(|_| CompileError {
+                    line,
+                    message: format!("invalid number '{}'", digits),
+                })?;
+                if i < bytes.len() && bytes[i] == '\'' {
+                    width = Some(value as usize);
+                } else {
+                    tokens.push(Token {
+                        tok: Tok::Literal { value, width: None },
+                        line,
+                    });
+                    continue;
+                }
+            }
+            // Based literal after the tick.
+            i += 1; // consume '\''
+            if i >= bytes.len() {
+                return Err(CompileError {
+                    line,
+                    message: "unterminated based literal".to_string(),
+                });
+            }
+            let base = bytes[i].to_ascii_lowercase();
+            i += 1;
+            let radix = match base {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                other => {
+                    return Err(CompileError {
+                        line,
+                        message: format!("unknown literal base '{}'", other),
+                    })
+                }
+            };
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let digits: String = bytes[start..i].iter().filter(|c| **c != '_').collect();
+            let value = u64::from_str_radix(&digits, radix).map_err(|_| CompileError {
+                line,
+                message: format!("invalid literal digits '{}'", digits),
+            })?;
+            tokens.push(Token {
+                tok: Tok::Literal { value, width },
+                line,
+            });
+            continue;
+        }
+        // Operators and punctuation (longest match first).
+        let mut matched = false;
+        for symbol in SYMBOLS {
+            let chars: Vec<char> = symbol.chars().collect();
+            if bytes[i..].starts_with(&chars) {
+                tokens.push(Token {
+                    tok: Tok::Symbol(symbol),
+                    line,
+                });
+                i += chars.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(CompileError {
+                line,
+                message: format!("unexpected character '{}'", c),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_module_header() {
+        let tokens = lex("module acc (input clk, output [31:0] q);").unwrap();
+        assert!(matches!(&tokens[0].tok, Tok::Ident(k) if k == "module"));
+        assert!(tokens.iter().any(|t| t.tok == Tok::Symbol("[")));
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t.tok, Tok::Literal { value: 31, .. })));
+    }
+
+    #[test]
+    fn lexes_sized_literals() {
+        let tokens = lex("8'hff 'b1010 42 4'd9").unwrap();
+        assert_eq!(
+            tokens[0].tok,
+            Tok::Literal {
+                value: 255,
+                width: Some(8)
+            }
+        );
+        assert_eq!(
+            tokens[1].tok,
+            Tok::Literal {
+                value: 10,
+                width: None
+            }
+        );
+        assert_eq!(
+            tokens[2].tok,
+            Tok::Literal {
+                value: 42,
+                width: None
+            }
+        );
+        assert_eq!(
+            tokens[3].tok,
+            Tok::Literal {
+                value: 9,
+                width: Some(4)
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_comments() {
+        let tokens = lex("a <= b + 1; // comment\n/* block */ c == d").unwrap();
+        assert!(tokens.iter().any(|t| t.tok == Tok::Symbol("<=")));
+        assert!(tokens.iter().any(|t| t.tok == Tok::Symbol("==")));
+        assert!(!tokens.iter().any(|t| t.tok == Tok::Symbol("/")));
+    }
+
+    #[test]
+    fn reports_bad_characters() {
+        assert!(lex("module `bad").is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! Parsing of the SystemVerilog subset into the AST.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::CompileError;
+
+/// Parse SystemVerilog source text into a [`SourceFile`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for the first syntax error encountered.
+pub fn parse(source: &str) -> Result<SourceFile, CompileError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut file = SourceFile::default();
+    while !parser.at_end() {
+        file.modules.push(parser.parse_module()?);
+    }
+    Ok(file)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let tok = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        tok
+    }
+
+    fn eat_symbol(&mut self, symbol: &str) -> bool {
+        if let Some(Tok::Symbol(s)) = self.peek() {
+            if *s == symbol {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, symbol: &str) -> Result<(), CompileError> {
+        if self.eat_symbol(symbol) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}', found {:?}", symbol, self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == keyword {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), CompileError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}', found {:?}", keyword, self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {:?}", other))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, CompileError> {
+        match self.next() {
+            Some(Tok::Literal { value, .. }) => Ok(value),
+            other => Err(self.error(format!("expected number, found {:?}", other))),
+        }
+    }
+
+    // ----- modules ----------------------------------------------------------
+
+    fn parse_module(&mut self) -> Result<ModuleDecl, CompileError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut ports = vec![];
+        if self.eat_symbol("(") {
+            if !self.eat_symbol(")") {
+                let mut direction = Direction::Input;
+                loop {
+                    if self.eat_keyword("input") {
+                        direction = Direction::Input;
+                    } else if self.eat_keyword("output") {
+                        direction = Direction::Output;
+                    }
+                    // Optional net type keyword.
+                    for ty in ["logic", "bit", "wire", "reg"] {
+                        if self.eat_keyword(ty) {
+                            break;
+                        }
+                    }
+                    let width = self.parse_optional_range()?;
+                    let port_name = self.expect_ident()?;
+                    ports.push(Port {
+                        direction,
+                        width,
+                        name: port_name,
+                    });
+                    if self.eat_symbol(")") {
+                        break;
+                    }
+                    self.expect_symbol(",")?;
+                }
+            }
+        }
+        self.expect_symbol(";")?;
+        let mut items = vec![];
+        while !self.eat_keyword("endmodule") {
+            if self.at_end() {
+                return Err(self.error("missing 'endmodule'"));
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(ModuleDecl { name, ports, items })
+    }
+
+    fn parse_optional_range(&mut self) -> Result<usize, CompileError> {
+        if self.eat_symbol("[") {
+            let msb = self.expect_number()? as usize;
+            self.expect_symbol(":")?;
+            let lsb = self.expect_number()? as usize;
+            self.expect_symbol("]")?;
+            Ok(msb - lsb + 1)
+        } else {
+            Ok(1)
+        }
+    }
+
+    // ----- items ------------------------------------------------------------
+
+    fn parse_item(&mut self) -> Result<Item, CompileError> {
+        // Net and variable declarations.
+        for ty in ["logic", "bit", "wire", "reg"] {
+            if self.eat_keyword(ty) {
+                let width = self.parse_optional_range()?;
+                let mut names = vec![self.expect_ident()?];
+                while self.eat_symbol(",") {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect_symbol(";")?;
+                return Ok(Item::Declaration { width, names });
+            }
+        }
+        if self.eat_keyword("assign") {
+            let target = self.expect_ident()?;
+            self.expect_symbol("=")?;
+            let value = self.parse_expr()?;
+            self.expect_symbol(";")?;
+            return Ok(Item::Assign { target, value });
+        }
+        if self.eat_keyword("always_ff") || self.eat_keyword("always") {
+            // `always_ff @(posedge clk)` or `always @(posedge clk)` or
+            // `always @*` / `always @(*)`.
+            self.expect_symbol("@")?;
+            if self.eat_symbol("*") {
+                let body = self.parse_stmt_block()?;
+                return Ok(Item::AlwaysComb { body });
+            }
+            self.expect_symbol("(")?;
+            if self.eat_symbol("*") {
+                self.expect_symbol(")")?;
+                let body = self.parse_stmt_block()?;
+                return Ok(Item::AlwaysComb { body });
+            }
+            self.expect_keyword("posedge")?;
+            let clock = self.expect_ident()?;
+            self.expect_symbol(")")?;
+            let body = self.parse_stmt_block()?;
+            return Ok(Item::AlwaysFf { clock, body });
+        }
+        if self.eat_keyword("always_comb") || self.eat_keyword("always_latch") {
+            let body = self.parse_stmt_block()?;
+            return Ok(Item::AlwaysComb { body });
+        }
+        if self.eat_keyword("initial") {
+            let body = self.parse_stmt_block()?;
+            return Ok(Item::Initial { body });
+        }
+        // Module instantiation: `module_name instance_name ( ... );`
+        let module = self.expect_ident()?;
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut connections = vec![];
+        if !self.eat_symbol(")") {
+            loop {
+                if self.eat_symbol(".") {
+                    let port = self.expect_ident()?;
+                    self.expect_symbol("(")?;
+                    let expr = self.parse_expr()?;
+                    self.expect_symbol(")")?;
+                    connections.push((Some(port), expr));
+                } else {
+                    connections.push((None, self.parse_expr()?));
+                }
+                if self.eat_symbol(")") {
+                    break;
+                }
+                self.expect_symbol(",")?;
+            }
+        }
+        self.expect_symbol(";")?;
+        Ok(Item::Instance {
+            module,
+            name,
+            connections,
+        })
+    }
+
+    // ----- statements --------------------------------------------------------
+
+    fn parse_stmt_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat_keyword("begin") {
+            let mut stmts = vec![];
+            while !self.eat_keyword("end") {
+                if self.at_end() {
+                    return Err(self.error("missing 'end'"));
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.eat_keyword("if") {
+            self.expect_symbol("(")?;
+            let condition = self.parse_expr()?;
+            self.expect_symbol(")")?;
+            let then_body = self.parse_stmt_block()?;
+            let else_body = if self.eat_keyword("else") {
+                self.parse_stmt_block()?
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If {
+                condition,
+                then_body,
+                else_body,
+            });
+        }
+        if self.eat_keyword("repeat") {
+            self.expect_symbol("(")?;
+            let count = self.expect_number()?;
+            self.expect_symbol(")")?;
+            let body = self.parse_stmt_block()?;
+            return Ok(Stmt::Repeat { count, body });
+        }
+        if self.eat_symbol("#") {
+            let delay_fs = self.parse_delay()?;
+            self.expect_symbol(";")?;
+            return Ok(Stmt::Delay { delay_fs });
+        }
+        if let Some(Tok::System(_)) = self.peek() {
+            // System tasks such as $display or $finish are skipped.
+            self.next();
+            if self.eat_symbol("(") {
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next() {
+                        Some(Tok::Symbol("(")) => depth += 1,
+                        Some(Tok::Symbol(")")) => depth -= 1,
+                        None => return Err(self.error("unterminated system task call")),
+                        _ => {}
+                    }
+                }
+            }
+            self.expect_symbol(";")?;
+            return Ok(Stmt::Delay { delay_fs: 0 });
+        }
+        // Assignment.
+        let target = self.expect_ident()?;
+        let nonblocking = if self.eat_symbol("<=") {
+            true
+        } else {
+            self.expect_symbol("=")?;
+            false
+        };
+        let delay_fs = if self.eat_symbol("#") {
+            Some(self.parse_delay()?)
+        } else {
+            None
+        };
+        let value = self.parse_expr()?;
+        self.expect_symbol(";")?;
+        Ok(Stmt::Assign {
+            target,
+            value,
+            nonblocking,
+            delay_fs,
+        })
+    }
+
+    /// Parse a delay after `#`: a number with an optional time unit
+    /// (default: nanoseconds), returned in femtoseconds.
+    fn parse_delay(&mut self) -> Result<u128, CompileError> {
+        let value = self.expect_number()? as u128;
+        let multiplier = if let Some(Tok::Ident(unit)) = self.peek() {
+            let m = match unit.as_str() {
+                "fs" => Some(1),
+                "ps" => Some(1_000),
+                "ns" => Some(1_000_000),
+                "us" => Some(1_000_000_000),
+                "ms" => Some(1_000_000_000_000),
+                "s" => Some(1_000_000_000_000_000),
+                _ => None,
+            };
+            if let Some(m) = m {
+                self.pos += 1;
+                m
+            } else {
+                1_000_000
+            }
+        } else {
+            1_000_000
+        };
+        Ok(value * multiplier)
+    }
+
+    // ----- expressions --------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_conditional()
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr, CompileError> {
+        let condition = self.parse_binary(0)?;
+        if self.eat_symbol("?") {
+            let then_value = self.parse_expr()?;
+            self.expect_symbol(":")?;
+            let else_value = self.parse_expr()?;
+            Ok(Expr::Conditional(
+                Box::new(condition),
+                Box::new(then_value),
+                Box::new(else_value),
+            ))
+        } else {
+            Ok(condition)
+        }
+    }
+
+    fn binary_op(&self, symbol: &str) -> Option<(BinaryOp, u8)> {
+        Some(match symbol {
+            "||" => (BinaryOp::LogicOr, 1),
+            "&&" => (BinaryOp::LogicAnd, 2),
+            "|" => (BinaryOp::Or, 3),
+            "^" => (BinaryOp::Xor, 4),
+            "&" => (BinaryOp::And, 5),
+            "==" => (BinaryOp::Eq, 6),
+            "!=" => (BinaryOp::Neq, 6),
+            "<" => (BinaryOp::Lt, 7),
+            "<=" => (BinaryOp::Le, 7),
+            ">" => (BinaryOp::Gt, 7),
+            ">=" => (BinaryOp::Ge, 7),
+            "<<" => (BinaryOp::Shl, 8),
+            ">>" => (BinaryOp::Shr, 8),
+            "+" => (BinaryOp::Add, 9),
+            "-" => (BinaryOp::Sub, 9),
+            "*" => (BinaryOp::Mul, 10),
+            "/" => (BinaryOp::Div, 10),
+            "%" => (BinaryOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_precedence: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, precedence) = match self.peek() {
+                Some(Tok::Symbol(s)) => match self.binary_op(s) {
+                    Some(pair) if pair.1 >= min_precedence => pair,
+                    _ => break,
+                },
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_binary(precedence + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_symbol("~") {
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(self.parse_unary()?)));
+        }
+        if self.eat_symbol("!") {
+            return Ok(Expr::Unary(UnaryOp::LogicNot, Box::new(self.parse_unary()?)));
+        }
+        if self.eat_symbol("-") {
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => {
+                let mut expr = Expr::Ident(name);
+                if self.eat_symbol("[") {
+                    let index = self.expect_number()? as usize;
+                    self.expect_symbol("]")?;
+                    expr = Expr::BitSelect(Box::new(expr), index);
+                }
+                Ok(expr)
+            }
+            Some(Tok::Literal { value, width }) => Ok(Expr::Literal { value, width }),
+            Some(Tok::Symbol("(")) => {
+                let expr = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(expr)
+            }
+            other => Err(self.error(format!("expected expression, found {:?}", other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_accumulator_module() {
+        let file = parse(
+            r#"
+            module acc (input clk, input [31:0] x, input en, output [31:0] q);
+              logic [31:0] d;
+              always_ff @(posedge clk) q <= d;
+              always_comb begin
+                d = q;
+                if (en) d = q + x;
+              end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        assert_eq!(file.modules.len(), 1);
+        let module = &file.modules[0];
+        assert_eq!(module.name, "acc");
+        assert_eq!(module.ports.len(), 4);
+        assert_eq!(module.ports[1].width, 32);
+        assert_eq!(module.items.len(), 3);
+        assert!(matches!(module.items[1], Item::AlwaysFf { .. }));
+        assert!(matches!(module.items[2], Item::AlwaysComb { .. }));
+    }
+
+    #[test]
+    fn parses_instances_and_initial_blocks() {
+        let file = parse(
+            r#"
+            module tb;
+              logic clk;
+              logic [7:0] q;
+              dut u_dut (.clk(clk), .q(q));
+              initial begin
+                clk = 0;
+                #5ns;
+                clk = 1;
+                repeat (4) begin
+                  #5;
+                  clk = ~clk;
+                end
+                $finish;
+              end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let module = &file.modules[0];
+        assert!(module.ports.is_empty());
+        let instance = module
+            .items
+            .iter()
+            .find(|i| matches!(i, Item::Instance { .. }))
+            .unwrap();
+        if let Item::Instance {
+            module: m,
+            name,
+            connections,
+        } = instance
+        {
+            assert_eq!(m, "dut");
+            assert_eq!(name, "u_dut");
+            assert_eq!(connections.len(), 2);
+        }
+        let initial = module
+            .items
+            .iter()
+            .find(|i| matches!(i, Item::Initial { .. }))
+            .unwrap();
+        if let Item::Initial { body } = initial {
+            assert!(matches!(body[1], Stmt::Delay { delay_fs: 5_000_000 }));
+            assert!(body.iter().any(|s| matches!(s, Stmt::Repeat { count: 4, .. })));
+        }
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let file = parse(
+            r#"
+            module m (input [7:0] a, input [7:0] b, input sel, output [7:0] q);
+              assign q = sel ? a + b * 2 : (a | b) & 8'h0f;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let item = &file.modules[0].items[0];
+        if let Item::Assign { value, .. } = item {
+            if let Expr::Conditional(_, then_value, _) = value {
+                // a + (b * 2)
+                assert!(
+                    matches!(**then_value, Expr::Binary(BinaryOp::Add, _, _)),
+                    "{:?}",
+                    then_value
+                );
+            } else {
+                panic!("expected conditional");
+            }
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("module m (input a);\n  assign q = ;\nendmodule").unwrap_err();
+        assert!(err.line >= 2, "line should point at or after the bad assign");
+    }
+}

@@ -1,0 +1,33 @@
+//! Print the Table 4 style size report for every benchmark design: the
+//! SystemVerilog source, the LLHD text, the real bitcode, and the in-memory
+//! footprint.
+//!
+//! Run with `cargo run --example size_report`.
+
+use llhd::assembly::write_module;
+use llhd::bitcode::{decode_module, encode_module};
+use llhd::ir::size::module_memory;
+use llhd_designs::all_designs;
+
+fn main() {
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12}",
+        "Design", "SV [B]", "Text [B]", "Bitcode [B]", "In-Mem. [B]"
+    );
+    for design in all_designs() {
+        let module = design.build().expect("design builds");
+        let text = write_module(&module);
+        let bitcode = encode_module(&module);
+        // The bitcode must round-trip losslessly.
+        let decoded = decode_module(&bitcode).expect("bitcode decodes");
+        assert_eq!(write_module(&decoded), text, "{} round-trip", design.name);
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12}",
+            design.name,
+            design.sv_bytes(),
+            text.len(),
+            bitcode.len(),
+            module_memory(&module).total()
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the LLHD reproduction workspace.
+//!
+//! This crate re-exports the individual crates of the workspace so the
+//! examples under `examples/` and the integration tests under `tests/` can
+//! exercise the whole stack through a single dependency.
+
+pub use llhd;
+pub use llhd_blaze;
+pub use llhd_designs;
+pub use llhd_opt;
+pub use llhd_sim;
+pub use moore;

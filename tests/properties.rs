@@ -1,0 +1,126 @@
+//! Property-based tests on the core data structures and invariants.
+
+use llhd::eval::eval_binary;
+use llhd::ir::Opcode;
+use llhd::value::{ApInt, ConstValue, LogicBit, LogicVector, TimeValue};
+use llhd_workspace::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// ApInt arithmetic agrees with native u64 arithmetic modulo 2^width for
+    /// widths up to 64.
+    #[test]
+    fn apint_matches_u64_model(a in any::<u64>(), b in any::<u64>(), width in 1usize..=64) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let (am, bm) = (a & mask, b & mask);
+        let x = ApInt::from_u64(width, am);
+        let y = ApInt::from_u64(width, bm);
+        prop_assert_eq!(x.add(&y).to_u64(), am.wrapping_add(bm) & mask);
+        prop_assert_eq!(x.sub(&y).to_u64(), am.wrapping_sub(bm) & mask);
+        prop_assert_eq!(x.mul(&y).to_u64(), am.wrapping_mul(bm) & mask);
+        prop_assert_eq!(x.and(&y).to_u64(), am & bm);
+        prop_assert_eq!(x.or(&y).to_u64(), am | bm);
+        prop_assert_eq!(x.xor(&y).to_u64(), am ^ bm);
+        if bm != 0 {
+            prop_assert_eq!(x.udiv(&y).to_u64(), am / bm);
+            prop_assert_eq!(x.urem(&y).to_u64(), am % bm);
+        }
+        prop_assert_eq!(x.ucmp(&y), am.cmp(&bm));
+    }
+
+    /// Wide ApInt addition/subtraction are inverses, and decimal printing
+    /// round-trips.
+    #[test]
+    fn apint_wide_roundtrips(limbs in proptest::collection::vec(any::<u64>(), 1..4), width in 65usize..=192) {
+        let value = ApInt::from_limbs(width, limbs);
+        let one = ApInt::one(width);
+        prop_assert_eq!(value.add(&one).sub(&one), value.clone());
+        prop_assert_eq!(value.neg().neg(), value.clone());
+        let printed = value.to_string_unsigned();
+        prop_assert_eq!(ApInt::from_str_radix10(width, &printed), Some(value));
+    }
+
+    /// The shared evaluator's comparisons are consistent: exactly one of
+    /// `ult`, `eq`, `ugt` holds.
+    #[test]
+    fn comparison_trichotomy(a in any::<u32>(), b in any::<u32>()) {
+        let x = ConstValue::int(32, a as u64);
+        let y = ConstValue::int(32, b as u64);
+        let lt = eval_binary(Opcode::Ult, &x, &y).unwrap().is_truthy();
+        let eq = eval_binary(Opcode::Eq, &x, &y).unwrap().is_truthy();
+        let gt = eval_binary(Opcode::Ugt, &x, &y).unwrap().is_truthy();
+        prop_assert_eq!(usize::from(lt) + usize::from(eq) + usize::from(gt), 1);
+    }
+
+    /// IEEE 1164 resolution is commutative and idempotent for every pair of
+    /// logic states, and logic vector string printing round-trips.
+    #[test]
+    fn logic_resolution_properties(a in 0usize..9, b in 0usize..9, bits in proptest::collection::vec(0usize..9, 1..16)) {
+        let x = LogicBit::ALL[a];
+        let y = LogicBit::ALL[b];
+        prop_assert_eq!(x.resolve(y), y.resolve(x));
+        // Resolution is idempotent for every driver state except don't-care,
+        // which the IEEE 1164 table resolves to X even against itself.
+        if x != LogicBit::DontCare {
+            prop_assert_eq!(x.resolve(x), x);
+        } else {
+            prop_assert_eq!(x.resolve(x), LogicBit::Unknown);
+        }
+        let vector = LogicVector::from_bits(bits.iter().map(|&i| LogicBit::ALL[i]).collect());
+        let printed = vector.to_string();
+        prop_assert_eq!(LogicVector::from_str(&printed), Some(vector));
+    }
+
+    /// Time values order consistently with their components and advancing by
+    /// a physical delay is monotone.
+    #[test]
+    fn time_ordering(a in any::<u32>(), b in any::<u32>(), d in 1u32..1000) {
+        let ta = TimeValue::from_femtos(a as u128);
+        let tb = TimeValue::from_femtos(b as u128);
+        prop_assert_eq!(ta < tb, a < b);
+        let delay = TimeValue::from_femtos(d as u128);
+        prop_assert!(ta.advance_by(&delay) > ta);
+    }
+
+    /// Assembly and bitcode round-trips hold for randomly shaped (but
+    /// well-formed) arithmetic functions.
+    #[test]
+    fn random_function_roundtrips(ops in proptest::collection::vec(0usize..6, 1..40), width in 1usize..64) {
+        use llhd::ir::{Signature, UnitBuilder, UnitData, UnitKind, UnitName, Module};
+        use llhd::ty::int_ty;
+
+        let mut unit = UnitData::new(
+            UnitKind::Function,
+            UnitName::global("random"),
+            Signature::new_func(vec![int_ty(width), int_ty(width)], int_ty(width)),
+        );
+        let a = unit.arg_value(0);
+        let b = unit.arg_value(1);
+        {
+            let mut builder = UnitBuilder::new(&mut unit);
+            let entry = builder.block("entry");
+            builder.append_to(entry);
+            let mut acc = a;
+            for &op in &ops {
+                acc = match op {
+                    0 => builder.add(acc, b),
+                    1 => builder.sub(acc, b),
+                    2 => builder.and(acc, b),
+                    3 => builder.or(acc, b),
+                    4 => builder.xor(acc, b),
+                    _ => builder.umul(acc, b),
+                };
+            }
+            builder.ret_value(acc);
+        }
+        let mut module = Module::new();
+        module.add_unit(unit);
+        prop_assert!(llhd::verifier::verify_module(&module).is_ok());
+        let text = llhd::assembly::write_module(&module);
+        let reparsed = llhd::assembly::parse_module(&text).unwrap();
+        prop_assert_eq!(llhd::assembly::write_module(&reparsed), text.clone());
+        let bytes = llhd::bitcode::encode_module(&module);
+        let decoded = llhd::bitcode::decode_module(&bytes).unwrap();
+        prop_assert_eq!(llhd::assembly::write_module(&decoded), text);
+    }
+}

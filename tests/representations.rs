@@ -1,0 +1,59 @@
+//! Integration test: the three representations (in-memory, text, bitcode)
+//! are equivalent for every benchmark design, as required by §2 of the
+//! paper.
+
+use llhd::assembly::{parse_module, write_module};
+use llhd::bitcode::{decode_module, encode_module};
+use llhd::verifier::verify_module;
+use llhd_workspace::*;
+
+#[test]
+fn text_roundtrip_for_all_designs() {
+    for design in llhd_designs::all_designs() {
+        let module = design.build().unwrap();
+        let text = write_module(&module);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: text does not reparse: {}", design.name, e));
+        assert_eq!(
+            write_module(&reparsed),
+            text,
+            "{}: text round-trip is not stable",
+            design.name
+        );
+        assert!(verify_module(&reparsed).is_ok());
+    }
+}
+
+#[test]
+fn bitcode_roundtrip_for_all_designs() {
+    for design in llhd_designs::all_designs() {
+        let module = design.build().unwrap();
+        let text = write_module(&module);
+        let bytes = encode_module(&module);
+        let decoded = decode_module(&bytes)
+            .unwrap_or_else(|e| panic!("{}: bitcode does not decode: {}", design.name, e));
+        assert_eq!(
+            write_module(&decoded),
+            text,
+            "{}: bitcode round-trip changes the module",
+            design.name
+        );
+        assert!(
+            bytes.len() < text.len(),
+            "{}: bitcode ({} B) should be denser than text ({} B)",
+            design.name,
+            bytes.len(),
+            text.len()
+        );
+    }
+}
+
+#[test]
+fn moore_output_is_behavioural_and_parseable() {
+    let module = llhd_designs::accumulator_example().unwrap();
+    let text = write_module(&module);
+    assert!(text.contains("proc @"));
+    assert!(text.contains("entity @"));
+    let reparsed = parse_module(&text).unwrap();
+    assert_eq!(reparsed.num_units(), module.num_units());
+}
