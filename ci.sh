@@ -1,0 +1,10 @@
+#!/bin/sh
+# The canonical verification gate for this repository. Keep in sync with
+# ROADMAP.md's "Tier-1 verify" line; CI and local pre-merge checks run this.
+set -eu
+cd "$(dirname "$0")"
+
+# Tests run in release so they reuse the artifacts of the build above
+# instead of recompiling the whole workspace in the dev profile.
+cargo build --release --workspace --all-targets
+cargo test -q --release --workspace

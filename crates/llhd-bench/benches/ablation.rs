@@ -4,37 +4,34 @@
 //!   form versus from running on a cleaned-up module (the compiled simulator
 //!   is benchmarked on both the `-O0` and the optimized module), and
 //! * what the interpreter gains from the same cleanup.
+//!
+//! Run with `cargo bench -p llhd-bench --bench ablation`; emits
+//! `BENCH_ablation.json` for trend tracking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llhd_bench::harness::Harness;
 use llhd_designs::design_by_name;
 use llhd_opt::pipeline::optimize_module;
 use llhd_sim::SimConfig;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let design = design_by_name("RISC-V Core").unwrap();
     let module = design.build().unwrap();
     let mut optimized = module.clone();
     optimize_module(&mut optimized);
     let config = SimConfig::until_nanos(design.sim_time_ns(50)).without_trace();
 
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
-    group.bench_function("interpreter_O0", |b| {
-        b.iter(|| llhd_sim::simulate(&module, design.top, &config).unwrap())
+    let mut h = Harness::from_args("ablation");
+    h.bench("interpreter_O0", || {
+        llhd_sim::simulate(&module, design.top, &config).unwrap()
     });
-    group.bench_function("interpreter_optimized", |b| {
-        b.iter(|| llhd_sim::simulate(&optimized, design.top, &config).unwrap())
+    h.bench("interpreter_optimized", || {
+        llhd_sim::simulate(&optimized, design.top, &config).unwrap()
     });
-    group.bench_function("blaze_O0", |b| {
-        b.iter(|| llhd_blaze::simulate(&module, design.top, &config).unwrap())
+    h.bench("blaze_O0", || {
+        llhd_blaze::simulate(&module, design.top, &config).unwrap()
     });
-    group.bench_function("blaze_optimized", |b| {
-        b.iter(|| llhd_blaze::simulate(&optimized, design.top, &config).unwrap())
+    h.bench("blaze_optimized", || {
+        llhd_blaze::simulate(&optimized, design.top, &config).unwrap()
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,30 +1,24 @@
-//! Criterion benchmark behind Figure 5: cost of the Behavioural → Structural
-//! lowering pipeline (ECM, TCM, TCFE, process lowering, deseq).
+//! Benchmark behind Figure 5: cost of the Behavioural → Structural lowering
+//! pipeline (ECM, TCM, TCFE, process lowering, deseq).
+//!
+//! Run with `cargo bench -p llhd-bench --bench lowering`; emits
+//! `BENCH_lowering.json` for trend tracking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llhd_bench::harness::Harness;
 use llhd_designs::accumulator_example;
 use llhd_opt::pipeline::{lower_to_structural, optimize_module, LoweringOptions};
 
-fn bench_lowering(c: &mut Criterion) {
+fn main() {
     let module = accumulator_example().unwrap();
-    let mut group = c.benchmark_group("lowering");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1500));
-    group.bench_function("optimize_accumulator", |b| {
-        b.iter(|| {
-            let mut m = module.clone();
-            optimize_module(&mut m);
-            m
-        })
+    let mut h = Harness::from_args("lowering");
+    h.bench("optimize_accumulator", || {
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        m
     });
-    group.bench_function("lower_accumulator_to_structural", |b| {
-        b.iter(|| {
-            let mut m = module.clone();
-            lower_to_structural(&mut m, &LoweringOptions::default())
-        })
+    h.bench("lower_accumulator_to_structural", || {
+        let mut m = module.clone();
+        lower_to_structural(&mut m, &LoweringOptions::default())
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_lowering);
-criterion_main!(benches);

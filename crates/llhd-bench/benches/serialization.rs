@@ -1,13 +1,16 @@
-//! Criterion benchmark behind Table 4: cost of the three representations
-//! (text emission/parsing, bitcode encoding/decoding) for the benchmark
-//! designs.
+//! Benchmark behind Table 4: cost of the three representations (text
+//! emission/parsing, bitcode encoding/decoding) for the benchmark designs.
+//!
+//! Run with `cargo bench -p llhd-bench --bench serialization`; emits
+//! `BENCH_serialization.json` for trend tracking. Throughput is reported in
+//! bytes of the respective representation per second.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use llhd::assembly::{parse_module, write_module};
 use llhd::bitcode::{decode_module, encode_module};
+use llhd_bench::harness::Harness;
 use llhd_designs::all_designs;
 
-fn bench_serialization(c: &mut Criterion) {
+fn main() {
     // The largest design of the suite exercises the serializers hardest.
     let design = all_designs()
         .into_iter()
@@ -17,17 +20,16 @@ fn bench_serialization(c: &mut Criterion) {
     let text = write_module(&module);
     let bitcode = encode_module(&module);
 
-    let mut group = c.benchmark_group("serialization");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1500));
-    group.bench_function("write_text", |b| b.iter(|| write_module(&module)));
-    group.bench_function("parse_text", |b| b.iter(|| parse_module(&text).unwrap()));
-    group.bench_function("encode_bitcode", |b| b.iter(|| encode_module(&module)));
-    group.bench_function("decode_bitcode", |b| {
-        b.iter(|| decode_module(&bitcode).unwrap())
+    let mut h = Harness::from_args("serialization");
+    h.bench_throughput("write_text", text.len() as u64, || write_module(&module));
+    h.bench_throughput("parse_text", text.len() as u64, || {
+        parse_module(&text).unwrap()
     });
-    group.finish();
+    h.bench_throughput("encode_bitcode", bitcode.len() as u64, || {
+        encode_module(&module)
+    });
+    h.bench_throughput("decode_bitcode", bitcode.len() as u64, || {
+        decode_module(&bitcode).unwrap()
+    });
+    h.finish();
 }
-
-criterion_group!(benches, bench_serialization);
-criterion_main!(benches);

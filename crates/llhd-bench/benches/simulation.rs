@@ -1,36 +1,26 @@
-//! Criterion benchmark behind Table 2: per-design simulation throughput of
-//! the reference interpreter versus the compiled simulator.
+//! Benchmark behind Table 2: per-design simulation throughput of the
+//! reference interpreter versus the compiled simulator.
+//!
+//! Run with `cargo bench -p llhd-bench --bench simulation`; emits
+//! `BENCH_simulation.json` for trend tracking. Throughput is reported in
+//! simulated clock cycles per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhd_bench::harness::Harness;
 use llhd_designs::all_designs;
 use llhd_sim::SimConfig;
 
-fn bench_simulation(c: &mut Criterion) {
+fn main() {
     let cycles = 50;
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    let mut h = Harness::from_args("simulation");
     for design in all_designs() {
         let module = design.build().expect("design must build");
         let config = SimConfig::until_nanos(design.sim_time_ns(cycles)).without_trace();
-        group.bench_with_input(
-            BenchmarkId::new("llhd-sim", design.name),
-            &module,
-            |b, module| {
-                b.iter(|| llhd_sim::simulate(module, design.top, &config).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("llhd-blaze", design.name),
-            &module,
-            |b, module| {
-                b.iter(|| llhd_blaze::simulate(module, design.top, &config).unwrap());
-            },
-        );
+        h.bench_throughput(&format!("llhd-sim/{}", design.name), cycles, || {
+            llhd_sim::simulate(&module, design.top, &config).unwrap()
+        });
+        h.bench_throughput(&format!("llhd-blaze/{}", design.name), cycles, || {
+            llhd_blaze::simulate(&module, design.top, &config).unwrap()
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

@@ -2,22 +2,8 @@
 //! from Behavioural LLHD (as emitted by the Moore frontend from the
 //! SystemVerilog of Figure 3) to Structural LLHD.
 
-use llhd_bench::figure5_stages;
+use llhd_bench::report::render_figure5;
 
 fn main() {
-    let (behavioural, structural, report) = figure5_stages();
-    println!("=== SystemVerilog input (Figure 3) ===");
-    println!("{}", llhd_designs::accumulator_source());
-    println!("=== Behavioural LLHD (Moore output, left column of Figure 5) ===");
-    println!("{}", behavioural);
-    println!("=== Structural LLHD (right column of Figure 5) ===");
-    println!("{}", structural);
-    println!("=== Lowering report ===");
-    println!(
-        "process lowering: {}, desequentialization: {}, inlined calls: {}, rejected (testbench) processes: {:?}",
-        report.lowered_processes,
-        report.desequentialized_processes,
-        report.inlined_calls,
-        report.rejected
-    );
+    print!("{}", render_figure5());
 }

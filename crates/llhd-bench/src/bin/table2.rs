@@ -7,7 +7,8 @@
 //! `--paper-cycles` uses the per-design cycle counts of the paper, which can
 //! take a very long time with the interpreter).
 
-use llhd_bench::{fmt_duration, table2_rows};
+use llhd_bench::report::render_table2;
+use llhd_bench::table2_rows;
 use llhd_designs::all_designs;
 
 fn main() {
@@ -21,30 +22,5 @@ fn main() {
         let cycles: u64 = arg.and_then(|s| s.parse().ok()).unwrap_or(100);
         table2_rows(cycles)
     };
-
-    println!("Table 2: simulation performance (this reproduction)");
-    println!(
-        "{:<16} {:>5} {:>9} {:>10} {:>10} {:>10} {:>8} {:>7}",
-        "Design", "LoC", "Cycles", "Int.", "Blaze", "Baseline", "Int/Blz", "Trace"
-    );
-    for row in &rows {
-        println!(
-            "{:<16} {:>5} {:>9} {} {} {} {:>7.1}x {:>7}",
-            row.design,
-            row.loc,
-            row.cycles,
-            fmt_duration(row.interpreter),
-            fmt_duration(row.blaze),
-            fmt_duration(row.baseline),
-            row.interpreter_slowdown(),
-            if row.traces_match { "match" } else { "DIFFER" },
-        );
-    }
-    let all_match = rows.iter().all(|r| r.traces_match);
-    println!();
-    println!(
-        "Traces {} between all engines; interpreter is {:.1}x slower than the compiled simulator on average.",
-        if all_match { "match" } else { "DO NOT match" },
-        rows.iter().map(|r| r.interpreter_slowdown()).sum::<f64>() / rows.len() as f64
-    );
+    print!("{}", render_table2(&rows));
 }

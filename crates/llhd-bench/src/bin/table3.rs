@@ -3,34 +3,9 @@
 //! `llhd::capabilities`); the other rows reproduce the published
 //! capabilities as reported in the paper.
 
+use llhd_bench::report::render_table3;
 use llhd_bench::table3_rows;
 
-fn yes(value: bool) -> &'static str {
-    if value {
-        "yes"
-    } else {
-        "-"
-    }
-}
-
 fn main() {
-    println!("Table 3: comparison against other hardware-targeted IRs");
-    println!(
-        "{:<10} {:>6} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
-        "IR", "Levels", "Turing", "Verif", "9-val", "4-val", "Behav", "Struct", "Netlist"
-    );
-    for row in table3_rows() {
-        println!(
-            "{:<10} {:>6} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
-            row.name,
-            row.levels,
-            yes(row.turing_complete),
-            yes(row.verification),
-            yes(row.nine_valued_logic),
-            yes(row.four_valued_logic),
-            yes(row.behavioural),
-            yes(row.structural),
-            yes(row.netlist),
-        );
-    }
+    print!("{}", render_table3(&table3_rows()));
 }

@@ -2,35 +2,9 @@
 //! SystemVerilog source, the LLHD assembly text, the binary bitcode, and the
 //! in-memory IR.
 
+use llhd_bench::report::render_table4;
 use llhd_bench::table4_rows;
 
-fn kb(bytes: usize) -> f64 {
-    bytes as f64 / 1024.0
-}
-
 fn main() {
-    println!("Table 4: size efficiency [kB]");
-    println!(
-        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>12}",
-        "Design", "SV", "Text", "Bitcode", "In-Mem.", "Text/Bitcode"
-    );
-    let rows = table4_rows();
-    for row in &rows {
-        println!(
-            "{:<16} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2}x",
-            row.design,
-            kb(row.sv_bytes),
-            kb(row.text_bytes),
-            kb(row.bitcode_bytes),
-            kb(row.in_memory_bytes),
-            row.text_bytes as f64 / row.bitcode_bytes as f64,
-        );
-    }
-    let text: usize = rows.iter().map(|r| r.text_bytes).sum();
-    let bitcode: usize = rows.iter().map(|r| r.bitcode_bytes).sum();
-    println!();
-    println!(
-        "Bitcode is {:.1}x denser than the human-readable text overall.",
-        text as f64 / bitcode as f64
-    );
+    print!("{}", render_table4(&table4_rows()));
 }

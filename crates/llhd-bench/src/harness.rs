@@ -1,0 +1,387 @@
+//! A self-contained benchmark harness (criterion replacement).
+//!
+//! The workspace builds in offline sandboxes with no registry access, so the
+//! benches under `benches/` use this in-repo harness instead of an external
+//! dependency. It keeps the parts of criterion the paper reproduction needs:
+//!
+//! * a warmup phase before any measurement,
+//! * per-iteration wall-clock statistics (median of N samples, where each
+//!   sample batches enough iterations to be timeable),
+//! * optional throughput (elements per second) reporting, and
+//! * machine-readable JSON emission in the `BENCH_<suite>.json` shape used
+//!   for trend tracking across PRs.
+//!
+//! ```no_run
+//! let mut h = llhd_bench::harness::Harness::from_args("example");
+//! h.bench("add", || std::hint::black_box(1u64 + 2));
+//! h.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can guard values without pulling in `std::hint`
+/// everywhere.
+pub use std::hint::black_box as bb;
+
+/// Tuning knobs for one harness run.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Minimum time spent running the function before measurement starts.
+    pub warmup: Duration,
+    /// Number of timed samples per benchmark; the reported statistic is the
+    /// median over these.
+    pub samples: usize,
+    /// Target wall-clock time per sample; the harness batches iterations so
+    /// one sample takes roughly this long.
+    pub sample_time: Duration,
+    /// Where to write the JSON report; `None` disables emission.
+    pub json_path: Option<String>,
+}
+
+impl BenchConfig {
+    /// The default configuration for a benchmark suite.
+    pub fn new(suite: &str) -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(300),
+            samples: 11,
+            sample_time: Duration::from_millis(120),
+            json_path: Some(default_json_path(suite)),
+        }
+    }
+
+    /// A configuration for smoke tests: one quick sample, no JSON.
+    pub fn fast() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            samples: 3,
+            sample_time: Duration::from_millis(2),
+            json_path: None,
+        }
+    }
+}
+
+/// Default report location: `BENCH_<suite>.json` at the workspace root
+/// (found by walking up from this crate to the directory holding
+/// `Cargo.lock`), so `cargo bench` updates the committed baselines no
+/// matter which directory cargo runs the bench from. Falls back to the
+/// current directory outside a workspace checkout.
+fn default_json_path(suite: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .find(|p| p.join("Cargo.lock").exists())
+        .map(|root| {
+            root.join(format!("BENCH_{}.json", suite))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .unwrap_or_else(|| format!("BENCH_{}.json", suite))
+}
+
+/// Measured statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name, `group/function` style.
+    pub name: String,
+    /// Median per-iteration time over all samples.
+    pub median_ns: f64,
+    /// Mean per-iteration time over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+    /// Elements processed per iteration (for throughput), if declared.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Throughput in elements per second, if the benchmark declared an
+    /// element count.
+    pub fn throughput_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|n| n as f64 / (self.median_ns / 1e9).max(1e-12))
+    }
+}
+
+/// A running benchmark suite: measures closures and collects results.
+pub struct Harness {
+    suite: String,
+    config: BenchConfig,
+    filters: Vec<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Create a harness with an explicit configuration.
+    pub fn new(suite: &str, config: BenchConfig) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            config,
+            filters: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Create a harness configured from the process arguments.
+    ///
+    /// Recognised flags (all optional, order-independent): `--samples N`
+    /// (clamped to at least 1), `--json PATH`, `--no-json`, `--fast`. The
+    /// `--bench` flag that `cargo bench` passes to `harness = false`
+    /// targets is ignored. Positional arguments are substring filters on
+    /// benchmark names (the criterion idiom, e.g.
+    /// `cargo bench --bench simulation -- RISC-V`); a filtered run skips
+    /// the JSON report so partial results never overwrite a committed
+    /// baseline, unless `--json PATH` explicitly asks for one.
+    ///
+    /// `--fast` runs do not write JSON (their numbers are not comparable to
+    /// full runs, so they must not overwrite committed `BENCH_*.json`
+    /// baselines) unless an explicit `--json PATH` asks for it.
+    ///
+    /// The default report path is `BENCH_<suite>.json` at the workspace
+    /// root; set the `LLHD_BENCH_DIR` environment variable to redirect it.
+    pub fn from_args(suite: &str) -> Self {
+        let mut fast = false;
+        let mut samples: Option<usize> = None;
+        let mut filters: Vec<String> = Vec::new();
+        // None = use the default; Some(None) = --no-json; Some(Some(p)) = --json p.
+        let mut json: Option<Option<String>> = None;
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--samples" => match argv.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => {
+                        samples = Some(n.max(1));
+                        i += 1;
+                    }
+                    None => eprintln!("--samples requires a positive integer; ignoring"),
+                },
+                // Don't let --json swallow a following flag as its path.
+                "--json" => match argv.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        json = Some(Some(p.clone()));
+                        i += 1;
+                    }
+                    _ => eprintln!("--json requires a path; ignoring"),
+                },
+                "--no-json" => json = Some(None),
+                "--fast" => fast = true,
+                arg if !arg.starts_with('-') => filters.push(arg.to_string()),
+                // `cargo bench` passes `--bench`; ignore unknown flags.
+                _ => {}
+            }
+            i += 1;
+        }
+        let mut config = if fast {
+            BenchConfig::fast()
+        } else {
+            let mut c = BenchConfig::new(suite);
+            if let Ok(dir) = std::env::var("LLHD_BENCH_DIR") {
+                c.json_path = Some(format!("{}/BENCH_{}.json", dir, suite));
+            }
+            c
+        };
+        if let Some(n) = samples {
+            config.samples = n;
+        }
+        if !filters.is_empty() && json.is_none() {
+            println!("filtering on {:?}; skipping the JSON report", filters);
+            json = Some(None);
+        }
+        if let Some(path) = json {
+            config.json_path = path;
+        }
+        println!("suite: {} ({} samples)", suite, config.samples);
+        let mut harness = Self::new(suite, config);
+        harness.filters = filters;
+        harness
+    }
+
+    /// Measure `f`, reporting per-iteration statistics under `name`.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        self.run(name, None, f);
+    }
+
+    /// Measure `f` which processes `elements` items per call, so the report
+    /// can include throughput.
+    pub fn bench_throughput<T, F: FnMut() -> T>(&mut self, name: &str, elements: u64, f: F) {
+        self.run(name, Some(elements), f);
+    }
+
+    fn run<T, F: FnMut() -> T>(&mut self, name: &str, elements: Option<u64>, mut f: F) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|fil| name.contains(fil.as_str())) {
+            return;
+        }
+        // Warmup: run until the warmup budget is spent (at least once), and
+        // estimate the per-iteration cost while doing so.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.config.warmup {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Batch enough iterations that one sample hits the sample-time
+        // target; a single iteration per sample is fine for slow functions.
+        let iters_per_sample = ((self.config.sample_time.as_secs_f64() / per_iter.max(1e-9))
+            .ceil() as u64)
+            .max(1);
+
+        // Guard against a zero sample count reaching us through a
+        // hand-built BenchConfig; the statistics below need at least one.
+        let samples = self.config.samples.max(1);
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let median_ns = median_of_sorted(&sample_ns);
+        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns,
+            mean_ns,
+            min_ns: sample_ns[0],
+            max_ns: *sample_ns.last().unwrap(),
+            samples: sample_ns.len(),
+            iters_per_sample,
+            elements,
+        };
+        let throughput = match result.throughput_per_sec() {
+            Some(t) => format!("  {:>12.0} elem/s", t),
+            None => String::new(),
+        };
+        println!(
+            "  {:<40} median {:>12}  (min {:>12}){}",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            throughput
+        );
+        self.results.push(result);
+    }
+
+    /// The results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Render the JSON report for the collected results.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let throughput = match r.throughput_per_sec() {
+                Some(t) => format!(", \"throughput_per_sec\": {:.1}", t),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+                json_string(&r.name),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                throughput,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Print the summary and write the JSON report (if configured).
+    pub fn finish(self) {
+        if let Some(path) = &self.config.json_path {
+            match std::fs::write(path, self.to_json()) {
+                Ok(()) => println!("wrote {}", path),
+                Err(e) => eprintln!("failed to write {}: {}", path, e),
+            }
+        }
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{:.0} ns", ns)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_json() {
+        let mut h = Harness::new("unit", BenchConfig::fast());
+        h.bench("noop", || 1u64 + 1);
+        h.bench_throughput("sum", 1000, || (0u64..1000).sum::<u64>());
+        assert_eq!(h.results().len(), 2);
+        assert!(h.results()[0].median_ns >= 0.0);
+        assert!(h.results()[1].throughput_per_sec().unwrap() > 0.0);
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.contains("throughput_per_sec"));
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1.0, 3.0, 5.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -5,6 +5,9 @@
 //! See `EXPERIMENTS.md` at the repository root for the mapping between the
 //! paper's evaluation artifacts and these entry points.
 
+pub mod harness;
+pub mod report;
+
 use llhd::assembly::write_module;
 use llhd::bitcode::encode_module;
 use llhd::capabilities::{llhd_capabilities, other_ir_capabilities, IrCapabilities};

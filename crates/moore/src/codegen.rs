@@ -691,7 +691,6 @@ fn gen_expr_raw(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::compile;
     use llhd::verifier::verify_module;
     use llhd_sim::{simulate, SimConfig};

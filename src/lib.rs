@@ -4,6 +4,8 @@
 //! examples under `examples/` and the integration tests under `tests/` can
 //! exercise the whole stack through a single dependency.
 
+pub mod propcheck;
+
 pub use llhd;
 pub use llhd_blaze;
 pub use llhd_designs;

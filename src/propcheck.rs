@@ -1,0 +1,292 @@
+//! A self-contained deterministic property-testing helper (proptest
+//! replacement).
+//!
+//! The workspace builds in offline sandboxes with no registry access, so the
+//! property tests under `tests/` use this in-repo helper instead of an
+//! external dependency. It keeps the parts of proptest the test suite
+//! needs:
+//!
+//! * random-but-reproducible input generation from a seeded xorshift
+//!   generator (no external entropy, so every run tests the same cases),
+//! * N-case loops per property ([`forall`], case count overridable via the
+//!   `LLHD_PROP_CASES` environment variable), and
+//! * failure reporting that includes the case number, the seed to replay
+//!   it, and the values that violated the assertion (via the
+//!   [`prop_assert!`](crate::prop_assert) / [`prop_assert_eq!`](crate::prop_assert_eq) macros).
+//!
+//! ```
+//! use llhd_workspace::propcheck::forall;
+//! use llhd_workspace::prop_assert_eq;
+//!
+//! forall("addition commutes", |rng| {
+//!     let (a, b) = (rng.u64(), rng.u64());
+//!     prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     Ok(())
+//! });
+//! ```
+
+/// Number of cases per property unless `LLHD_PROP_CASES` overrides it.
+pub const DEFAULT_CASES: usize = 256;
+
+/// A small, fast, deterministic pseudo-random generator (xorshift64*).
+///
+/// Quality is more than sufficient for fuzz-shaped test inputs, and the
+/// implementation is dependency-free and identical on every platform.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Any seed is fine; zero is remapped.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            // A fixed odd constant (splitmix64's golden-ratio increment)
+            // decorrelates consecutive seeds; xorshift needs non-zero state.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next_raw(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 64-bit value.
+    ///
+    /// Roughly 1 in 16 draws is replaced by an edge value (0, 1, MAX, …):
+    /// the raw xorshift64* stream never produces 0, and boundary inputs are
+    /// where arithmetic properties break, so the bias mirrors what proptest
+    /// does for `any::<u64>()`.
+    pub fn u64(&mut self) -> u64 {
+        const EDGES: [u64; 5] = [0, 1, u64::MAX, u64::MAX - 1, 1 << 63];
+        let raw = self.next_raw();
+        if raw % 16 == 0 {
+            EDGES[(self.next_raw() % EDGES.len() as u64) as usize]
+        } else {
+            raw
+        }
+    }
+
+    /// Next 32-bit value.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.u64();
+        }
+        // Modulo bias is negligible for the small spans used in tests.
+        lo + self.u64() % (span + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range `lo..=hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A vector with a length drawn from `len_lo..=len_hi` and elements
+    /// produced by `f`.
+    pub fn vec<T>(&mut self, len_lo: usize, len_hi: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        let len = self.range_usize(len_lo, len_hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// FNV-1a, used to give every property its own seed sequence so properties
+/// do not all see the same input stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// How many cases to run per property.
+pub fn case_count() -> usize {
+    std::env::var("LLHD_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Run `property` against [`case_count`] generated inputs.
+///
+/// The closure receives a fresh seeded [`Rng`] per case and returns
+/// `Err(message)` (usually via [`prop_assert!`](crate::prop_assert) /
+/// [`prop_assert_eq!`](crate::prop_assert_eq)) when the property is
+/// violated. Panics inside the closure (e.g. from `unwrap`) are caught and
+/// reported the same way, so the replay seed is never lost.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting the property name, case
+/// number, replay seed, and the failure message.
+pub fn forall<F>(property: &str, f: F)
+where
+    F: Fn(&mut Rng) -> Result<(), String>,
+{
+    let cases = case_count();
+    let base = fnv1a(property);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = Rng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        let message = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(message)) => message,
+            Err(payload) => format!("panicked: {}", panic_message(&payload)),
+        };
+        panic!(
+            "property '{}' failed at case {}/{} (replay seed {:#018x}):\n  {}",
+            property, case, cases, seed, message
+        );
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Re-run a single failing case from the seed printed by [`forall`].
+pub fn replay<F>(seed: u64, mut f: F) -> Result<(), String>
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    f(&mut Rng::new(seed))
+}
+
+/// Return `Err` with the stringified condition (and optional context) if
+/// the condition is false. For use inside [`forall`](crate::propcheck::forall) closures.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Return `Err` reporting both values if they differ. For use inside
+/// [`forall`](crate::propcheck::forall) closures.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if left != right {
+            return Err(format!(
+                "{} != {}\n    left: {:?}\n    right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn rng_respects_ranges() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.range_usize(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        let v = rng.vec(1, 4, |r| r.u32());
+        assert!((1..=4).contains(&v.len()));
+    }
+
+    #[test]
+    fn forall_passes_trivial_property() {
+        forall("u32 widening roundtrip", |rng| {
+            let x = rng.u32();
+            prop_assert_eq!(x as u64 as u32, x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "replay seed")]
+    fn forall_reports_failures_with_seed() {
+        forall("always fails", |_rng| Err("nope".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay seed")]
+    fn forall_catches_panics_and_reports_seed() {
+        forall("always panics", |_rng| -> Result<(), String> {
+            panic!("boom");
+        });
+    }
+
+    #[test]
+    fn u64_produces_edge_values() {
+        let mut rng = Rng::new(1);
+        let (mut saw_zero, mut saw_max) = (false, false);
+        for _ in 0..10_000 {
+            match rng.u64() {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero, "edge bias must produce 0");
+        assert!(saw_max, "edge bias must produce u64::MAX");
+    }
+
+    #[test]
+    fn replay_reproduces_case() {
+        let mut first = 0u64;
+        replay(123, |rng| {
+            first = rng.u64();
+            Ok(())
+        })
+        .unwrap();
+        let mut second = 1u64;
+        replay(123, |rng| {
+            second = rng.u64();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,16 +1,20 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants, driven
+//! by the in-repo deterministic helper in `llhd_workspace::propcheck`.
 
 use llhd::eval::eval_binary;
 use llhd::ir::Opcode;
 use llhd::value::{ApInt, ConstValue, LogicBit, LogicVector, TimeValue};
-use llhd_workspace::*;
-use proptest::prelude::*;
+use llhd_workspace::propcheck::forall;
+use llhd_workspace::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// ApInt arithmetic agrees with native u64 arithmetic modulo 2^width for
-    /// widths up to 64.
-    #[test]
-    fn apint_matches_u64_model(a in any::<u64>(), b in any::<u64>(), width in 1usize..=64) {
+/// ApInt arithmetic agrees with native u64 arithmetic modulo 2^width for
+/// widths up to 64.
+#[test]
+fn apint_matches_u64_model() {
+    forall("apint matches u64 model", |rng| {
+        let a = rng.u64();
+        let b = rng.u64();
+        let width = rng.range_usize(1, 64);
         let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
         let (am, bm) = (a & mask, b & mask);
         let x = ApInt::from_u64(width, am);
@@ -26,38 +30,51 @@ proptest! {
             prop_assert_eq!(x.urem(&y).to_u64(), am % bm);
         }
         prop_assert_eq!(x.ucmp(&y), am.cmp(&bm));
-    }
+        Ok(())
+    });
+}
 
-    /// Wide ApInt addition/subtraction are inverses, and decimal printing
-    /// round-trips.
-    #[test]
-    fn apint_wide_roundtrips(limbs in proptest::collection::vec(any::<u64>(), 1..4), width in 65usize..=192) {
+/// Wide ApInt addition/subtraction are inverses, and decimal printing
+/// round-trips.
+#[test]
+fn apint_wide_roundtrips() {
+    forall("wide apint roundtrips", |rng| {
+        let limbs = rng.vec(1, 3, |r| r.u64());
+        let width = rng.range_usize(65, 192);
         let value = ApInt::from_limbs(width, limbs);
         let one = ApInt::one(width);
         prop_assert_eq!(value.add(&one).sub(&one), value.clone());
         prop_assert_eq!(value.neg().neg(), value.clone());
         let printed = value.to_string_unsigned();
         prop_assert_eq!(ApInt::from_str_radix10(width, &printed), Some(value));
-    }
+        Ok(())
+    });
+}
 
-    /// The shared evaluator's comparisons are consistent: exactly one of
-    /// `ult`, `eq`, `ugt` holds.
-    #[test]
-    fn comparison_trichotomy(a in any::<u32>(), b in any::<u32>()) {
+/// The shared evaluator's comparisons are consistent: exactly one of `ult`,
+/// `eq`, `ugt` holds.
+#[test]
+fn comparison_trichotomy() {
+    forall("comparison trichotomy", |rng| {
+        let a = rng.u32();
+        let b = rng.u32();
         let x = ConstValue::int(32, a as u64);
         let y = ConstValue::int(32, b as u64);
         let lt = eval_binary(Opcode::Ult, &x, &y).unwrap().is_truthy();
         let eq = eval_binary(Opcode::Eq, &x, &y).unwrap().is_truthy();
         let gt = eval_binary(Opcode::Ugt, &x, &y).unwrap().is_truthy();
         prop_assert_eq!(usize::from(lt) + usize::from(eq) + usize::from(gt), 1);
-    }
+        Ok(())
+    });
+}
 
-    /// IEEE 1164 resolution is commutative and idempotent for every pair of
-    /// logic states, and logic vector string printing round-trips.
-    #[test]
-    fn logic_resolution_properties(a in 0usize..9, b in 0usize..9, bits in proptest::collection::vec(0usize..9, 1..16)) {
-        let x = LogicBit::ALL[a];
-        let y = LogicBit::ALL[b];
+/// IEEE 1164 resolution is commutative and idempotent for every pair of
+/// logic states, and logic vector string printing round-trips.
+#[test]
+fn logic_resolution_properties() {
+    forall("logic resolution properties", |rng| {
+        let x = LogicBit::ALL[rng.range_usize(0, 8)];
+        let y = LogicBit::ALL[rng.range_usize(0, 8)];
         prop_assert_eq!(x.resolve(y), y.resolve(x));
         // Resolution is idempotent for every driver state except don't-care,
         // which the IEEE 1164 table resolves to X even against itself.
@@ -66,28 +83,41 @@ proptest! {
         } else {
             prop_assert_eq!(x.resolve(x), LogicBit::Unknown);
         }
-        let vector = LogicVector::from_bits(bits.iter().map(|&i| LogicBit::ALL[i]).collect());
+        let bits = rng.vec(1, 15, |r| LogicBit::ALL[r.range_usize(0, 8)]);
+        let vector = LogicVector::from_bits(bits);
         let printed = vector.to_string();
         prop_assert_eq!(LogicVector::from_str(&printed), Some(vector));
-    }
+        Ok(())
+    });
+}
 
-    /// Time values order consistently with their components and advancing by
-    /// a physical delay is monotone.
-    #[test]
-    fn time_ordering(a in any::<u32>(), b in any::<u32>(), d in 1u32..1000) {
+/// Time values order consistently with their components and advancing by a
+/// physical delay is monotone.
+#[test]
+fn time_ordering() {
+    forall("time ordering", |rng| {
+        let a = rng.u32();
+        let b = rng.u32();
+        let d = rng.range_u64(1, 999) as u32;
         let ta = TimeValue::from_femtos(a as u128);
         let tb = TimeValue::from_femtos(b as u128);
         prop_assert_eq!(ta < tb, a < b);
         let delay = TimeValue::from_femtos(d as u128);
         prop_assert!(ta.advance_by(&delay) > ta);
-    }
+        Ok(())
+    });
+}
 
-    /// Assembly and bitcode round-trips hold for randomly shaped (but
-    /// well-formed) arithmetic functions.
-    #[test]
-    fn random_function_roundtrips(ops in proptest::collection::vec(0usize..6, 1..40), width in 1usize..64) {
-        use llhd::ir::{Signature, UnitBuilder, UnitData, UnitKind, UnitName, Module};
-        use llhd::ty::int_ty;
+/// Assembly and bitcode round-trips hold for randomly shaped (but
+/// well-formed) arithmetic functions.
+#[test]
+fn random_function_roundtrips() {
+    use llhd::ir::{Module, Signature, UnitBuilder, UnitData, UnitKind, UnitName};
+    use llhd::ty::int_ty;
+
+    forall("random function roundtrips", |rng| {
+        let ops = rng.vec(1, 39, |r| r.range_usize(0, 5));
+        let width = rng.range_usize(1, 63);
 
         let mut unit = UnitData::new(
             UnitKind::Function,
@@ -122,5 +152,6 @@ proptest! {
         let bytes = llhd::bitcode::encode_module(&module);
         let decoded = llhd::bitcode::decode_module(&bytes).unwrap();
         prop_assert_eq!(llhd::assembly::write_module(&decoded), text);
-    }
+        Ok(())
+    });
 }
