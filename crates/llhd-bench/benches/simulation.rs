@@ -3,24 +3,15 @@
 //!
 //! Run with `cargo bench -p llhd-bench --bench simulation`; emits
 //! `BENCH_simulation.json` for trend tracking. Throughput is reported in
-//! simulated clock cycles per second.
+//! simulated clock cycles per second. The measurement loop itself lives
+//! in [`llhd_bench::suites::simulation_suite`], shared with the CI
+//! regression gate (`bench_gate`).
 
 use llhd_bench::harness::Harness;
-use llhd_designs::all_designs;
-use llhd_sim::SimConfig;
+use llhd_bench::suites::simulation_suite;
 
 fn main() {
-    let cycles = 50;
     let mut h = Harness::from_args("simulation");
-    for design in all_designs() {
-        let module = design.build().expect("design must build");
-        let config = SimConfig::until_nanos(design.sim_time_ns(cycles)).without_trace();
-        h.bench_throughput(&format!("llhd-sim/{}", design.name), cycles, || {
-            llhd_sim::simulate(&module, design.top, &config).unwrap()
-        });
-        h.bench_throughput(&format!("llhd-blaze/{}", design.name), cycles, || {
-            llhd_blaze::simulate(&module, design.top, &config).unwrap()
-        });
-    }
+    simulation_suite(&mut h);
     h.finish();
 }

@@ -1,0 +1,187 @@
+//! CI regression gate for the simulation benchmarks.
+//!
+//! Re-measures the Table 2 simulation suite (the exact loop behind
+//! `cargo bench --bench simulation`, shared via
+//! [`llhd_bench::suites::simulation_suite`]) and compares the fresh
+//! medians against the committed `BENCH_simulation.json` baseline. The
+//! comparison table is printed either way; the process exits non-zero if
+//! any benchmark's median regressed by more than the threshold.
+//!
+//! Flags:
+//! * `--quick` — fewer/shorter samples (what `ci.sh` runs; full-length
+//!   sampling is the default).
+//! * `--baseline PATH` — compare against a different baseline file
+//!   (default: the committed `BENCH_simulation.json` at the workspace
+//!   root).
+//! * `--threshold PCT` — allowed regression in percent (default 20).
+
+use llhd_bench::harness::{default_json_path, BenchConfig, Harness};
+use llhd_bench::suites::simulation_suite;
+use std::time::Duration;
+
+/// Extract `(name, median_ns)` pairs from a `BENCH_*.json` report, which
+/// the in-repo harness emits with one benchmark object per line.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = vec![];
+    for line in text.lines() {
+        let name = match extract_str(line, "\"name\": \"") {
+            Some(n) => n,
+            None => continue,
+        };
+        let median = match extract_num(line, "\"median_ns\": ") {
+            Some(m) => m,
+            None => continue,
+        };
+        out.push((name, median));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    // Names produced by the harness never contain escaped quotes.
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:9.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:9.3} us", ns / 1e3)
+    } else {
+        format!("{:9.0} ns", ns)
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold_pct = 20.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--baseline" => {
+                baseline_path = argv.get(i + 1).cloned();
+                i += 1;
+            }
+            "--threshold" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(t) => {
+                    threshold_pct = t;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("bench_gate: --threshold requires a number in percent");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("bench_gate: ignoring unknown argument {:?}", other),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| default_json_path("simulation"));
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {} — nothing to gate against",
+                baseline_path, e
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: baseline {} contains no benchmarks", baseline_path);
+        std::process::exit(2);
+    }
+
+    let config = if quick {
+        BenchConfig {
+            warmup: Duration::from_millis(60),
+            samples: 5,
+            sample_time: Duration::from_millis(30),
+            json_path: None,
+        }
+    } else {
+        BenchConfig {
+            json_path: None,
+            ..BenchConfig::new("simulation")
+        }
+    };
+    println!(
+        "bench_gate: measuring simulation suite ({} mode), baseline {}",
+        if quick { "quick" } else { "full" },
+        baseline_path
+    );
+    let mut h = Harness::new("simulation", config);
+    simulation_suite(&mut h);
+
+    println!();
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    let mut regressions = vec![];
+    let limit = 1.0 + threshold_pct / 100.0;
+    for result in h.results() {
+        let base = baseline
+            .iter()
+            .find(|(name, _)| name == &result.name)
+            .map(|&(_, median)| median);
+        match base {
+            Some(base) => {
+                let ratio = result.median_ns / base.max(1e-9);
+                let marker = if ratio > limit { "  REGRESSED" } else { "" };
+                println!(
+                    "{:<34} {:>12} {:>12} {:>7.2}x{}",
+                    result.name,
+                    fmt_ns(base),
+                    fmt_ns(result.median_ns),
+                    ratio,
+                    marker
+                );
+                if ratio > limit {
+                    regressions.push((result.name.clone(), ratio));
+                }
+            }
+            None => {
+                println!(
+                    "{:<34} {:>12} {:>12}     (new)",
+                    result.name,
+                    "-",
+                    fmt_ns(result.median_ns)
+                );
+            }
+        }
+    }
+    println!();
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: OK — no median regressed more than {:.0}% vs the baseline",
+            threshold_pct
+        );
+    } else {
+        println!(
+            "bench_gate: FAILED — {} benchmark(s) regressed more than {:.0}%:",
+            regressions.len(),
+            threshold_pct
+        );
+        for (name, ratio) in &regressions {
+            println!("  {}  ({:.2}x the baseline median)", name, ratio);
+        }
+        std::process::exit(1);
+    }
+}

@@ -65,8 +65,9 @@ impl BenchConfig {
 /// (found by walking up from this crate to the directory holding
 /// `Cargo.lock`), so `cargo bench` updates the committed baselines no
 /// matter which directory cargo runs the bench from. Falls back to the
-/// current directory outside a workspace checkout.
-fn default_json_path(suite: &str) -> String {
+/// current directory outside a workspace checkout. Also how the
+/// regression gate (`bench_gate`) locates the committed baseline.
+pub fn default_json_path(suite: &str) -> String {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .find(|p| p.join("Cargo.lock").exists())

@@ -7,6 +7,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod suites;
 
 use llhd::assembly::write_module;
 use llhd::bitcode::encode_module;

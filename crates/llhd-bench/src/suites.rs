@@ -1,0 +1,36 @@
+//! Reusable benchmark suites.
+//!
+//! The measurement loops live here so both the `cargo bench` targets
+//! (which emit the committed `BENCH_*.json` baselines) and the CI
+//! regression gate (`bench_gate`, which re-measures in quick mode and
+//! compares against those baselines) run the *same* code over the same
+//! designs — a gate that measured something subtly different from the
+//! baseline would drift into noise.
+
+use crate::harness::Harness;
+use llhd_designs::all_designs;
+use llhd_sim::SimConfig;
+
+/// The number of simulated clock cycles per iteration of the simulation
+/// suite (the throughput element count).
+pub const SIMULATION_CYCLES: u64 = 50;
+
+/// The Table 2 simulation suite: every benchmark design through both the
+/// reference interpreter and the compiled simulator, tracing disabled.
+pub fn simulation_suite(h: &mut Harness) {
+    for design in all_designs() {
+        let module = design.build().expect("design must build");
+        let config =
+            SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
+        h.bench_throughput(
+            &format!("llhd-sim/{}", design.name),
+            SIMULATION_CYCLES,
+            || llhd_sim::simulate(&module, design.top, &config).unwrap(),
+        );
+        h.bench_throughput(
+            &format!("llhd-blaze/{}", design.name),
+            SIMULATION_CYCLES,
+            || llhd_blaze::simulate(&module, design.top, &config).unwrap(),
+        );
+    }
+}

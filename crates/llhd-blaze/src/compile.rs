@@ -34,6 +34,16 @@ pub struct CompiledTrigger {
     pub state: usize,
 }
 
+/// A compact reference to a run of operand slots in
+/// [`CompiledUnit::arg_pool`]. Replaces a per-op `Vec` so compiling an
+/// instruction allocates nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgRange {
+    offset: u32,
+    len: u32,
+}
+
+
 /// Recognised intrinsic calls.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Intrinsic {
@@ -44,15 +54,16 @@ pub enum Intrinsic {
 }
 
 /// One pre-resolved operation.
+///
+/// Constants never appear here: they are materialized once per register
+/// file via [`CompiledUnit::const_regs`] and cost nothing at run time.
 #[derive(Clone, Debug)]
 pub enum Op {
-    /// Load a constant into a register slot.
-    Const { dst: usize, value: ConstValue },
     /// Evaluate a pure operation.
     Pure {
         opcode: Opcode,
         dst: usize,
-        args: Vec<usize>,
+        args: ArgRange,
         imms: Vec<usize>,
     },
     /// Probe a signal into a register slot.
@@ -86,13 +97,13 @@ pub enum Op {
         callee: Option<UnitId>,
         intrinsic: Option<Intrinsic>,
         dst: Option<usize>,
-        args: Vec<usize>,
+        args: ArgRange,
     },
     /// Suspend until a signal change or timeout.
     Wait {
         resume: usize,
         time: Option<usize>,
-        observed: Vec<usize>,
+        observed: ArgRange,
     },
     /// Suspend forever.
     Halt,
@@ -106,15 +117,6 @@ pub enum Op {
     },
     /// Return from a function.
     Ret { value: Option<usize> },
-    /// Elaboration-only instruction, skipped at run time.
-    Nop,
-}
-
-/// A compiled basic block.
-#[derive(Clone, Debug, Default)]
-pub struct CompiledBlock {
-    /// The operations of the block in execution order.
-    pub ops: Vec<Op>,
 }
 
 /// A compiled unit.
@@ -124,8 +126,12 @@ pub struct CompiledUnit {
     pub kind: UnitKind,
     /// The unit name (for diagnostics).
     pub name: String,
-    /// The compiled blocks, indexed densely.
-    pub blocks: Vec<CompiledBlock>,
+    /// All operations of the unit, blocks laid out back to back (one
+    /// contiguous stream keeps dispatch cache-friendly and compilation
+    /// free of per-block allocations).
+    pub ops: Vec<Op>,
+    /// Half-open `ops` range of each block, indexed densely.
+    pub block_ranges: Vec<(u32, u32)>,
     /// The entry block index.
     pub entry: usize,
     /// Number of value register slots.
@@ -140,9 +146,39 @@ pub struct CompiledUnit {
     pub arg_regs: Vec<usize>,
     /// For each unit argument: its signal slot, if it is a signal.
     pub arg_signals: Vec<Option<usize>>,
-    /// Map from the unit's signal-typed values to signal slots, used to bind
-    /// instances.
-    pub signal_slot_of_value: HashMap<Value, usize>,
+    /// Dense map from the unit's values (by [`Value::index`]) to signal
+    /// slots (`u32::MAX` for non-signal values), used to bind instances.
+    pub signal_slot_of_value: Vec<u32>,
+    /// Constants pre-materialized into register slots. Register slots are
+    /// written only by their unique SSA definition, so loading these once
+    /// per register file replaces every runtime `const` execution.
+    pub const_regs: Vec<(u32, ConstValue)>,
+    /// Operand-slot arena referenced by the [`ArgRange`]s in the ops.
+    pub arg_pool: Vec<u32>,
+}
+
+impl CompiledUnit {
+    /// A fresh register file with the unit's constants materialized.
+    pub fn new_regs(&self) -> Vec<ConstValue> {
+        let mut regs = vec![ConstValue::Void; self.num_regs];
+        for (slot, value) in &self.const_regs {
+            regs[*slot as usize] = value.clone();
+        }
+        regs
+    }
+
+    /// The operand slots referenced by `range`.
+    #[inline]
+    pub fn args(&self, range: ArgRange) -> &[u32] {
+        &self.arg_pool[range.offset as usize..(range.offset + range.len) as usize]
+    }
+
+    /// The operations of block `index`, in execution order.
+    #[inline]
+    pub fn block_ops(&self, index: usize) -> &[Op] {
+        let (start, end) = self.block_ranges[index];
+        &self.ops[start as usize..end as usize]
+    }
 }
 
 /// A compiled unit instance: the unit plus its signal bindings.
@@ -154,7 +190,8 @@ pub struct CompiledInstance {
     pub kind: InstanceKind,
     /// Hierarchical name.
     pub name: String,
-    /// The global signal bound to each signal slot.
+    /// The global signal bound to each signal slot, pre-resolved through
+    /// any `con` aliases so the engine never chases them at run time.
     pub signal_table: Vec<SignalId>,
 }
 
@@ -169,6 +206,10 @@ pub struct CompiledDesign {
     pub instances: Vec<CompiledInstance>,
     /// The elaborated design (signal table, aliases).
     pub design: ElaboratedDesign,
+    /// Whether the scheduler may drop redundant drives before enqueueing
+    /// (see [`llhd_sim::sched::module_allows_drive_dropping`]), decided
+    /// once at compile time.
+    pub allow_drive_drop: bool,
 }
 
 /// Compile all units of a module and bind the elaborated instances.
@@ -189,9 +230,10 @@ pub fn compile_design(
     for instance in &design.instances {
         let unit = &units[&instance.unit];
         let mut signal_table = vec![SignalId(usize::MAX); unit.num_signals];
-        for (value, &slot) in &unit.signal_slot_of_value {
-            if let Some(&sig) = instance.signal_map.get(value) {
-                signal_table[slot] = sig;
+        for (value, &sig) in &instance.signal_map {
+            let slot = unit.signal_slot_of_value[value.index()];
+            if slot != u32::MAX {
+                signal_table[slot as usize] = design.resolve(sig);
             }
         }
         instances.push(CompiledInstance {
@@ -205,21 +247,51 @@ pub fn compile_design(
         units,
         instances,
         design: design.clone(),
+        allow_drive_drop: llhd_sim::sched::module_allows_drive_dropping(module),
     })
+}
+
+/// Dense slot allocator: maps `Value::index()` to a compact slot index,
+/// assigning slots on first use. Replaces the former per-operand hash-map
+/// probes — compile time is on the `simulate()` path, so it gets the same
+/// dense-table treatment as the runtime.
+struct SlotMap {
+    of: Vec<u32>,
+    next: u32,
+}
+
+impl SlotMap {
+    fn new(num_values: usize) -> Self {
+        SlotMap {
+            of: vec![u32::MAX; num_values],
+            next: 0,
+        }
+    }
+
+    fn get(&mut self, v: Value) -> usize {
+        let slot = &mut self.of[v.index()];
+        if *slot == u32::MAX {
+            *slot = self.next;
+            self.next += 1;
+        }
+        *slot as usize
+    }
+
+    fn len(&self) -> usize {
+        self.next as usize
+    }
 }
 
 /// Compile a single unit.
 pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, CompileError> {
     let unit = module.unit(id);
-    let mut reg_of: HashMap<Value, usize> = HashMap::new();
-    let mut sig_of: HashMap<Value, usize> = HashMap::new();
-    let mut mem_of: HashMap<Value, usize> = HashMap::new();
+    let num_values = unit.num_value_slots();
+    let mut reg_of = SlotMap::new(num_values);
+    let mut sig_of = SlotMap::new(num_values);
+    let mut mem_of = SlotMap::new(num_values);
     let mut num_states = 0usize;
 
-    let reg = |map: &mut HashMap<Value, usize>, v: Value| -> usize {
-        let next = map.len();
-        *map.entry(v).or_insert(next)
-    };
+    let reg = |map: &mut SlotMap, v: Value| -> usize { map.get(v) };
 
     // Arguments: signal-typed arguments get signal slots, all arguments get
     // register slots (functions read them as values).
@@ -234,27 +306,38 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
         }
     }
 
+    let mut const_regs: Vec<(u32, ConstValue)> = Vec::new();
+    let mut arg_pool: Vec<u32> = Vec::new();
     let block_list = unit.blocks();
-    let block_index: HashMap<_, _> = block_list.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut block_index = vec![u32::MAX; block_list.iter().map(|b| b.index() + 1).max().unwrap_or(0)];
+    for (i, &b) in block_list.iter().enumerate() {
+        block_index[b.index()] = i as u32;
+    }
+    let block_index = |b: llhd::ir::Block| block_index[b.index()] as usize;
 
-    let mut blocks = Vec::with_capacity(block_list.len());
+    let mut ops: Vec<Op> = Vec::with_capacity(unit.num_total_insts());
+    let mut block_ranges = Vec::with_capacity(block_list.len());
     for &block in &block_list {
-        let mut ops = Vec::new();
-        for inst in unit.insts(block) {
+        let insts = unit.insts_slice(block);
+        let start = ops.len() as u32;
+        for &inst in insts {
             let data = unit.inst_data(inst);
             let dst = unit.get_inst_result(inst).map(|r| reg(&mut reg_of, r));
             let op = match data.opcode {
-                Opcode::Const => Op::Const {
-                    dst: dst.unwrap(),
-                    value: data.konst.clone().unwrap(),
-                },
+                Opcode::Const => {
+                    // Materialized once into the register file; nothing to
+                    // execute at run time.
+                    const_regs.push((dst.unwrap() as u32, data.konst.clone().unwrap()));
+                    continue;
+                }
                 Opcode::Sig | Opcode::Inst | Opcode::Con => {
                     // Elaboration-time: allocate the signal slot so instance
-                    // binding finds it, then skip at run time.
+                    // binding finds it, then emit nothing — the op stream
+                    // carries only instructions that execute.
                     if let Some(result) = unit.get_inst_result(inst) {
                         reg(&mut sig_of, result);
                     }
-                    Op::Nop
+                    continue;
                 }
                 Opcode::Prb => Op::Prb {
                     dst: dst.unwrap(),
@@ -307,7 +390,7 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                     mem: reg(&mut mem_of, data.args[0]),
                     value: reg(&mut reg_of, data.args[1]),
                 },
-                Opcode::Free => Op::Nop,
+                Opcode::Free => continue,
                 Opcode::Call => {
                     let ext = data
                         .ext_unit
@@ -329,11 +412,16 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                     } else {
                         None
                     };
+                    let offset = arg_pool.len() as u32;
+                    arg_pool.extend(data.args.iter().map(|&a| reg(&mut reg_of, a) as u32));
                     Op::Call {
                         callee,
                         intrinsic,
                         dst,
-                        args: data.args.iter().map(|&a| reg(&mut reg_of, a)).collect(),
+                        args: ArgRange {
+                            offset,
+                            len: data.args.len() as u32,
+                        },
                     }
                 }
                 Opcode::Wait | Opcode::WaitTime => {
@@ -342,20 +430,25 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                     } else {
                         (None, &data.args[..])
                     };
+                    let offset = arg_pool.len() as u32;
+                    arg_pool.extend(signals.iter().map(|&s| reg(&mut sig_of, s) as u32));
                     Op::Wait {
-                        resume: block_index[&data.blocks[0]],
+                        resume: block_index(data.blocks[0]),
                         time,
-                        observed: signals.iter().map(|&s| reg(&mut sig_of, s)).collect(),
+                        observed: ArgRange {
+                            offset,
+                            len: signals.len() as u32,
+                        },
                     }
                 }
                 Opcode::Halt => Op::Halt,
                 Opcode::Br => Op::Br {
-                    target: block_index[&data.blocks[0]],
+                    target: block_index(data.blocks[0]),
                 },
                 Opcode::BrCond => Op::BrCond {
                     cond: reg(&mut reg_of, data.args[0]),
-                    if_false: block_index[&data.blocks[0]],
-                    if_true: block_index[&data.blocks[1]],
+                    if_false: block_index(data.blocks[0]),
+                    if_true: block_index(data.blocks[1]),
                 },
                 Opcode::Ret => Op::Ret { value: None },
                 Opcode::RetValue => Op::Ret {
@@ -366,12 +459,19 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                         "phi nodes are not supported by the compiled simulator".to_string(),
                     ))
                 }
-                op if op.is_pure() => Op::Pure {
-                    opcode: op,
-                    dst: dst.unwrap(),
-                    args: data.args.iter().map(|&a| reg(&mut reg_of, a)).collect(),
-                    imms: data.imms.clone(),
-                },
+                op if op.is_pure() => {
+                    let offset = arg_pool.len() as u32;
+                    arg_pool.extend(data.args.iter().map(|&a| reg(&mut reg_of, a) as u32));
+                    Op::Pure {
+                        opcode: op,
+                        dst: dst.unwrap(),
+                        args: ArgRange {
+                            offset,
+                            len: data.args.len() as u32,
+                        },
+                        imms: data.imms.clone(),
+                    }
+                }
                 op => {
                     return Err(CompileError(format!(
                         "unsupported instruction {} in {}",
@@ -382,13 +482,14 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
             };
             ops.push(op);
         }
-        blocks.push(CompiledBlock { ops });
+        block_ranges.push((start, ops.len() as u32));
     }
 
     Ok(CompiledUnit {
         kind: unit.kind(),
         name: unit.name().to_string(),
-        blocks,
+        ops,
+        block_ranges,
         entry: 0,
         num_regs: reg_of.len(),
         num_mems: mem_of.len(),
@@ -396,7 +497,9 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
         num_signals: sig_of.len(),
         arg_regs,
         arg_signals,
-        signal_slot_of_value: sig_of,
+        signal_slot_of_value: sig_of.of,
+        const_regs,
+        arg_pool,
     })
 }
 
@@ -446,7 +549,7 @@ mod tests {
         assert_eq!(dff.num_signals, 3);
         assert_eq!(dff.num_states, 1);
         let stim = &compiled.units[&module.unit_by_ident("stim").unwrap()];
-        assert_eq!(stim.blocks.len(), 2);
+        assert_eq!(stim.block_ranges.len(), 2);
         // Every instance's signal table is fully bound.
         for instance in &compiled.instances {
             let unit = &compiled.units[&instance.unit];

@@ -1,31 +1,26 @@
 //! The execution engine operating on compiled designs.
 //!
-//! Scheduling (event queue, delta cycles, sensitivity) is identical to the
-//! reference interpreter in `llhd-sim`; the difference is that unit bodies
-//! execute over dense register files with pre-resolved operand indices
-//! instead of interpreting the IR data structures.
+//! Scheduling (event queue, delta cycles, sensitivity) comes from the
+//! shared hot-path core in [`llhd_sim::sched`] — exactly the code the
+//! reference interpreter runs on, which is what makes the two engines'
+//! traces byte-identical. The difference is that unit bodies execute over
+//! dense register files with pre-resolved operand indices instead of
+//! interpreting the IR data structures: SSA values, memory cells, signal
+//! references, and `reg` histories are all flat-array accesses whose
+//! indices were computed ahead of time by [`crate::compile`].
 
-use crate::compile::{CompiledDesign, Intrinsic, Op};
+use crate::compile::{CompiledDesign, CompiledUnit, Intrinsic, Op};
 use llhd::eval::eval_pure;
 use llhd::ir::{RegMode, UnitId, UnitKind};
 use llhd::value::{ConstValue, TimeValue};
 use llhd_sim::design::{InstanceKind, SignalId};
+use llhd_sim::sched::SchedCore;
 use llhd_sim::{SimConfig, SimError, SimResult, Trace};
-use std::collections::{BTreeMap, HashSet};
-
-#[derive(Default, Clone)]
-struct Instant {
-    drives: Vec<(SignalId, ConstValue)>,
-    wakes: Vec<(usize, u64)>,
-}
+use std::rc::Rc;
 
 enum Status {
     Ready,
-    Suspended {
-        resume: usize,
-        observed: Vec<SignalId>,
-        token: u64,
-    },
+    Suspended { resume: usize },
     Halted,
 }
 
@@ -34,58 +29,57 @@ struct InstanceState {
     regs: Vec<ConstValue>,
     mems: Vec<ConstValue>,
     states: Vec<Option<ConstValue>>,
-    token: u64,
+    /// The compiled unit this instance executes, held directly so each
+    /// activation costs a reference-count bump instead of a map probe.
+    unit: Rc<CompiledUnit>,
 }
 
 /// The accelerated simulator.
 pub struct BlazeSimulator {
     compiled: CompiledDesign,
     config: SimConfig,
-    values: Vec<ConstValue>,
-    queue: BTreeMap<TimeValue, Instant>,
-    time: TimeValue,
+    core: SchedCore,
     states: Vec<InstanceState>,
-    entity_sensitivity: Vec<(SignalId, usize)>,
-    trace: Trace,
-    signal_changes: usize,
     assertions_checked: usize,
     assertion_failures: usize,
     activations: usize,
+    observed_buf: Vec<SignalId>,
+    /// Reusable argument buffer for pure-op and call evaluation, so the
+    /// per-op hot path performs no allocation.
+    args_buf: Vec<ConstValue>,
 }
 
 impl BlazeSimulator {
     /// Create a simulator for a compiled design.
     pub fn new(compiled: CompiledDesign, config: SimConfig) -> Self {
-        let values: Vec<ConstValue> = compiled
-            .design
-            .signals
-            .iter()
-            .map(|s| s.init.clone())
-            .collect();
+        let mut core = SchedCore::new(
+            &config,
+            &compiled.design.signals,
+            compiled.instances.len(),
+            compiled.allow_drive_drop,
+        );
         let mut states = Vec::with_capacity(compiled.instances.len());
-        let mut entity_sensitivity = vec![];
         for (idx, instance) in compiled.instances.iter().enumerate() {
-            let unit = &compiled.units[&instance.unit];
+            let unit = Rc::clone(&compiled.units[&instance.unit]);
             states.push(InstanceState {
                 status: Status::Ready,
-                regs: vec![ConstValue::Void; unit.num_regs],
+                regs: unit.new_regs(),
                 mems: vec![ConstValue::Void; unit.num_mems],
                 states: vec![None; unit.num_states],
-                token: 0,
+                unit,
             });
             if instance.kind == InstanceKind::Entity {
-                // Sensitivity: every probed or delayed signal slot.
-                for block in &unit.blocks {
-                    for op in &block.ops {
-                        let slot = match op {
-                            Op::Prb { sig, .. } => Some(*sig),
-                            Op::Del { source, .. } => Some(*source),
-                            _ => None,
-                        };
-                        if let Some(slot) = slot {
-                            let sig = compiled.design.resolve(instance.signal_table[slot]);
-                            entity_sensitivity.push((sig, idx));
-                        }
+                // Static sensitivity: every probed or delayed signal slot
+                // (the table is pre-resolved at compile time).
+                let unit = &states[idx].unit;
+                for op in &unit.ops {
+                    let slot = match op {
+                        Op::Prb { sig, .. } => Some(*sig),
+                        Op::Del { source, .. } => Some(*source),
+                        _ => None,
+                    };
+                    if let Some(slot) = slot {
+                        core.add_entity_sensitivity(instance.signal_table[slot], idx);
                     }
                 }
             }
@@ -93,16 +87,13 @@ impl BlazeSimulator {
         BlazeSimulator {
             compiled,
             config,
-            values,
-            queue: BTreeMap::new(),
-            time: TimeValue::ZERO,
+            core,
             states,
-            entity_sensitivity,
-            trace: Trace::new(),
-            signal_changes: 0,
             assertions_checked: 0,
             assertion_failures: 0,
             activations: 0,
+            observed_buf: Vec::new(),
+            args_buf: Vec::new(),
         }
     }
 
@@ -116,77 +107,10 @@ impl BlazeSimulator {
         for idx in 0..self.compiled.instances.len() {
             self.run_instance(idx)?;
         }
-        let mut last_physical = 0u128;
-        let mut deltas = 0u32;
-        loop {
-            let event_time = match self.queue.keys().next() {
-                Some(&t) => t,
-                None => break,
-            };
-            if event_time > self.config.max_time {
-                break;
-            }
-            let instant = self.queue.remove(&event_time).unwrap();
-            if event_time.as_femtos() == last_physical {
-                deltas += 1;
-                if deltas > self.config.max_deltas_per_instant {
-                    return Err(SimError::Runtime(format!(
-                        "delta cycle limit exceeded at {}",
-                        event_time
-                    )));
-                }
-            } else {
-                last_physical = event_time.as_femtos();
-                deltas = 0;
-            }
-            self.time = event_time;
-
-            let mut changed: HashSet<SignalId> = HashSet::new();
-            for (signal, value) in instant.drives {
-                let signal = self.compiled.design.resolve(signal);
-                if self.values[signal.0] != value {
-                    self.values[signal.0] = value.clone();
-                    self.signal_changes += 1;
-                    changed.insert(signal);
-                    if self.config.trace {
-                        let name = &self.compiled.design.signals[signal.0].name;
-                        let record = match &self.config.trace_filter {
-                            None => true,
-                            Some(filter) => filter
-                                .iter()
-                                .any(|f| name == f || name.ends_with(&format!(".{}", f))),
-                        };
-                        if record {
-                            self.trace.record(event_time, name.clone(), value);
-                        }
-                    }
-                }
-            }
-
-            let mut to_run: Vec<usize> = vec![];
-            for &(sig, idx) in &self.entity_sensitivity {
-                if changed.contains(&sig) && !to_run.contains(&idx) {
-                    to_run.push(idx);
-                }
-            }
-            for (idx, state) in self.states.iter().enumerate() {
-                if let Status::Suspended { observed, .. } = &state.status {
-                    if observed.iter().any(|s| changed.contains(s)) && !to_run.contains(&idx) {
-                        to_run.push(idx);
-                    }
-                }
-            }
-            for (idx, token) in instant.wakes {
-                let fresh = matches!(
-                    &self.states[idx].status,
-                    Status::Suspended { token: t, .. } if *t == token
-                );
-                if fresh && !to_run.contains(&idx) {
-                    to_run.push(idx);
-                }
-            }
-            for idx in to_run {
-                self.run_instance(idx)?;
+        let mut to_run: Vec<u32> = Vec::new();
+        while self.core.next_cycle(&mut to_run)? {
+            for i in 0..to_run.len() {
+                self.run_instance(to_run[i] as usize)?;
             }
         }
         let halted = self
@@ -195,51 +119,33 @@ impl BlazeSimulator {
             .filter(|s| matches!(s.status, Status::Halted))
             .count();
         Ok(SimResult {
-            end_time: self.time,
-            signal_changes: self.signal_changes,
+            end_time: self.core.time(),
+            signal_changes: self.core.signal_changes(),
             assertions_checked: self.assertions_checked,
             assertion_failures: self.assertion_failures,
             halted_processes: halted,
             activations: self.activations,
-            trace: std::mem::take(&mut self.trace),
+            trace: self.take_trace(),
         })
     }
 
-    fn schedule_drive(&mut self, signal: SignalId, value: ConstValue, delay: &TimeValue) {
-        let mut at = self.time.advance_by(delay);
-        if at <= self.time {
-            at = self.time.advance_by(&TimeValue::from_delta(1));
-        }
-        self.queue.entry(at).or_default().drives.push((signal, value));
-    }
-
-    fn schedule_wake(&mut self, instance: usize, token: u64, delay: &TimeValue) {
-        let mut at = self.time.advance_by(delay);
-        if at <= self.time {
-            at = self.time.advance_by(&TimeValue::from_delta(1));
-        }
-        self.queue
-            .entry(at)
-            .or_default()
-            .wakes
-            .push((instance, token));
+    fn take_trace(&mut self) -> Trace {
+        self.core.take_trace()
     }
 
     fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
         self.activations += 1;
-        let instance_unit = self.compiled.instances[idx].unit;
-        let kind = self.compiled.instances[idx].kind;
-        let unit = std::rc::Rc::clone(&self.compiled.units[&instance_unit]);
-        let mut block = match (&self.states[idx].status, kind) {
-            (Status::Halted, _) => return Ok(()),
-            (Status::Suspended { resume, .. }, _) => *resume,
-            (Status::Ready, _) => unit.entry,
+        let unit = Rc::clone(&self.states[idx].unit);
+        let mut block = match &self.states[idx].status {
+            Status::Halted => return Ok(()),
+            Status::Suspended { resume } => *resume,
+            Status::Ready => unit.entry,
         };
         self.states[idx].status = Status::Ready;
         let mut steps = 0usize;
         loop {
             let mut next_block = None;
-            for op in &unit.blocks[block].ops {
+            for op in unit.block_ops(block) {
                 steps += 1;
                 if steps > self.config.max_steps_per_activation {
                     return Err(SimError::Runtime(format!(
@@ -248,28 +154,28 @@ impl BlazeSimulator {
                     )));
                 }
                 match op {
-                    Op::Nop => {}
-                    Op::Const { dst, value } => {
-                        self.states[idx].regs[*dst] = value.clone();
-                    }
                     Op::Pure {
                         opcode,
                         dst,
                         args,
                         imms,
                     } => {
-                        let arg_values: Vec<ConstValue> = args
-                            .iter()
-                            .map(|&a| self.states[idx].regs[a].clone())
-                            .collect();
+                        let mut arg_values = std::mem::take(&mut self.args_buf);
+                        arg_values.clear();
+                        arg_values.extend(
+                            unit.args(*args)
+                                .iter()
+                                .map(|&a| self.states[idx].regs[a as usize].clone()),
+                        );
                         let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
                             SimError::Runtime(format!("cannot evaluate {}", opcode))
                         })?;
+                        self.args_buf = arg_values;
                         self.states[idx].regs[*dst] = value;
                     }
                     Op::Prb { dst, sig } => {
                         let signal = self.signal(idx, *sig);
-                        self.states[idx].regs[*dst] = self.values[signal.0].clone();
+                        self.states[idx].regs[*dst] = self.core.value(signal).clone();
                     }
                     Op::Drv {
                         sig,
@@ -285,7 +191,7 @@ impl BlazeSimulator {
                         let signal = self.signal(idx, *sig);
                         let value = self.states[idx].regs[*value].clone();
                         let delay = self.time_reg(idx, *delay)?;
-                        self.schedule_drive(signal, value, &delay);
+                        self.core.schedule_drive(signal, value, &delay);
                     }
                     Op::Del {
                         target,
@@ -295,14 +201,14 @@ impl BlazeSimulator {
                         let target = self.signal(idx, *target);
                         let source = self.signal(idx, *source);
                         let delay = self.time_reg(idx, *delay)?;
-                        let value = self.values[source.0].clone();
-                        self.schedule_drive(target, value, &delay);
+                        let value = self.core.value(source).clone();
+                        self.core.schedule_drive(target, value, &delay);
                     }
                     Op::Reg { sig, triggers } => {
                         let signal = self.signal(idx, *sig);
                         for trigger in triggers {
                             let current = self.states[idx].regs[trigger.trigger].clone();
-                            let previous = self.states[idx].states[trigger.state].clone();
+                            let previous = self.states[idx].states[trigger.state].take();
                             let fire = match trigger.mode {
                                 RegMode::High => current.is_truthy(),
                                 RegMode::Low => !current.is_truthy(),
@@ -328,7 +234,8 @@ impl BlazeSimulator {
                                 }
                             }
                             let value = self.states[idx].regs[trigger.value].clone();
-                            self.schedule_drive(signal, value, &TimeValue::from_delta(1));
+                            self.core
+                                .schedule_drive(signal, value, &TimeValue::from_delta(1));
                         }
                     }
                     Op::Var { mem, init } => {
@@ -346,9 +253,10 @@ impl BlazeSimulator {
                         dst,
                         args,
                     } => {
-                        let arg_values: Vec<ConstValue> = args
+                        let arg_values: Vec<ConstValue> = unit
+                            .args(*args)
                             .iter()
-                            .map(|&a| self.states[idx].regs[a].clone())
+                            .map(|&a| self.states[idx].regs[a as usize].clone())
                             .collect();
                         let result = match intrinsic {
                             Some(Intrinsic::Assert) => {
@@ -370,21 +278,20 @@ impl BlazeSimulator {
                         time,
                         observed,
                     } => {
-                        let observed = observed
-                            .iter()
-                            .map(|&slot| self.signal(idx, slot))
-                            .collect();
-                        self.states[idx].token += 1;
-                        let token = self.states[idx].token;
-                        self.states[idx].status = Status::Suspended {
-                            resume: *resume,
-                            observed,
-                            token,
+                        let mut watch = std::mem::take(&mut self.observed_buf);
+                        watch.clear();
+                        watch.extend(
+                            unit.args(*observed)
+                                .iter()
+                                .map(|&slot| self.signal(idx, slot as usize)),
+                        );
+                        let timeout = match time {
+                            Some(t) => Some(self.time_reg(idx, *t)?),
+                            None => None,
                         };
-                        if let Some(time) = time {
-                            let delay = self.time_reg(idx, *time)?;
-                            self.schedule_wake(idx, token, &delay);
-                        }
+                        self.states[idx].status = Status::Suspended { resume: *resume };
+                        self.core.suspend(idx, &watch, timeout.as_ref());
+                        self.observed_buf = watch;
                         return Ok(());
                     }
                     Op::Halt => {
@@ -426,9 +333,7 @@ impl BlazeSimulator {
     }
 
     fn signal(&self, idx: usize, slot: usize) -> SignalId {
-        self.compiled
-            .design
-            .resolve(self.compiled.instances[idx].signal_table[slot])
+        self.compiled.instances[idx].signal_table[slot]
     }
 
     fn time_reg(&self, idx: usize, slot: usize) -> Result<TimeValue, SimError> {
@@ -443,14 +348,14 @@ impl BlazeSimulator {
         callee: UnitId,
         args: &[ConstValue],
     ) -> Result<Option<ConstValue>, SimError> {
-        let unit = std::rc::Rc::clone(&self.compiled.units[&callee]);
+        let unit = Rc::clone(&self.compiled.units[&callee]);
         if unit.kind != UnitKind::Function {
             return Err(SimError::Runtime(format!(
                 "call target {} is not a function",
                 unit.name
             )));
         }
-        let mut regs = vec![ConstValue::Void; unit.num_regs];
+        let mut regs = unit.new_regs();
         let mut mems = vec![ConstValue::Void; unit.num_mems];
         for (slot, value) in unit.arg_regs.iter().zip(args.iter()) {
             regs[*slot] = value.clone();
@@ -459,7 +364,7 @@ impl BlazeSimulator {
         let mut steps = 0usize;
         loop {
             let mut next_block = None;
-            for op in &unit.blocks[block].ops {
+            for op in unit.block_ops(block) {
                 steps += 1;
                 if steps > self.config.max_steps_per_activation {
                     return Err(SimError::Runtime(format!(
@@ -468,19 +373,22 @@ impl BlazeSimulator {
                     )));
                 }
                 match op {
-                    Op::Nop => {}
-                    Op::Const { dst, value } => regs[*dst] = value.clone(),
                     Op::Pure {
                         opcode,
                         dst,
                         args,
                         imms,
                     } => {
-                        let arg_values: Vec<ConstValue> =
-                            args.iter().map(|&a| regs[a].clone()).collect();
-                        regs[*dst] = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
+                        let mut arg_values = std::mem::take(&mut self.args_buf);
+                        arg_values.clear();
+                        arg_values.extend(
+                            unit.args(*args).iter().map(|&a| regs[a as usize].clone()),
+                        );
+                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
                             SimError::Runtime(format!("cannot evaluate {}", opcode))
                         })?;
+                        self.args_buf = arg_values;
+                        regs[*dst] = value;
                     }
                     Op::Var { mem, init } => mems[*mem] = regs[*init].clone(),
                     Op::Ld { dst, mem } => regs[*dst] = mems[*mem].clone(),
@@ -491,8 +399,11 @@ impl BlazeSimulator {
                         dst,
                         args,
                     } => {
-                        let arg_values: Vec<ConstValue> =
-                            args.iter().map(|&a| regs[a].clone()).collect();
+                        let arg_values: Vec<ConstValue> = unit
+                            .args(*args)
+                            .iter()
+                            .map(|&a| regs[a as usize].clone())
+                            .collect();
                         let result = match intrinsic {
                             Some(Intrinsic::Assert) => {
                                 self.assertions_checked += 1;

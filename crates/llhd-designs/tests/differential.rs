@@ -1,0 +1,82 @@
+//! Differential testing of the two simulation engines.
+//!
+//! Both engines run on the shared scheduling core in `llhd_sim::sched`,
+//! so their behaviour must agree not just up to delta-step reordering
+//! (the `equivalent` check the library tests already do) but **exactly**:
+//! the same value changes, at the same `(time, delta, epsilon)` instants,
+//! in the same order, under the same names. Any divergence — typically
+//! introduced by a scheduler refactor that changes activation order in
+//! one engine only — fails here immediately, on every benchmark design.
+
+use llhd_designs::all_designs;
+use llhd_sim::SimConfig;
+
+/// Every design, through both engines, with full tracing: the traces must
+/// be byte-identical.
+#[test]
+fn interpreter_and_blaze_traces_are_byte_identical() {
+    for design in all_designs() {
+        let module = design.build().unwrap();
+        let config = SimConfig::until_nanos(design.sim_time_ns(25));
+        let reference = llhd_sim::simulate(&module, design.top, &config)
+            .unwrap_or_else(|e| panic!("{}: interpreter failed: {}", design.name, e));
+        let blaze = llhd_blaze::simulate(&module, design.top, &config)
+            .unwrap_or_else(|e| panic!("{}: blaze failed: {}", design.name, e));
+        assert_eq!(
+            reference.trace.events(),
+            blaze.trace.events(),
+            "{}: traces are not byte-identical",
+            design.name
+        );
+        // The VCD serialization of both traces must match byte for byte
+        // as well (same identifier assignment, same timestamps).
+        assert_eq!(
+            reference.trace.to_vcd("1fs"),
+            blaze.trace.to_vcd("1fs"),
+            "{}: VCD output diverges",
+            design.name
+        );
+        // And the scheduler-visible statistics must line up exactly.
+        assert_eq!(
+            reference.signal_changes, blaze.signal_changes,
+            "{}: signal change counts diverge",
+            design.name
+        );
+        assert_eq!(
+            reference.end_time, blaze.end_time,
+            "{}: end times diverge",
+            design.name
+        );
+        assert_eq!(
+            reference.assertions_checked, blaze.assertions_checked,
+            "{}: assertion counts diverge",
+            design.name
+        );
+    }
+}
+
+/// Determinism within one engine: two runs of the same design produce the
+/// identical trace (no hash-iteration or allocation-order dependence).
+#[test]
+fn repeated_runs_are_deterministic() {
+    for design in all_designs() {
+        let module = design.build().unwrap();
+        let config = SimConfig::until_nanos(design.sim_time_ns(10));
+        let a = llhd_sim::simulate(&module, design.top, &config).unwrap();
+        let b = llhd_sim::simulate(&module, design.top, &config).unwrap();
+        assert_eq!(
+            a.trace.events(),
+            b.trace.events(),
+            "{}: interpreter runs diverge",
+            design.name
+        );
+        let c = llhd_blaze::simulate(&module, design.top, &config).unwrap();
+        let d = llhd_blaze::simulate(&module, design.top, &config).unwrap();
+        assert_eq!(
+            c.trace.events(),
+            d.trace.events(),
+            "{}: blaze runs diverge",
+            design.name
+        );
+    }
+}

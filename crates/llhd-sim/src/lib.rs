@@ -33,9 +33,11 @@
 
 pub mod design;
 pub mod engine;
+pub mod sched;
 pub mod trace;
 
 pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
+pub use sched::{EventQueue, SchedCore};
 pub use engine::{SimConfig, SimError, SimResult, Simulator};
 pub use trace::{Trace, TraceEvent};
 

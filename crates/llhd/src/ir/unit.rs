@@ -224,6 +224,19 @@ impl UnitData {
         value.index() < self.values.len() && self.values[value.index()].is_some()
     }
 
+    /// An exclusive upper bound on the raw indices of this unit's values.
+    /// Lets executors allocate dense side tables indexed by
+    /// [`Value::index`] (holes from removed values are included).
+    pub fn num_value_slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// An exclusive upper bound on the raw indices of this unit's
+    /// instructions, for dense side tables indexed by [`Inst::index`].
+    pub fn num_inst_slots(&self) -> usize {
+        self.insts.len()
+    }
+
     /// All live values of the unit.
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
         self.values
@@ -351,6 +364,12 @@ impl UnitData {
     /// The instructions of a block in execution order.
     pub fn insts(&self, block: Block) -> Vec<Inst> {
         self.block_data(block).insts.clone()
+    }
+
+    /// The instructions of a block in execution order, without copying.
+    /// Preferred on hot paths (interpreters, compilers) over [`Self::insts`].
+    pub fn insts_slice(&self, block: Block) -> &[Inst] {
+        &self.block_data(block).insts
     }
 
     /// The number of instructions in a block.

@@ -4,9 +4,23 @@
 //! values as a little-endian sequence of 64-bit limbs in two's complement,
 //! always masked to the declared width. All arithmetic wraps modulo `2^N`,
 //! matching hardware semantics.
+//!
+//! Values of width 64 or less — the overwhelming majority in real designs —
+//! are stored inline without a heap allocation, so cloning them (the
+//! simulators do this on every value move) and their arithmetic are
+//! allocation-free.
 
 use std::cmp::Ordering;
 use std::fmt;
+
+/// The limb storage: a single inline limb for `width <= 64`, a heap vector
+/// otherwise. The choice is canonical in the width, so the derived
+/// equality and hashing over this enum remain value-based.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Limbs {
+    Inline(u64),
+    Heap(Vec<u64>),
+}
 
 /// An `N`-bit integer value in two's complement representation.
 ///
@@ -21,20 +35,86 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ApInt {
     width: usize,
-    limbs: Vec<u64>,
+    limbs: Limbs,
 }
 
 fn limbs_for(width: usize) -> usize {
     width.div_ceil(64).max(1)
 }
 
+/// The mask of valid bits in the top limb of a `width`-bit value.
+fn top_mask(width: usize) -> u64 {
+    let bits = width % 64;
+    if bits == 0 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
 impl ApInt {
+    /// Whether values of this width store their limb inline.
+    #[inline]
+    fn is_small(&self) -> bool {
+        self.width <= 64
+    }
+
+    /// The low limb (the entire value for small widths).
+    #[inline]
+    fn limb0(&self) -> u64 {
+        match &self.limbs {
+            Limbs::Inline(l) => *l,
+            Limbs::Heap(v) => v[0],
+        }
+    }
+
+    /// The low limb sign-extended from the declared width to 64 bits.
+    /// Only meaningful for small widths.
+    #[inline]
+    fn limb0_signed(&self) -> i64 {
+        debug_assert!(self.is_small());
+        let shift = 64 - self.width;
+        ((self.limb0() << shift) as i64) >> shift
+    }
+
+    /// Build a small (inline) value, masking to the width.
+    #[inline]
+    fn small(width: usize, value: u64) -> Self {
+        debug_assert!(width > 0 && width <= 64);
+        ApInt {
+            width,
+            limbs: Limbs::Inline(value & top_mask(width)),
+        }
+    }
+
+    /// Build a value from a limb vector, canonicalizing the storage and
+    /// masking to the width.
+    fn from_limb_vec(width: usize, mut limbs: Vec<u64>) -> Self {
+        assert!(width > 0, "integer width must be positive");
+        if width <= 64 {
+            return ApInt::small(width, limbs.first().copied().unwrap_or(0));
+        }
+        limbs.resize(limbs_for(width), 0);
+        *limbs.last_mut().unwrap() &= top_mask(width);
+        ApInt {
+            width,
+            limbs: Limbs::Heap(limbs),
+        }
+    }
+
     /// Create the zero value of the given width.
     pub fn zero(width: usize) -> Self {
         assert!(width > 0, "integer width must be positive");
-        ApInt {
-            width,
-            limbs: vec![0; limbs_for(width)],
+        if width <= 64 {
+            ApInt {
+                width,
+                limbs: Limbs::Inline(0),
+            }
+        } else {
+            ApInt {
+                width,
+                limbs: Limbs::Heap(vec![0; limbs_for(width)]),
+            }
         }
     }
 
@@ -45,42 +125,39 @@ impl ApInt {
 
     /// Create the all-ones value (i.e. `-1` in two's complement).
     pub fn all_ones(width: usize) -> Self {
-        let mut v = ApInt {
-            width,
-            limbs: vec![u64::MAX; limbs_for(width)],
-        };
-        v.mask();
-        v
+        assert!(width > 0, "integer width must be positive");
+        if width <= 64 {
+            return ApInt::small(width, u64::MAX);
+        }
+        ApInt::from_limb_vec(width, vec![u64::MAX; limbs_for(width)])
     }
 
     /// Create a value from a `u64`, truncating or zero-extending to `width`.
     pub fn from_u64(width: usize, value: u64) -> Self {
         assert!(width > 0, "integer width must be positive");
+        if width <= 64 {
+            return ApInt::small(width, value);
+        }
         let mut limbs = vec![0; limbs_for(width)];
         limbs[0] = value;
-        let mut v = ApInt { width, limbs };
-        v.mask();
-        v
+        ApInt::from_limb_vec(width, limbs)
     }
 
     /// Create a value from an `i64`, sign-extending to `width`.
     pub fn from_i64(width: usize, value: i64) -> Self {
         assert!(width > 0, "integer width must be positive");
+        if width <= 64 {
+            return ApInt::small(width, value as u64);
+        }
         let fill = if value < 0 { u64::MAX } else { 0 };
         let mut limbs = vec![fill; limbs_for(width)];
         limbs[0] = value as u64;
-        let mut v = ApInt { width, limbs };
-        v.mask();
-        v
+        ApInt::from_limb_vec(width, limbs)
     }
 
     /// Create a value from raw little-endian limbs.
-    pub fn from_limbs(width: usize, mut limbs: Vec<u64>) -> Self {
-        assert!(width > 0, "integer width must be positive");
-        limbs.resize(limbs_for(width), 0);
-        let mut v = ApInt { width, limbs };
-        v.mask();
-        v
+    pub fn from_limbs(width: usize, limbs: Vec<u64>) -> Self {
+        ApInt::from_limb_vec(width, limbs)
     }
 
     /// Parse a decimal string (optionally prefixed with `-`) into a value of
@@ -115,28 +192,28 @@ impl ApInt {
 
     /// The raw little-endian limbs.
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.limbs {
+            Limbs::Inline(l) => std::slice::from_ref(l),
+            Limbs::Heap(v) => v,
+        }
     }
 
-    fn mask(&mut self) {
-        let bits = self.width % 64;
-        let n = limbs_for(self.width);
-        self.limbs.truncate(n);
-        self.limbs.resize(n, 0);
-        if bits != 0 {
-            let last = self.limbs.last_mut().unwrap();
-            *last &= (1u64 << bits) - 1;
+    fn limbs_mut(&mut self) -> &mut [u64] {
+        match &mut self.limbs {
+            Limbs::Inline(l) => std::slice::from_mut(l),
+            Limbs::Heap(v) => v,
         }
     }
 
     /// Check whether the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.iter().all(|&l| l == 0)
+        self.limbs().iter().all(|&l| l == 0)
     }
 
     /// Check whether the value is one.
     pub fn is_one(&self) -> bool {
-        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+        let limbs = self.limbs();
+        limbs[0] == 1 && limbs[1..].iter().all(|&l| l == 0)
     }
 
     /// Check whether all bits are set.
@@ -151,7 +228,7 @@ impl ApInt {
     /// Panics if `pos >= width`.
     pub fn bit(&self, pos: usize) -> bool {
         assert!(pos < self.width, "bit index out of range");
-        (self.limbs[pos / 64] >> (pos % 64)) & 1 == 1
+        (self.limbs()[pos / 64] >> (pos % 64)) & 1 == 1
     }
 
     /// Return a copy with the bit at `pos` set to `value`.
@@ -162,10 +239,11 @@ impl ApInt {
     pub fn with_bit(&self, pos: usize, value: bool) -> Self {
         assert!(pos < self.width, "bit index out of range");
         let mut r = self.clone();
+        let limbs = r.limbs_mut();
         if value {
-            r.limbs[pos / 64] |= 1 << (pos % 64);
+            limbs[pos / 64] |= 1 << (pos % 64);
         } else {
-            r.limbs[pos / 64] &= !(1 << (pos % 64));
+            limbs[pos / 64] &= !(1 << (pos % 64));
         }
         r
     }
@@ -177,14 +255,16 @@ impl ApInt {
 
     /// Interpret the low 64 bits as a `u64`.
     pub fn to_u64(&self) -> u64 {
-        self.limbs[0]
+        self.limb0()
     }
 
     /// Interpret the value as an `i64`, sign-extending from the declared
     /// width.
     pub fn to_i64(&self) -> i64 {
-        let v = self.sext(64);
-        v.limbs[0] as i64
+        if self.is_small() {
+            return self.limb0_signed();
+        }
+        self.sext(64).limb0() as i64
     }
 
     /// Interpret the value as a `usize` (low bits).
@@ -194,22 +274,23 @@ impl ApInt {
 
     /// Check whether the value fits in a `u64` without truncation.
     pub fn fits_u64(&self) -> bool {
-        self.limbs[1..].iter().all(|&l| l == 0)
+        self.limbs()[1..].iter().all(|&l| l == 0)
     }
 
     /// Bitwise not.
     pub fn not(&self) -> Self {
-        let limbs = self.limbs.iter().map(|&l| !l).collect();
-        let mut v = ApInt {
-            width: self.width,
-            limbs,
-        };
-        v.mask();
-        v
+        if self.is_small() {
+            return ApInt::small(self.width, !self.limb0());
+        }
+        let limbs = self.limbs().iter().map(|&l| !l).collect();
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Two's complement negation.
     pub fn neg(&self) -> Self {
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0().wrapping_neg());
+        }
         self.not().add(&ApInt::one(self.width))
     }
 
@@ -228,20 +309,20 @@ impl ApInt {
     /// Panics if the operand widths differ.
     pub fn add(&self, other: &Self) -> Self {
         self.check_width(other);
-        let mut limbs = Vec::with_capacity(self.limbs.len());
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0().wrapping_add(other.limb0()));
+        }
+        let a = self.limbs();
+        let b = other.limbs();
+        let mut limbs = Vec::with_capacity(a.len());
         let mut carry = 0u64;
-        for (a, b) in self.limbs.iter().zip(other.limbs.iter()) {
+        for (a, b) in a.iter().zip(b.iter()) {
             let (s1, c1) = a.overflowing_add(*b);
             let (s2, c2) = s1.overflowing_add(carry);
             limbs.push(s2);
             carry = (c1 as u64) + (c2 as u64);
         }
-        let mut v = ApInt {
-            width: self.width,
-            limbs,
-        };
-        v.mask();
-        v
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Wrapping subtraction.
@@ -250,6 +331,10 @@ impl ApInt {
     ///
     /// Panics if the operand widths differ.
     pub fn sub(&self, other: &Self) -> Self {
+        self.check_width(other);
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0().wrapping_sub(other.limb0()));
+        }
         self.add(&other.neg())
     }
 
@@ -260,25 +345,23 @@ impl ApInt {
     /// Panics if the operand widths differ.
     pub fn mul(&self, other: &Self) -> Self {
         self.check_width(other);
-        let n = self.limbs.len();
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0().wrapping_mul(other.limb0()));
+        }
+        let a = self.limbs();
+        let b = other.limbs();
+        let n = a.len();
         let mut acc = vec![0u64; n];
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..(n - i) {
                 let idx = i + j;
-                let prod = (self.limbs[i] as u128) * (other.limbs[j] as u128)
-                    + (acc[idx] as u128)
-                    + carry;
+                let prod = (a[i] as u128) * (b[j] as u128) + (acc[idx] as u128) + carry;
                 acc[idx] = prod as u64;
                 carry = prod >> 64;
             }
         }
-        let mut v = ApInt {
-            width: self.width,
-            limbs: acc,
-        };
-        v.mask();
-        v
+        ApInt::from_limb_vec(self.width, acc)
     }
 
     /// Unsigned division. Division by zero yields the all-ones value, which
@@ -288,6 +371,9 @@ impl ApInt {
         if other.is_zero() {
             return ApInt::all_ones(self.width);
         }
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() / other.limb0());
+        }
         self.udiv_rem(other).0
     }
 
@@ -296,6 +382,9 @@ impl ApInt {
         self.check_width(other);
         if other.is_zero() {
             return self.clone();
+        }
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() % other.limb0());
         }
         self.udiv_rem(other).1
     }
@@ -312,6 +401,11 @@ impl ApInt {
         if other.is_zero() {
             return ApInt::all_ones(self.width);
         }
+        if self.is_small() {
+            // i128 intermediate: i64::MIN / -1 must wrap, not trap.
+            let q = self.limb0_signed() as i128 / other.limb0_signed() as i128;
+            return ApInt::small(self.width, q as u64);
+        }
         let (a_neg, a) = self.abs_parts();
         let (b_neg, b) = other.abs_parts();
         let q = a.udiv(&b);
@@ -327,6 +421,10 @@ impl ApInt {
         self.check_width(other);
         if other.is_zero() {
             return self.clone();
+        }
+        if self.is_small() {
+            let r = self.limb0_signed() as i128 % other.limb0_signed() as i128;
+            return ApInt::small(self.width, r as u64);
         }
         let (a_neg, a) = self.abs_parts();
         let (_, b) = other.abs_parts();
@@ -369,6 +467,12 @@ impl ApInt {
     pub fn udiv_rem(&self, other: &Self) -> (Self, Self) {
         self.check_width(other);
         assert!(!other.is_zero(), "division by zero");
+        if self.is_small() {
+            return (
+                ApInt::small(self.width, self.limb0() / other.limb0()),
+                ApInt::small(self.width, self.limb0() % other.limb0()),
+            );
+        }
         let mut quotient = ApInt::zero(self.width);
         let mut remainder = ApInt::zero(self.width);
         for i in (0..self.width).rev() {
@@ -387,65 +491,60 @@ impl ApInt {
     /// Divide by a small unsigned constant, returning quotient and remainder.
     fn div_rem_small(&self, d: u64) -> (Self, u64) {
         assert!(d != 0);
+        let src = self.limbs();
         let mut rem: u128 = 0;
-        let mut limbs = vec![0u64; self.limbs.len()];
-        for i in (0..self.limbs.len()).rev() {
-            let acc = (rem << 64) | self.limbs[i] as u128;
+        let mut limbs = vec![0u64; src.len()];
+        for i in (0..src.len()).rev() {
+            let acc = (rem << 64) | src[i] as u128;
             limbs[i] = (acc / d as u128) as u64;
             rem = acc % d as u128;
         }
-        (
-            ApInt {
-                width: self.width,
-                limbs,
-            },
-            rem as u64,
-        )
+        (ApInt::from_limb_vec(self.width, limbs), rem as u64)
     }
 
     /// Bitwise and.
     pub fn and(&self, other: &Self) -> Self {
         self.check_width(other);
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() & other.limb0());
+        }
         let limbs = self
-            .limbs
+            .limbs()
             .iter()
-            .zip(other.limbs.iter())
+            .zip(other.limbs().iter())
             .map(|(a, b)| a & b)
             .collect();
-        ApInt {
-            width: self.width,
-            limbs,
-        }
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Bitwise or.
     pub fn or(&self, other: &Self) -> Self {
         self.check_width(other);
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() | other.limb0());
+        }
         let limbs = self
-            .limbs
+            .limbs()
             .iter()
-            .zip(other.limbs.iter())
+            .zip(other.limbs().iter())
             .map(|(a, b)| a | b)
             .collect();
-        ApInt {
-            width: self.width,
-            limbs,
-        }
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Bitwise xor.
     pub fn xor(&self, other: &Self) -> Self {
         self.check_width(other);
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() ^ other.limb0());
+        }
         let limbs = self
-            .limbs
+            .limbs()
             .iter()
-            .zip(other.limbs.iter())
+            .zip(other.limbs().iter())
             .map(|(a, b)| a ^ b)
             .collect();
-        ApInt {
-            width: self.width,
-            limbs,
-        }
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Logical shift left by `amount` bits. Bits shifted beyond the width are
@@ -454,26 +553,25 @@ impl ApInt {
         if amount >= self.width {
             return ApInt::zero(self.width);
         }
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() << amount);
+        }
+        let src = self.limbs();
         let limb_shift = amount / 64;
         let bit_shift = amount % 64;
-        let n = self.limbs.len();
+        let n = src.len();
         let mut limbs = vec![0u64; n];
         for i in (0..n).rev() {
             let mut v = 0u64;
             if i >= limb_shift {
-                v = self.limbs[i - limb_shift] << bit_shift;
+                v = src[i - limb_shift] << bit_shift;
                 if bit_shift > 0 && i > limb_shift {
-                    v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                    v |= src[i - limb_shift - 1] >> (64 - bit_shift);
                 }
             }
             limbs[i] = v;
         }
-        let mut v = ApInt {
-            width: self.width,
-            limbs,
-        };
-        v.mask();
-        v
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Logical shift right by `amount` bits, filling with zeros.
@@ -481,25 +579,26 @@ impl ApInt {
         if amount >= self.width {
             return ApInt::zero(self.width);
         }
+        if self.is_small() {
+            return ApInt::small(self.width, self.limb0() >> amount);
+        }
+        let src = self.limbs();
         let limb_shift = amount / 64;
         let bit_shift = amount % 64;
-        let n = self.limbs.len();
+        let n = src.len();
         let mut limbs = vec![0u64; n];
-        for i in 0..n {
-            let src = i + limb_shift;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let pos = i + limb_shift;
             let mut v = 0u64;
-            if src < n {
-                v = self.limbs[src] >> bit_shift;
-                if bit_shift > 0 && src + 1 < n {
-                    v |= self.limbs[src + 1] << (64 - bit_shift);
+            if pos < n {
+                v = src[pos] >> bit_shift;
+                if bit_shift > 0 && pos + 1 < n {
+                    v |= src[pos + 1] << (64 - bit_shift);
                 }
             }
-            limbs[i] = v;
+            *limb = v;
         }
-        ApInt {
-            width: self.width,
-            limbs,
-        }
+        ApInt::from_limb_vec(self.width, limbs)
     }
 
     /// Arithmetic shift right by `amount` bits, replicating the sign bit.
@@ -511,6 +610,10 @@ impl ApInt {
             } else {
                 ApInt::zero(self.width)
             };
+        }
+        if self.is_small() {
+            let shifted = ((self.limb0_signed()) >> amount) as u64;
+            return ApInt::small(self.width, shifted);
         }
         let shifted = self.lshr_bits(amount);
         if !sign {
@@ -527,7 +630,12 @@ impl ApInt {
     /// Unsigned comparison.
     pub fn ucmp(&self, other: &Self) -> Ordering {
         self.check_width(other);
-        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+        for (a, b) in self
+            .limbs()
+            .iter()
+            .rev()
+            .zip(other.limbs().iter().rev())
+        {
             match a.cmp(b) {
                 Ordering::Equal => continue,
                 ord => return ord,
@@ -549,14 +657,12 @@ impl ApInt {
     /// Zero-extend or truncate to a new width.
     pub fn zext(&self, new_width: usize) -> Self {
         assert!(new_width > 0);
-        let mut limbs = self.limbs.clone();
+        if new_width <= 64 {
+            return ApInt::small(new_width, self.limb0());
+        }
+        let mut limbs = self.limbs().to_vec();
         limbs.resize(limbs_for(new_width), 0);
-        let mut v = ApInt {
-            width: new_width,
-            limbs,
-        };
-        v.mask();
-        v
+        ApInt::from_limb_vec(new_width, limbs)
     }
 
     /// Sign-extend or truncate to a new width.
@@ -564,6 +670,9 @@ impl ApInt {
         assert!(new_width > 0);
         if new_width <= self.width {
             return self.zext(new_width);
+        }
+        if self.is_small() && new_width <= 64 {
+            return ApInt::small(new_width, self.limb0_signed() as u64);
         }
         let sign = self.sign_bit();
         let mut v = self.zext(new_width);
@@ -622,7 +731,7 @@ impl ApInt {
 
     /// Number of one bits.
     pub fn count_ones(&self) -> usize {
-        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+        self.limbs().iter().map(|l| l.count_ones() as usize).sum()
     }
 
     /// Number of leading zero bits (counting from the MSB of the declared
@@ -743,6 +852,20 @@ mod tests {
     }
 
     #[test]
+    fn signed_div_agrees_with_wide_path() {
+        // The small (inline) fast path and the generic limb path must
+        // implement the same function.
+        for (a, b) in [(-7i64, 3i64), (7, -3), (-7, -3), (100, 7), (-128, 1)] {
+            let small_q = ApInt::from_i64(16, a).sdiv(&ApInt::from_i64(16, b));
+            let wide_q = ApInt::from_i64(80, a).sdiv(&ApInt::from_i64(80, b));
+            assert_eq!(small_q.to_i64(), wide_q.to_i64(), "{} / {}", a, b);
+            let small_r = ApInt::from_i64(16, a).srem(&ApInt::from_i64(16, b));
+            let wide_r = ApInt::from_i64(80, a).srem(&ApInt::from_i64(80, b));
+            assert_eq!(small_r.to_i64(), wide_r.to_i64(), "{} % {}", a, b);
+        }
+    }
+
+    #[test]
     fn division_by_zero_convention() {
         let a = ApInt::from_u64(8, 42);
         let z = ApInt::zero(8);
@@ -794,6 +917,18 @@ mod tests {
         assert_eq!(a.sext(16).to_u64(), 0xff80);
         assert_eq!(a.sext(128).to_i64(), -128);
         assert_eq!(ApInt::from_u64(16, 0x1234).trunc(8).to_u64(), 0x34);
+    }
+
+    #[test]
+    fn extension_across_the_limb_boundary() {
+        // Small -> wide and wide -> small conversions keep the value.
+        let a = ApInt::from_u64(48, 0xdead_beef_cafe);
+        assert_eq!(a.zext(96).trunc(48), a);
+        let neg = ApInt::from_i64(48, -3);
+        assert_eq!(neg.sext(96).to_i64(), -3);
+        assert_eq!(neg.sext(96).trunc(48), neg);
+        let wide = ApInt::from_u64(96, 0x1234_5678);
+        assert_eq!(wide.trunc(32).to_u64(), 0x1234_5678);
     }
 
     #[test]
