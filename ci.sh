@@ -4,6 +4,13 @@
 set -eu
 cd "$(dirname "$0")"
 
+# Lint gate: the workspace is clippy-clean and stays that way. Runs first
+# (dev profile) so style/correctness lints fail fast, before the release
+# build. Skippable only where clippy is genuinely unavailable.
+if [ "${LLHD_SKIP_CLIPPY:-0}" != "1" ] && cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
 # Tests run in release so they reuse the artifacts of the build above
 # instead of recompiling the whole workspace in the dev profile.
 cargo build --release --workspace --all-targets

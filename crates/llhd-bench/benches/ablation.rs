@@ -11,27 +11,32 @@
 use llhd_bench::harness::Harness;
 use llhd_designs::design_by_name;
 use llhd_opt::pipeline::optimize_module;
+use llhd_sim::api::{EngineKind, SimSession};
 use llhd_sim::SimConfig;
 
 fn main() {
+    llhd_blaze::register();
     let design = design_by_name("RISC-V Core").unwrap();
     let module = design.build().unwrap();
     let mut optimized = module.clone();
     optimize_module(&mut optimized);
     let config = SimConfig::until_nanos(design.sim_time_ns(50)).without_trace();
+    let run = |module: &llhd::ir::Module, engine: EngineKind| {
+        SimSession::builder(module, design.top)
+            .engine(engine)
+            .config(config.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
 
     let mut h = Harness::from_args("ablation");
-    h.bench("interpreter_O0", || {
-        llhd_sim::simulate(&module, design.top, &config).unwrap()
-    });
+    h.bench("interpreter_O0", || run(&module, EngineKind::Interpret));
     h.bench("interpreter_optimized", || {
-        llhd_sim::simulate(&optimized, design.top, &config).unwrap()
+        run(&optimized, EngineKind::Interpret)
     });
-    h.bench("blaze_O0", || {
-        llhd_blaze::simulate(&module, design.top, &config).unwrap()
-    });
-    h.bench("blaze_optimized", || {
-        llhd_blaze::simulate(&optimized, design.top, &config).unwrap()
-    });
+    h.bench("blaze_O0", || run(&module, EngineKind::Compile));
+    h.bench("blaze_optimized", || run(&optimized, EngineKind::Compile));
     h.finish();
 }

@@ -9,7 +9,9 @@
 //!
 //! Flags:
 //! * `--quick` — fewer/shorter samples (what `ci.sh` runs; full-length
-//!   sampling is the default).
+//!   sampling is the default). Quick samples are noisy on loaded
+//!   machines, so any quick-mode regression is re-measured at full
+//!   length before the gate fails — only reproducible regressions count.
 //! * `--baseline PATH` — compare against a different baseline file
 //!   (default: the committed `BENCH_simulation.json` at the workspace
 //!   root).
@@ -167,6 +169,46 @@ fn main() {
             }
         }
     }
+    // Quick-mode samples (5 × 30 ms) are noisy on loaded machines; before
+    // failing, re-measure just the offending benchmarks at full length
+    // and keep only the regressions that persist.
+    if !regressions.is_empty() && quick {
+        println!(
+            "bench_gate: {} regression(s) in quick mode; re-measuring at full length to filter noise",
+            regressions.len()
+        );
+        let mut retry = Harness::new(
+            "simulation",
+            BenchConfig {
+                json_path: None,
+                ..BenchConfig::new("simulation")
+            },
+        );
+        retry.set_filters(regressions.iter().map(|(name, _)| name.clone()).collect());
+        simulation_suite(&mut retry);
+        regressions = regressions
+            .into_iter()
+            .filter_map(|(name, quick_ratio)| {
+                let full_ratio = retry
+                    .results()
+                    .iter()
+                    .find(|r| r.name == name)
+                    .zip(baseline.iter().find(|(b, _)| b == &name))
+                    .map(|(r, &(_, base))| r.median_ns / base.max(1e-9));
+                match full_ratio {
+                    // Report the reproducible full-length ratio, not the
+                    // noisy quick-mode one that triggered the retry.
+                    Some(ratio) if ratio > limit => Some((name, ratio)),
+                    Some(_) => {
+                        println!("  {}: not reproducible at full length — noise", name);
+                        None
+                    }
+                    None => Some((name, quick_ratio)),
+                }
+            })
+            .collect();
+    }
+
     println!();
     if regressions.is_empty() {
         println!(

@@ -203,6 +203,21 @@ impl Harness {
         harness
     }
 
+    /// Restrict the harness to benchmarks whose name contains one of the
+    /// given substrings (the same filtering `from_args` wires up from
+    /// positional arguments). Used by `bench_gate` to re-measure only the
+    /// benchmarks that regressed in quick mode.
+    pub fn set_filters(&mut self, filters: Vec<String>) {
+        self.filters = filters;
+    }
+
+    /// Whether a benchmark with this name would run under the current
+    /// filters. Suites use it to skip building fixtures for benchmarks
+    /// that a filtered run excludes anyway.
+    pub fn wants(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
     /// Measure `f`, reporting per-iteration statistics under `name`.
     pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
         self.run(name, None, f);
@@ -215,7 +230,7 @@ impl Harness {
     }
 
     fn run<T, F: FnMut() -> T>(&mut self, name: &str, elements: Option<u64>, mut f: F) {
-        if !self.filters.is_empty() && !self.filters.iter().any(|fil| name.contains(fil.as_str())) {
+        if !self.wants(name) {
             return;
         }
         // Warmup: run until the warmup budget is spent (at least once), and

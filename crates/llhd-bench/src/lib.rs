@@ -15,6 +15,7 @@ use llhd::capabilities::{llhd_capabilities, other_ir_capabilities, IrCapabilitie
 use llhd::ir::size::module_memory;
 use llhd_designs::{all_designs, Design};
 use llhd_opt::pipeline::{lower_to_structural, optimize_module, LoweringOptions};
+use llhd_sim::api::{EngineKind, SimSession};
 use llhd_sim::SimConfig;
 use std::time::{Duration, Instant};
 
@@ -59,16 +60,26 @@ impl Table2Row {
 /// Panics if a design fails to build or simulate; that indicates a bug in
 /// the design suite rather than a measurement outcome.
 pub fn measure_design(design: &Design, cycles: u64) -> Table2Row {
+    llhd_blaze::register();
     let module = design.build().expect("design must build");
     let config = SimConfig::until_nanos(design.sim_time_ns(cycles))
         .with_trace_filter(&[design.probe_signal]);
+    let run = |module: &llhd::ir::Module, engine: EngineKind| {
+        SimSession::builder(module, design.top)
+            .engine(engine)
+            .config(config.clone())
+            .build()
+            .expect("session builds")
+            .run()
+            .expect("simulation runs")
+    };
 
     let start = Instant::now();
-    let reference = llhd_sim::simulate(&module, design.top, &config).expect("reference simulation");
+    let reference = run(&module, EngineKind::Interpret);
     let interpreter = start.elapsed();
 
     let start = Instant::now();
-    let blaze_result = llhd_blaze::simulate(&module, design.top, &config).expect("blaze simulation");
+    let blaze_result = run(&module, EngineKind::Compile);
     let blaze = start.elapsed();
 
     // Baseline: compiled simulation of the cleaned-up module (the stand-in
@@ -76,8 +87,7 @@ pub fn measure_design(design: &Design, cycles: u64) -> Table2Row {
     let mut optimized = module.clone();
     optimize_module(&mut optimized);
     let start = Instant::now();
-    let baseline_result =
-        llhd_blaze::simulate(&optimized, design.top, &config).expect("baseline simulation");
+    let baseline_result = run(&optimized, EngineKind::Compile);
     let baseline = start.elapsed();
 
     let traces_match = reference.trace.equivalent(&blaze_result.trace)

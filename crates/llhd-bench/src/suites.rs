@@ -6,9 +6,14 @@
 //! compares against those baselines) run the *same* code over the same
 //! designs — a gate that measured something subtly different from the
 //! baseline would drift into noise.
+//!
+//! Every simulation is constructed through the unified
+//! [`SimSession`](llhd_sim::api::SimSession) surface, with the engine
+//! pinned per benchmark so the two engines stay individually tracked.
 
 use crate::harness::Harness;
 use llhd_designs::all_designs;
+use llhd_sim::api::{BatchJob, DesignCache, EngineKind, SimSession};
 use llhd_sim::SimConfig;
 
 /// The number of simulated clock cycles per iteration of the simulation
@@ -16,21 +21,87 @@ use llhd_sim::SimConfig;
 pub const SIMULATION_CYCLES: u64 = 50;
 
 /// The Table 2 simulation suite: every benchmark design through both the
-/// reference interpreter and the compiled simulator, tracing disabled.
+/// reference interpreter and the compiled simulator, tracing disabled,
+/// plus the batch runner fanning all designs across the available cores.
 pub fn simulation_suite(h: &mut Harness) {
+    llhd_blaze::register();
+    // One design lives at a time: holding all ten built modules across
+    // the whole suite measurably degrades (and destabilizes) the
+    // per-iteration elaborate/compile allocations of the small designs,
+    // which would poison the per-design baselines.
     for design in all_designs() {
+        let interp_name = format!("llhd-sim/{}", design.name);
+        let blaze_name = format!("llhd-blaze/{}", design.name);
+        if !h.wants(&interp_name) && !h.wants(&blaze_name) {
+            continue;
+        }
         let module = design.build().expect("design must build");
         let config =
             SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
         h.bench_throughput(
-            &format!("llhd-sim/{}", design.name),
+            &interp_name,
             SIMULATION_CYCLES,
-            || llhd_sim::simulate(&module, design.top, &config).unwrap(),
+            || {
+                SimSession::builder(&module, design.top)
+                    .engine(EngineKind::Interpret)
+                    .config(config.clone())
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            },
         );
         h.bench_throughput(
-            &format!("llhd-blaze/{}", design.name),
+            &blaze_name,
             SIMULATION_CYCLES,
-            || llhd_blaze::simulate(&module, design.top, &config).unwrap(),
+            || {
+                SimSession::builder(&module, design.top)
+                    .engine(EngineKind::Compile)
+                    .config(config.clone())
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            },
         );
     }
+    // The first scale-out workload: all ten designs as one batch, fanned
+    // across std threads (one worker per core), compiled engine, with a
+    // shared design cache so each design is compiled once per *batch
+    // process lifetime* — the steady state a simulation server would see.
+    // The whole fixture is skipped when a filter excludes the benchmark
+    // (e.g. bench_gate's targeted quick-mode re-measure).
+    if !h.wants("batch/all-designs") {
+        return;
+    }
+    let built: Vec<_> = all_designs()
+        .into_iter()
+        .map(|design| {
+            let module = design.build().expect("design must build");
+            let config =
+                SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
+            (design, module, config)
+        })
+        .collect();
+    let jobs: Vec<BatchJob> = built
+        .iter()
+        .map(|(design, module, config)| BatchJob {
+            module,
+            top: design.top,
+            engine: EngineKind::Compile,
+            config: config.clone(),
+        })
+        .collect();
+    let cache = DesignCache::new();
+    h.bench_throughput(
+        "batch/all-designs",
+        SIMULATION_CYCLES * jobs.len() as u64,
+        || {
+            let results = SimSession::run_batch(&jobs, Some(&cache));
+            for result in &results {
+                result.as_ref().unwrap();
+            }
+            results
+        },
+    );
 }

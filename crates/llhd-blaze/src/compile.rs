@@ -5,7 +5,7 @@ use llhd::value::ConstValue;
 use llhd_sim::design::{ElaboratedDesign, InstanceKind, SignalId};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error produced while compiling a unit.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -201,11 +201,12 @@ pub struct CompiledInstance {
 pub struct CompiledDesign {
     /// Compiled units, indexed by their module handle. Shared pointers keep
     /// per-activation dispatch free of deep copies.
-    pub units: HashMap<UnitId, Rc<CompiledUnit>>,
+    pub units: HashMap<UnitId, Arc<CompiledUnit>>,
     /// Compiled instances.
     pub instances: Vec<CompiledInstance>,
-    /// The elaborated design (signal table, aliases).
-    pub design: ElaboratedDesign,
+    /// The elaborated design (signal table, aliases), shared with whoever
+    /// elaborated it — typically a session or a design cache.
+    pub design: Arc<ElaboratedDesign>,
     /// Whether the scheduler may drop redundant drives before enqueueing
     /// (see [`llhd_sim::sched::module_allows_drive_dropping`]), decided
     /// once at compile time.
@@ -219,12 +220,13 @@ pub struct CompiledDesign {
 /// Returns a [`CompileError`] for constructs outside the supported subset.
 pub fn compile_design(
     module: &Module,
-    design: &ElaboratedDesign,
+    design: impl Into<Arc<ElaboratedDesign>>,
 ) -> Result<CompiledDesign, CompileError> {
+    let design = design.into();
     let mut units = HashMap::new();
     for id in module.units() {
         let compiled = compile_unit(module, id)?;
-        units.insert(id, Rc::new(compiled));
+        units.insert(id, Arc::new(compiled));
     }
     let mut instances = Vec::with_capacity(design.instances.len());
     for instance in &design.instances {
@@ -246,7 +248,7 @@ pub fn compile_design(
     Ok(CompiledDesign {
         units,
         instances,
-        design: design.clone(),
+        design,
         allow_drive_drop: llhd_sim::sched::module_allows_drive_dropping(module),
     })
 }
@@ -542,7 +544,7 @@ mod tests {
         )
         .unwrap();
         let design = elaborate(&module, "top").unwrap();
-        let compiled = compile_design(&module, &design).unwrap();
+        let compiled = compile_design(&module, design).unwrap();
         assert_eq!(compiled.instances.len(), 3);
         let dff = &compiled.units[&module.unit_by_ident("dff").unwrap()];
         assert_eq!(dff.kind, UnitKind::Entity);
@@ -576,6 +578,6 @@ mod tests {
         )
         .unwrap();
         let design = elaborate(&module, "p").unwrap();
-        assert!(compile_design(&module, &design).is_err());
+        assert!(compile_design(&module, design).is_err());
     }
 }

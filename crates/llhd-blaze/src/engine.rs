@@ -16,7 +16,7 @@ use llhd::value::{ConstValue, TimeValue};
 use llhd_sim::design::{InstanceKind, SignalId};
 use llhd_sim::sched::SchedCore;
 use llhd_sim::{SimConfig, SimError, SimResult, Trace};
-use std::rc::Rc;
+use std::sync::Arc;
 
 enum Status {
     Ready,
@@ -31,12 +31,17 @@ struct InstanceState {
     states: Vec<Option<ConstValue>>,
     /// The compiled unit this instance executes, held directly so each
     /// activation costs a reference-count bump instead of a map probe.
-    unit: Rc<CompiledUnit>,
+    unit: Arc<CompiledUnit>,
+    /// This instance's signal bindings, copied out of the shared
+    /// `CompiledDesign` at construction: `signal()` is on the per-op hot
+    /// path (every probe, drive, and wait), and reading it here skips the
+    /// `Arc` indirection into the shared design.
+    signal_table: Vec<SignalId>,
 }
 
 /// The accelerated simulator.
 pub struct BlazeSimulator {
-    compiled: CompiledDesign,
+    compiled: Arc<CompiledDesign>,
     config: SimConfig,
     core: SchedCore,
     states: Vec<InstanceState>,
@@ -47,11 +52,21 @@ pub struct BlazeSimulator {
     /// Reusable argument buffer for pure-op and call evaluation, so the
     /// per-op hot path performs no allocation.
     args_buf: Vec<ConstValue>,
+    initialized: bool,
+    /// A failure during initialization or a step poisons the simulator:
+    /// the instances after the failing one never ran, so continuing would
+    /// silently produce a wrong trace. Replayed by every later
+    /// `initialize`/`step`.
+    poisoned: Option<SimError>,
+    to_run_buf: Vec<u32>,
 }
 
 impl BlazeSimulator {
-    /// Create a simulator for a compiled design.
-    pub fn new(compiled: CompiledDesign, config: SimConfig) -> Self {
+    /// Create a simulator for a compiled design. The design is shared
+    /// (`Arc`), so repeated simulations served from a design cache reuse
+    /// one compilation; a plain [`CompiledDesign`] converts implicitly.
+    pub fn new(compiled: impl Into<Arc<CompiledDesign>>, config: SimConfig) -> Self {
+        let compiled = compiled.into();
         let mut core = SchedCore::new(
             &config,
             &compiled.design.signals,
@@ -60,13 +75,14 @@ impl BlazeSimulator {
         );
         let mut states = Vec::with_capacity(compiled.instances.len());
         for (idx, instance) in compiled.instances.iter().enumerate() {
-            let unit = Rc::clone(&compiled.units[&instance.unit]);
+            let unit = Arc::clone(&compiled.units[&instance.unit]);
             states.push(InstanceState {
                 status: Status::Ready,
                 regs: unit.new_regs(),
                 mems: vec![ConstValue::Void; unit.num_mems],
                 states: vec![None; unit.num_states],
                 unit,
+                signal_table: instance.signal_table.clone(),
             });
             if instance.kind == InstanceKind::Entity {
                 // Static sensitivity: every probed or delayed signal slot
@@ -94,6 +110,90 @@ impl BlazeSimulator {
             activations: 0,
             observed_buf: Vec::new(),
             args_buf: Vec::new(),
+            initialized: false,
+            poisoned: None,
+            to_run_buf: Vec::new(),
+        }
+    }
+
+    /// Run the initialization phase: every instance executes once.
+    /// Idempotent — later calls are no-ops, and [`BlazeSimulator::step`]
+    /// calls it automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on unsupported constructs.
+    pub fn initialize(&mut self) -> Result<(), SimError> {
+        if self.initialized {
+            return match &self.poisoned {
+                None => Ok(()),
+                Some(e) => Err(e.clone()),
+            };
+        }
+        self.initialized = true;
+        for idx in 0..self.compiled.instances.len() {
+            if let Err(e) = self.run_instance(idx) {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the simulation by exactly one scheduler cycle. Returns
+    /// `false` once the event queue is exhausted or the configured end
+    /// time is reached. Stepping is deterministic: a run advanced in
+    /// arbitrary chunks produces the identical trace to an uninterrupted
+    /// [`BlazeSimulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on unsupported constructs or runaway
+    /// delta cycles.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.initialize()?;
+        let mut to_run = std::mem::take(&mut self.to_run_buf);
+        let mut outcome = self.core.next_cycle(&mut to_run);
+        if let Ok(true) = outcome {
+            // `to_run` is detached from `self` here, so iterating it while
+            // activating instances borrows cleanly.
+            for &inst in &to_run {
+                if let Err(e) = self.run_instance(inst as usize) {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.to_run_buf = to_run;
+        if let Err(e) = &outcome {
+            // A failed cycle leaves half-applied state (the remaining
+            // instances of the instant never ran); poison the simulator
+            // so later steps replay the error instead of silently
+            // diverging.
+            self.poisoned = Some(e.clone());
+        }
+        outcome
+    }
+
+    /// Assemble the result of the run so far, taking the recorded trace
+    /// out of the scheduler core. After a failed `initialize`/`step` the
+    /// state is half-applied (the failing cycle never completed); the
+    /// session layer refuses to assemble a result in that case, and
+    /// callers driving the engine directly should do the same.
+    pub fn finish(&mut self) -> SimResult {
+        let halted = self
+            .states
+            .iter()
+            .filter(|s| matches!(s.status, Status::Halted))
+            .count();
+        SimResult {
+            end_time: self.core.time(),
+            signal_changes: self.core.signal_changes(),
+            assertions_checked: self.assertions_checked,
+            assertion_failures: self.assertion_failures,
+            halted_processes: halted,
+            activations: self.activations,
+            trace: self.take_trace(),
         }
     }
 
@@ -104,29 +204,36 @@ impl BlazeSimulator {
     /// Returns [`SimError::Runtime`] on unsupported constructs or runaway
     /// delta cycles.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        for idx in 0..self.compiled.instances.len() {
-            self.run_instance(idx)?;
-        }
-        let mut to_run: Vec<u32> = Vec::new();
-        while self.core.next_cycle(&mut to_run)? {
-            for i in 0..to_run.len() {
-                self.run_instance(to_run[i] as usize)?;
-            }
-        }
-        let halted = self
-            .states
-            .iter()
-            .filter(|s| matches!(s.status, Status::Halted))
-            .count();
-        Ok(SimResult {
-            end_time: self.core.time(),
-            signal_changes: self.core.signal_changes(),
-            assertions_checked: self.assertions_checked,
-            assertion_failures: self.assertion_failures,
-            halted_processes: halted,
-            activations: self.activations,
-            trace: self.take_trace(),
-        })
+        while self.step()? {}
+        Ok(self.finish())
+    }
+
+    /// The current simulation time.
+    pub fn time(&self) -> TimeValue {
+        self.core.time()
+    }
+
+    /// The elaborated design behind the compiled one.
+    pub fn design(&self) -> &llhd_sim::ElaboratedDesign {
+        &self.compiled.design
+    }
+
+    /// The current value of a signal.
+    pub fn signal_value(&self, signal: SignalId) -> &ConstValue {
+        self.core.value(self.compiled.design.resolve(signal))
+    }
+
+    /// Schedule an external drive of `signal` to `value`, taking effect at
+    /// the next delta step (the session-level "poke").
+    pub fn poke(&mut self, signal: SignalId, value: ConstValue) {
+        let signal = self.compiled.design.resolve(signal);
+        self.core.schedule_drive(signal, value, &TimeValue::ZERO);
+    }
+
+    /// Drain the trace events recorded since the last drain into `buf`
+    /// (streaming sinks pull these after every step).
+    pub fn drain_trace_into(&mut self, buf: &mut Vec<llhd_sim::trace::TraceEvent>) {
+        self.core.drain_trace_into(buf);
     }
 
     fn take_trace(&mut self) -> Trace {
@@ -135,7 +242,7 @@ impl BlazeSimulator {
 
     fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
         self.activations += 1;
-        let unit = Rc::clone(&self.states[idx].unit);
+        let unit = Arc::clone(&self.states[idx].unit);
         let mut block = match &self.states[idx].status {
             Status::Halted => return Ok(()),
             Status::Suspended { resume } => *resume,
@@ -333,7 +440,7 @@ impl BlazeSimulator {
     }
 
     fn signal(&self, idx: usize, slot: usize) -> SignalId {
-        self.compiled.instances[idx].signal_table[slot]
+        self.states[idx].signal_table[slot]
     }
 
     fn time_reg(&self, idx: usize, slot: usize) -> Result<TimeValue, SimError> {
@@ -348,7 +455,7 @@ impl BlazeSimulator {
         callee: UnitId,
         args: &[ConstValue],
     ) -> Result<Option<ConstValue>, SimError> {
-        let unit = Rc::clone(&self.compiled.units[&callee]);
+        let unit = Arc::clone(&self.compiled.units[&callee]);
         if unit.kind != UnitKind::Function {
             return Err(SimError::Runtime(format!(
                 "call target {} is not a function",
@@ -453,11 +560,66 @@ impl BlazeSimulator {
     }
 }
 
+impl llhd_sim::api::Engine for BlazeSimulator {
+    fn engine_name(&self) -> &'static str {
+        "blaze"
+    }
+    fn initialize(&mut self) -> Result<(), SimError> {
+        BlazeSimulator::initialize(self)
+    }
+    fn step(&mut self) -> Result<bool, SimError> {
+        BlazeSimulator::step(self)
+    }
+    fn time(&self) -> TimeValue {
+        BlazeSimulator::time(self)
+    }
+    fn peek(&self, signal: SignalId) -> ConstValue {
+        self.signal_value(signal).clone()
+    }
+    fn poke(&mut self, signal: SignalId, value: ConstValue) {
+        BlazeSimulator::poke(self, signal, value)
+    }
+    fn drain_trace_into(&mut self, buf: &mut Vec<llhd_sim::trace::TraceEvent>) {
+        BlazeSimulator::drain_trace_into(self, buf)
+    }
+    fn finish(&mut self) -> SimResult {
+        BlazeSimulator::finish(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulate;
+    use crate::session;
     use llhd::assembly::parse_module;
+    use llhd_sim::api::{EngineKind, SimSession};
+    use llhd_sim::SimResult;
+
+    /// Compiled runs constructed through the unified session surface.
+    fn simulate(
+        module: &llhd::ir::Module,
+        top: &str,
+        config: &SimConfig,
+    ) -> Result<SimResult, llhd_sim::api::Error> {
+        session(module, top)
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .build()?
+            .run()
+    }
+
+    /// Interpreter runs, for differential checks.
+    fn simulate_reference(
+        module: &llhd::ir::Module,
+        top: &str,
+        config: &SimConfig,
+    ) -> Result<SimResult, llhd_sim::api::Error> {
+        SimSession::builder(module, top)
+            .engine(EngineKind::Interpret)
+            .config(config.clone())
+            .build()?
+            .run()
+    }
 
     #[test]
     fn compiled_counter_matches_reference() {
@@ -481,7 +643,7 @@ mod tests {
         )
         .unwrap();
         let config = SimConfig::until_nanos(50);
-        let reference = llhd_sim::simulate(&module, "counter", &config).unwrap();
+        let reference = simulate_reference(&module, "counter", &config).unwrap();
         let blaze = simulate(&module, "counter", &config).unwrap();
         assert!(reference.trace.equivalent(&blaze.trace));
         assert_eq!(reference.signal_changes, blaze.signal_changes);

@@ -24,7 +24,42 @@ pub use compile::{compile_design, CompileError, CompiledDesign};
 pub use engine::BlazeSimulator;
 
 use llhd::ir::Module;
+use llhd_sim::api::{
+    self, CompileBackend, CompiledArtifact, Engine, Error, SessionBuilder, SimSession,
+};
 use llhd_sim::{elaborate, SimConfig, SimError, SimResult};
+use std::sync::Arc;
+
+/// Install this crate as the compile backend of the unified session API,
+/// so [`llhd_sim::api::EngineKind::Compile`] (and `Auto` on large designs)
+/// resolves to the blaze engine. Idempotent and cheap — call it once at
+/// startup, or go through [`session`], which calls it for you.
+pub fn register() {
+    api::register_compile_backend(CompileBackend {
+        name: "blaze",
+        compile: |module, design| {
+            compile_design(module, design)
+                .map(|compiled| Arc::new(compiled) as CompiledArtifact)
+                .map_err(|e| Error::Compile(e.0))
+        },
+        instantiate: |artifact, config| {
+            let compiled = Arc::clone(artifact)
+                .downcast::<CompiledDesign>()
+                .map_err(|_| {
+                    Error::Compile("cached artifact is not a blaze CompiledDesign".to_string())
+                })?;
+            Ok(Box::new(BlazeSimulator::new(compiled, config.clone())) as Box<dyn Engine>)
+        },
+    });
+}
+
+/// Start configuring a [`SimSession`] with the blaze backend registered:
+/// the one-stop entry point for consumers that want both engines
+/// available behind [`llhd_sim::api::EngineKind`].
+pub fn session<'m>(module: &'m Module, top: &'m str) -> SessionBuilder<'m> {
+    register();
+    SimSession::builder(module, top)
+}
 
 /// Elaborate, compile, and simulate `top` from `module`.
 ///
@@ -32,9 +67,15 @@ use llhd_sim::{elaborate, SimConfig, SimError, SimResult};
 ///
 /// Returns an error if elaboration or compilation fails, or the simulation
 /// encounters an unsupported construct.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct simulations through `llhd_blaze::session` (or register the \
+            backend with `llhd_blaze::register()` and use \
+            `llhd_sim::api::SimSession::builder` with `EngineKind::Compile`)"
+)]
 pub fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, SimError> {
     let design = elaborate(module, top).map_err(SimError::Elaborate)?;
-    let compiled = compile_design(module, &design).map_err(|e| SimError::Runtime(e.to_string()))?;
+    let compiled = compile_design(module, design).map_err(|e| SimError::Runtime(e.to_string()))?;
     let mut simulator = BlazeSimulator::new(compiled, config.clone());
     simulator.run()
 }
@@ -111,8 +152,20 @@ mod tests {
         )
         .unwrap();
         let config = SimConfig::until_nanos(200);
-        let reference = llhd_sim::simulate(&module, "acc_tb", &config).unwrap();
-        let blaze = simulate(&module, "acc_tb", &config).unwrap();
+        let reference = session(&module, "acc_tb")
+            .engine(llhd_sim::EngineKind::Interpret)
+            .config(config.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let blaze = session(&module, "acc_tb")
+            .engine(llhd_sim::EngineKind::Compile)
+            .config(config.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             reference.trace.equivalent(&blaze.trace),
             "traces diverge:\nreference: {:?}\nblaze: {:?}",

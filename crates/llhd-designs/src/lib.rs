@@ -128,7 +128,19 @@ pub fn accumulator_source() -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llhd_sim::SimConfig;
+    use llhd_sim::api::{EngineKind, SimSession};
+    use llhd_sim::{SimConfig, SimResult};
+
+    fn run(module: &Module, top: &str, config: &SimConfig, engine: EngineKind) -> SimResult {
+        llhd_blaze::register();
+        SimSession::builder(module, top)
+            .engine(engine)
+            .config(config.clone())
+            .build()
+            .expect("session builds")
+            .run()
+            .expect("simulation runs")
+    }
 
     #[test]
     fn all_designs_build_and_verify() {
@@ -148,8 +160,7 @@ mod tests {
             let module = design.build().unwrap();
             let config = SimConfig::until_nanos(design.sim_time_ns(30))
                 .with_trace_filter(&[design.probe_signal]);
-            let result = llhd_sim::simulate(&module, design.top, &config)
-                .unwrap_or_else(|e| panic!("{} failed to simulate: {}", design.name, e));
+            let result = run(&module, design.top, &config, EngineKind::Interpret);
             assert!(
                 result.trace.changes_of(design.probe_signal).count() > 0,
                 "{}: no activity on probe signal {}",
@@ -164,8 +175,8 @@ mod tests {
         for design in all_designs() {
             let module = design.build().unwrap();
             let config = SimConfig::until_nanos(design.sim_time_ns(20));
-            let reference = llhd_sim::simulate(&module, design.top, &config).unwrap();
-            let blaze = llhd_blaze::simulate(&module, design.top, &config).unwrap();
+            let reference = run(&module, design.top, &config, EngineKind::Interpret);
+            let blaze = run(&module, design.top, &config, EngineKind::Compile);
             assert!(
                 reference.trace.equivalent(&blaze.trace),
                 "{}: traces diverge",

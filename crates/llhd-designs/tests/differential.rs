@@ -7,9 +7,26 @@
 //! in the same order, under the same names. Any divergence — typically
 //! introduced by a scheduler refactor that changes activation order in
 //! one engine only — fails here immediately, on every benchmark design.
+//!
+//! Both engines are driven through the one public surface,
+//! [`SimSession`]: the engine is the only thing that differs between the
+//! two runs of each design.
 
+use llhd::ir::Module;
 use llhd_designs::all_designs;
-use llhd_sim::SimConfig;
+use llhd_sim::api::{EngineKind, SimSession};
+use llhd_sim::{SimConfig, SimResult};
+
+fn run(module: &Module, top: &str, config: &SimConfig, engine: EngineKind) -> SimResult {
+    llhd_blaze::register();
+    SimSession::builder(module, top)
+        .engine(engine)
+        .config(config.clone())
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("simulation runs")
+}
 
 /// Every design, through both engines, with full tracing: the traces must
 /// be byte-identical.
@@ -18,10 +35,8 @@ fn interpreter_and_blaze_traces_are_byte_identical() {
     for design in all_designs() {
         let module = design.build().unwrap();
         let config = SimConfig::until_nanos(design.sim_time_ns(25));
-        let reference = llhd_sim::simulate(&module, design.top, &config)
-            .unwrap_or_else(|e| panic!("{}: interpreter failed: {}", design.name, e));
-        let blaze = llhd_blaze::simulate(&module, design.top, &config)
-            .unwrap_or_else(|e| panic!("{}: blaze failed: {}", design.name, e));
+        let reference = run(&module, design.top, &config, EngineKind::Interpret);
+        let blaze = run(&module, design.top, &config, EngineKind::Compile);
         assert_eq!(
             reference.trace.events(),
             blaze.trace.events(),
@@ -62,16 +77,16 @@ fn repeated_runs_are_deterministic() {
     for design in all_designs() {
         let module = design.build().unwrap();
         let config = SimConfig::until_nanos(design.sim_time_ns(10));
-        let a = llhd_sim::simulate(&module, design.top, &config).unwrap();
-        let b = llhd_sim::simulate(&module, design.top, &config).unwrap();
+        let a = run(&module, design.top, &config, EngineKind::Interpret);
+        let b = run(&module, design.top, &config, EngineKind::Interpret);
         assert_eq!(
             a.trace.events(),
             b.trace.events(),
             "{}: interpreter runs diverge",
             design.name
         );
-        let c = llhd_blaze::simulate(&module, design.top, &config).unwrap();
-        let d = llhd_blaze::simulate(&module, design.top, &config).unwrap();
+        let c = run(&module, design.top, &config, EngineKind::Compile);
+        let d = run(&module, design.top, &config, EngineKind::Compile);
         assert_eq!(
             c.trace.events(),
             d.trace.events(),

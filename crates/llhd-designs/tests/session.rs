@@ -1,0 +1,312 @@
+//! Integration tests of the unified `SimSession` surface over the real
+//! benchmark designs: pause/resume determinism on both engines, design
+//! cache hit/miss semantics (a cached repeat run skips `compile_design`
+//! entirely), streaming VCD output, and the parallel batch runner.
+
+use llhd_designs::{accumulator_example, all_designs};
+use llhd_sim::api::{BatchJob, DesignCache, EngineKind, SimSession, VcdSink};
+use llhd_sim::SimConfig;
+
+/// A session stepped in arbitrary chunks produces a trace byte-identical
+/// to an uninterrupted run — on both engines, over real designs.
+#[test]
+fn chunked_stepping_is_deterministic_on_both_engines() {
+    llhd_blaze::register();
+    for design in all_designs().into_iter().take(3) {
+        let module = design.build().unwrap();
+        let config = SimConfig::until_nanos(design.sim_time_ns(10));
+        for engine in [EngineKind::Interpret, EngineKind::Compile] {
+            let full = SimSession::builder(&module, design.top)
+                .engine(engine)
+                .config(config.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let mut chunked = SimSession::builder(&module, design.top)
+                .engine(engine)
+                .config(config.clone())
+                .build()
+                .unwrap();
+            // Pause after uneven chunks of cycles, then run out the rest.
+            let mut more = true;
+            for chunk in [1usize, 2, 5, 13] {
+                for _ in 0..chunk {
+                    if !chunked.step().unwrap() {
+                        more = false;
+                        break;
+                    }
+                }
+            }
+            while more && chunked.step().unwrap() {}
+            let stepped = chunked.finish().unwrap();
+            assert_eq!(
+                full.trace.events(),
+                stepped.trace.events(),
+                "{} ({:?}): chunked stepping diverged from the uninterrupted run",
+                design.name,
+                engine
+            );
+            assert_eq!(full.end_time, stepped.end_time, "{}", design.name);
+            assert_eq!(
+                full.signal_changes, stepped.signal_changes,
+                "{}",
+                design.name
+            );
+        }
+    }
+}
+
+/// A cached repeat run of a moore-built testbench skips `compile_design`
+/// entirely: the second session is served from the cache, observable
+/// through the compile-hit counter (the backend's compile hook only runs
+/// on misses).
+#[test]
+fn cached_repeat_run_skips_compilation() {
+    llhd_blaze::register();
+    let module = accumulator_example().unwrap();
+    let cache = DesignCache::new();
+    let config = SimConfig::until_nanos(60);
+
+    let first = SimSession::builder(&module, "acc_tb")
+        .engine(EngineKind::Compile)
+        .config(config.clone())
+        .cache(&cache)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(cache.compile_misses(), 1, "first run must compile");
+    assert_eq!(cache.compile_hits(), 0);
+
+    let second = SimSession::builder(&module, "acc_tb")
+        .engine(EngineKind::Compile)
+        .config(config.clone())
+        .cache(&cache)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        cache.compile_hits(),
+        1,
+        "second run must be served from the cache"
+    );
+    assert_eq!(
+        cache.compile_misses(),
+        1,
+        "compile_design must not run again"
+    );
+    assert_eq!(first.trace.events(), second.trace.events());
+
+    // An interpreter session on the same design reuses the cached
+    // elaboration without touching the compile table.
+    SimSession::builder(&module, "acc_tb")
+        .engine(EngineKind::Interpret)
+        .config(config.clone())
+        .cache(&cache)
+        .build()
+        .unwrap();
+    assert_eq!(cache.elaborate_hits(), 1);
+    assert_eq!(cache.compile_misses(), 1);
+
+    // A different top or module is a different key.
+    let err = SimSession::builder(&module, "acc")
+        .engine(EngineKind::Compile)
+        .cache(&cache)
+        .build();
+    // ("acc" has ports, so elaboration succeeds; both entries coexist.)
+    assert!(err.is_ok());
+    assert_eq!(cache.len(), 2);
+}
+
+/// The streaming VCD sink produces byte-identical output to the
+/// post-hoc `Trace::to_vcd`, on both engines.
+#[test]
+fn streaming_vcd_equals_in_memory_vcd() {
+    llhd_blaze::register();
+    let design = &all_designs()[2]; // LFSR
+    let module = design.build().unwrap();
+    let config = SimConfig::until_nanos(design.sim_time_ns(10));
+    for engine in [EngineKind::Interpret, EngineKind::Compile] {
+        let mut vcd = VcdSink::new("1fs");
+        let result = SimSession::builder(&module, design.top)
+            .engine(engine)
+            .config(config.clone())
+            .sink(&mut vcd)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!result.trace.is_empty(), "{}: no activity", design.name);
+        assert_eq!(
+            vcd.into_string(),
+            result.trace.to_vcd("1fs"),
+            "{} ({:?}): streamed VCD diverges from Trace::to_vcd",
+            design.name,
+            engine
+        );
+    }
+}
+
+/// `run_batch` over every benchmark design produces exactly the traces of
+/// the equivalent individual sessions, in job order.
+#[test]
+fn batch_runner_matches_individual_sessions() {
+    llhd_blaze::register();
+    let built: Vec<_> = all_designs()
+        .into_iter()
+        .map(|design| {
+            let module = design.build().unwrap();
+            let config = SimConfig::until_nanos(design.sim_time_ns(5))
+                .with_trace_filter(&[design.probe_signal]);
+            (design, module, config)
+        })
+        .collect();
+    let jobs: Vec<BatchJob> = built
+        .iter()
+        .map(|(design, module, config)| BatchJob {
+            module,
+            top: design.top,
+            engine: EngineKind::Compile,
+            config: config.clone(),
+        })
+        .collect();
+    let cache = DesignCache::new();
+    let results = SimSession::run_batch(&jobs, Some(&cache));
+    assert_eq!(results.len(), jobs.len());
+    for ((design, module, config), result) in built.iter().zip(&results) {
+        let batch_result = result.as_ref().unwrap();
+        let solo = SimSession::builder(module, design.top)
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .cache(&cache)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            solo.trace.events(),
+            batch_result.trace.events(),
+            "{}: batch result diverges from a solo session",
+            design.name
+        );
+    }
+    // Ten distinct designs: each compiled exactly once by the batch, then
+    // served from the cache for the solo re-runs above.
+    assert_eq!(cache.compile_misses(), jobs.len());
+    assert_eq!(cache.compile_hits(), jobs.len());
+}
+
+/// `EngineKind::Auto` picks the compiled engine for real (large) designs
+/// once the backend is registered, and reports the resolved kind.
+#[test]
+fn auto_engine_resolves_by_design_size() {
+    llhd_blaze::register();
+    let module = accumulator_example().unwrap();
+    let session = SimSession::builder(&module, "acc_tb").build().unwrap();
+    assert_eq!(session.engine_kind(), EngineKind::Compile);
+    assert_eq!(session.engine_name(), "blaze");
+}
+
+/// `Auto` promises a working selection: when the backend rejects the
+/// module (blaze compiles *every* unit, and phi nodes are outside its
+/// subset), the session degrades to the interpreter instead of erroring.
+/// An explicit `Compile` request still reports the failure.
+#[test]
+fn auto_falls_back_to_interpreter_when_compile_rejects() {
+    llhd_blaze::register();
+    // A large-enough blinker (clears the Auto size threshold) plus an
+    // unrelated function containing a phi, which blaze refuses to compile
+    // even though nothing instantiates it.
+    let mut src = String::from(
+        r#"
+        func @phi_having (i1 %c) i8 {
+        entry:
+            br %c, %a, %b
+        a:
+            %x = const i8 1
+            br %join
+        b:
+            %y = const i8 2
+            br %join
+        join:
+            %r = phi i8 [%x, %a], [%y, %b]
+            ret i8 %r
+        }
+        proc @blink () -> (i1$ %led) {
+        entry:
+            %on = const i1 1
+            %off = const i1 0
+            %delay = const time 5ns
+        "#,
+    );
+    for i in 0..120 {
+        src.push_str(&format!("    %pad{} = const i8 {}\n", i, i % 100));
+    }
+    src.push_str(
+        r#"
+            drv i1$ %led, %on after %delay
+            wait %next for %delay
+        next:
+            drv i1$ %led, %off after %delay
+            wait %entry for %delay
+        }
+        "#,
+    );
+    let module = llhd::assembly::parse_module(&src).unwrap();
+    let session = SimSession::builder(&module, "blink")
+        .until_nanos(50)
+        .build()
+        .unwrap();
+    assert_eq!(session.engine_kind(), EngineKind::Interpret);
+    let result = session.run().unwrap();
+    assert!(result.trace.changes_of("led").count() >= 9);
+    assert!(matches!(
+        SimSession::builder(&module, "blink")
+            .engine(EngineKind::Compile)
+            .build()
+            .err(),
+        Some(llhd_sim::api::Error::Compile(_))
+    ));
+}
+
+/// Peek/poke work identically through both engines.
+#[test]
+fn peek_and_poke_are_engine_agnostic() {
+    llhd_blaze::register();
+    let module = llhd::assembly::parse_module(
+        r#"
+        entity @follower (i8$ %a) -> (i8$ %q) {
+            %ap = prb i8$ %a
+            %delay = const time 1ns
+            drv i8$ %q, %ap after %delay
+        }
+        entity @top () -> () {
+            %zero = const i8 0
+            %a = sig i8 %zero
+            %q = sig i8 %zero
+            inst @follower (%a) -> (%q)
+        }
+        "#,
+    )
+    .unwrap();
+    for engine in [EngineKind::Interpret, EngineKind::Compile] {
+        let mut session = SimSession::builder(&module, "top")
+            .engine(engine)
+            .until_nanos(50)
+            .build()
+            .unwrap();
+        session.initialize().unwrap();
+        session
+            .poke("a", llhd::value::ConstValue::int(8, 99))
+            .unwrap();
+        while session.step().unwrap() {}
+        assert_eq!(
+            session.peek("q").unwrap(),
+            llhd::value::ConstValue::int(8, 99),
+            "{:?}: poke did not propagate",
+            engine
+        );
+    }
+}

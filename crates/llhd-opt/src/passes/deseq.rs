@@ -117,7 +117,7 @@ pub fn desequentialize(unit: &UnitData) -> Option<UnitData> {
 /// Identify the past (pre-wait) and present (post-wait) blocks.
 fn classify_blocks(unit: &UnitData, blocks: &[Block]) -> Option<(Block, Block)> {
     let is_wait = |b: Block| {
-        unit.terminator(b).map_or(false, |t| {
+        unit.terminator(b).is_some_and(|t| {
             matches!(
                 unit.inst_data(t).opcode,
                 Opcode::Wait | Opcode::WaitTime

@@ -20,10 +20,7 @@ pub fn run(module: &mut Module) -> usize {
         if module.unit(id).kind() == UnitKind::Entity {
             continue;
         }
-        loop {
-            let Some((call_inst, callee_id)) = find_inlinable_call(module, id) else {
-                break;
-            };
+        while let Some((call_inst, callee_id)) = find_inlinable_call(module, id) {
             let callee = module.unit(callee_id).clone();
             inline_call(module.unit_mut(id), call_inst, &callee);
             inlined += 1;

@@ -34,14 +34,13 @@ pub fn lower_process(unit: &UnitData) -> Option<UnitData> {
     for inst in unit.insts(block) {
         let data = unit.inst_data(inst);
         match data.opcode {
-            Opcode::Prb => {
-                if !observed.contains(&data.args[0]) {
+            Opcode::Prb
+                if !observed.contains(&data.args[0]) => {
                     return None;
                 }
-            }
             // Anything outside the entity data flow subset disqualifies the
             // process.
-            op if op == Opcode::Wait => {}
+            Opcode::Wait => {}
             op if !op.allowed_in(UnitKind::Entity) => return None,
             _ => {}
         }

@@ -212,14 +212,11 @@ fn path_condition(
         result = Some(match result {
             None => combined,
             Some(None) => None,
-            Some(Some(prev)) => match combined {
-                None => None,
-                Some(c) => Some(insert_before_terminator(
+            Some(Some(prev)) => combined.map(|c| insert_before_terminator(
                     unit,
                     exit,
                     InstData::new(Opcode::Or, vec![prev, c]),
                 )),
-            },
         });
         if result == Some(None) {
             // Unconditionally reachable; no point accumulating more.
@@ -289,11 +286,16 @@ fn insert_before_terminator(unit: &mut UnitData, block: Block, data: InstData) -
 /// Coalesce multiple drives of the same signal (with the same delay) within
 /// one block into a single drive whose value is selected by `mux`
 /// instructions (§4.3.3, Figure 5f/g).
+/// Per `(signal, delay)`: the accumulated value, the accumulated drive
+/// condition, and the original drive instructions it replaces.
+type DriveAccumulator = HashMap<(Value, Value), (Value, Option<Value>, Vec<Inst>)>;
+
 fn coalesce_drives(unit: &mut UnitData) -> bool {
     let mut changed = false;
     for block in unit.blocks() {
-        // Accumulated (value, condition) per (signal, delay).
-        let mut acc: HashMap<(Value, Value), (Value, Option<Value>, Vec<Inst>)> = HashMap::new();
+        // Accumulated (value, condition, contributing drives) per
+        // (signal, delay).
+        let mut acc: DriveAccumulator = HashMap::new();
         let mut order: Vec<(Value, Value)> = vec![];
         for inst in unit.insts(block) {
             let data = unit.inst_data(inst).clone();
@@ -329,14 +331,11 @@ fn coalesce_drives(unit: &mut UnitData) -> bool {
                                 InstData::new(Opcode::Mux, vec![choices, c]),
                             );
                             *acc_value = mux;
-                            *acc_cond = match *acc_cond {
-                                None => None,
-                                Some(prev) => Some(insert_before_terminator(
+                            *acc_cond = (*acc_cond).map(|prev| insert_before_terminator(
                                     unit,
                                     block,
                                     InstData::new(Opcode::Or, vec![prev, c]),
-                                )),
-                            };
+                                ));
                         }
                     }
                 }

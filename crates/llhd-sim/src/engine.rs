@@ -23,6 +23,7 @@ use llhd::ir::{Block, InstData, Module, Opcode, RegMode, UnitData, UnitId, UnitK
 use llhd::value::{ConstValue, TimeValue};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -195,7 +196,7 @@ struct InstState {
 /// The event-driven simulator.
 pub struct Simulator<'a> {
     module: &'a Module,
-    design: ElaboratedDesign,
+    design: Arc<ElaboratedDesign>,
     config: SimConfig,
     core: SchedCore,
     execs: Vec<UnitExec>,
@@ -204,11 +205,26 @@ pub struct Simulator<'a> {
     assertion_failures: usize,
     activations: usize,
     observed_buf: Vec<SignalId>,
+    initialized: bool,
+    /// A failure during initialization or a step poisons the simulator:
+    /// the instances after the failing one never ran, so continuing would
+    /// silently produce a wrong trace. Replayed by every later
+    /// `initialize`/`step`.
+    poisoned: Option<SimError>,
+    to_run_buf: Vec<u32>,
 }
 
 impl<'a> Simulator<'a> {
-    /// Create a simulator for an elaborated design.
-    pub fn new(module: &'a Module, design: ElaboratedDesign, config: SimConfig) -> Self {
+    /// Create a simulator for an elaborated design. The design is shared
+    /// (`Arc`), so sessions served from a [`DesignCache`](crate::api::DesignCache)
+    /// reuse one elaboration; a plain [`ElaboratedDesign`] converts
+    /// implicitly.
+    pub fn new(
+        module: &'a Module,
+        design: impl Into<Arc<ElaboratedDesign>>,
+        config: SimConfig,
+    ) -> Self {
+        let design = design.into();
         let mut core = SchedCore::new(
             &config,
             &design.signals,
@@ -267,6 +283,100 @@ impl<'a> Simulator<'a> {
             assertion_failures: 0,
             activations: 0,
             observed_buf: Vec::new(),
+            initialized: false,
+            poisoned: None,
+            to_run_buf: Vec::new(),
+        }
+    }
+
+    /// Run the initialization phase: every process runs once and every
+    /// entity is evaluated once. Idempotent — later calls are no-ops, and
+    /// [`Simulator::step`] calls it automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] for unsupported constructs.
+    pub fn initialize(&mut self) -> Result<(), SimError> {
+        if self.initialized {
+            return match &self.poisoned {
+                None => Ok(()),
+                Some(e) => Err(e.clone()),
+            };
+        }
+        self.initialized = true;
+        for idx in 0..self.design.instances.len() {
+            let activated = match self.design.instances[idx].kind {
+                InstanceKind::Process => self.run_process(idx),
+                InstanceKind::Entity => self.eval_entity(idx),
+            };
+            if let Err(e) = activated {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the simulation by exactly one scheduler cycle (one instant:
+    /// apply its drives, activate the woken instances). Returns `false`
+    /// once the event queue is exhausted or the configured end time is
+    /// reached. Stepping is deterministic: a run advanced in arbitrary
+    /// chunks produces the identical trace to an uninterrupted
+    /// [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] for unsupported constructs, runaway
+    /// delta cycles, or processes that fail to suspend.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.initialize()?;
+        let mut to_run = std::mem::take(&mut self.to_run_buf);
+        let mut outcome = self.core.next_cycle(&mut to_run);
+        if let Ok(true) = outcome {
+            // `to_run` is detached from `self` here, so iterating it while
+            // activating instances borrows cleanly.
+            for &inst in &to_run {
+                let idx = inst as usize;
+                let activated = match self.design.instances[idx].kind {
+                    InstanceKind::Process => self.run_process(idx),
+                    InstanceKind::Entity => self.eval_entity(idx),
+                };
+                if let Err(e) = activated {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.to_run_buf = to_run;
+        if let Err(e) = &outcome {
+            // A failed cycle leaves half-applied state (the remaining
+            // instances of the instant never ran); poison the simulator
+            // so later steps replay the error instead of silently
+            // diverging.
+            self.poisoned = Some(e.clone());
+        }
+        outcome
+    }
+
+    /// Assemble the result of the run so far, taking the recorded trace
+    /// out of the scheduler core. After a failed `initialize`/`step` the
+    /// state is half-applied (the failing cycle never completed); the
+    /// session layer refuses to assemble a result in that case, and
+    /// callers driving the engine directly should do the same.
+    pub fn finish(&mut self) -> SimResult {
+        let halted_processes = self
+            .states
+            .iter()
+            .filter(|s| matches!(s.status, ProcStatus::Halted))
+            .count();
+        SimResult {
+            end_time: self.core.time(),
+            signal_changes: self.core.signal_changes(),
+            assertions_checked: self.assertions_checked,
+            assertion_failures: self.assertion_failures,
+            halted_processes,
+            activations: self.activations,
+            trace: self.core.take_trace(),
         }
     }
 
@@ -277,44 +387,36 @@ impl<'a> Simulator<'a> {
     /// Returns [`SimError::Runtime`] for unsupported constructs, runaway
     /// delta cycles, or processes that fail to suspend.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        // Initialization: run every process once and evaluate every entity.
-        for idx in 0..self.design.instances.len() {
-            match self.design.instances[idx].kind {
-                InstanceKind::Process => self.run_process(idx)?,
-                InstanceKind::Entity => self.eval_entity(idx)?,
-            }
-        }
+        while self.step()? {}
+        Ok(self.finish())
+    }
 
-        let mut to_run: Vec<u32> = Vec::new();
-        while self.core.next_cycle(&mut to_run)? {
-            for i in 0..to_run.len() {
-                let idx = to_run[i] as usize;
-                match self.design.instances[idx].kind {
-                    InstanceKind::Process => self.run_process(idx)?,
-                    InstanceKind::Entity => self.eval_entity(idx)?,
-                }
-            }
-        }
+    /// The current simulation time.
+    pub fn time(&self) -> TimeValue {
+        self.core.time()
+    }
 
-        let halted_processes = self
-            .states
-            .iter()
-            .filter(|s| matches!(s.status, ProcStatus::Halted))
-            .count();
-        Ok(SimResult {
-            end_time: self.core.time(),
-            signal_changes: self.core.signal_changes(),
-            assertions_checked: self.assertions_checked,
-            assertion_failures: self.assertion_failures,
-            halted_processes,
-            activations: self.activations,
-            trace: self.core.take_trace(),
-        })
+    /// The elaborated design this simulator executes.
+    pub fn design(&self) -> &ElaboratedDesign {
+        &self.design
     }
 
     /// The current value of a signal.
     pub fn signal_value(&self, signal: SignalId) -> &ConstValue {
         self.core.value(self.design.resolve(signal))
+    }
+
+    /// Schedule an external drive of `signal` to `value`, taking effect at
+    /// the next delta step (the session-level "poke").
+    pub fn poke(&mut self, signal: SignalId, value: ConstValue) {
+        let signal = self.design.resolve(signal);
+        self.core.schedule_drive(signal, value, &TimeValue::ZERO);
+    }
+
+    /// Drain the trace events recorded since the last drain into `buf`
+    /// (streaming sinks pull these after every step).
+    pub fn drain_trace_into(&mut self, buf: &mut Vec<crate::trace::TraceEvent>) {
+        self.core.drain_trace_into(buf);
     }
 
     // ----- dense state access ----------------------------------------------
@@ -849,8 +951,17 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulate;
+    use crate::api::{Error, EngineKind, SimSession};
     use llhd::assembly::parse_module;
+
+    /// Interpreter runs constructed through the unified session surface.
+    fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, Error> {
+        SimSession::builder(module, top)
+            .engine(EngineKind::Interpret)
+            .config(config.clone())
+            .build()?
+            .run()
+    }
 
     #[test]
     fn clock_generator_toggles() {
@@ -1050,7 +1161,7 @@ mod tests {
         )
         .unwrap();
         let err = simulate(&module, "top", &SimConfig::until_nanos(10)).unwrap_err();
-        assert!(matches!(err, SimError::Runtime(_)));
+        assert!(matches!(err, Error::Runtime(_)));
     }
 
     #[test]

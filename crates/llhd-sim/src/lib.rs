@@ -6,13 +6,13 @@
 //! testbenches with waits, variables, and function calls), Structural
 //! entities with `reg` storage elements, and Netlist entities.
 //!
-//! The flow is: [`elaborate`](design::elaborate) a [`Module`](llhd::ir::Module)
-//! starting from a top-level unit into a flat design (signals + unit
-//! instances), then run it with a [`Simulator`](engine::Simulator).
+//! The engine-agnostic entry point is [`api::SimSession`]: it owns
+//! elaboration, engine selection (this interpreter or the compiled
+//! `llhd-blaze` engine), run limits, and trace configuration in one place:
 //!
 //! ```
 //! use llhd::assembly::parse_module;
-//! use llhd_sim::{simulate, SimConfig};
+//! use llhd_sim::api::SimSession;
 //!
 //! let module = parse_module(r#"
 //! proc @blink () -> (i1$ %led) {
@@ -27,30 +27,44 @@
 //!     wait %entry for %delay
 //! }
 //! "#).unwrap();
-//! let result = simulate(&module, "blink", &SimConfig::until_nanos(100)).unwrap();
+//! let result = SimSession::builder(&module, "blink")
+//!     .until_nanos(100)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //! assert!(result.trace.changes_of("led").count() >= 18);
 //! ```
+//!
+//! Underneath, [`elaborate`](design::elaborate) flattens a
+//! [`Module`](llhd::ir::Module) into signals + unit instances, and a
+//! [`Simulator`](engine::Simulator) interprets it.
 
+pub mod api;
 pub mod design;
 pub mod engine;
 pub mod sched;
 pub mod trace;
 
+pub use api::{BatchJob, DesignCache, EngineKind, SimSession, TraceSink};
 pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
-pub use sched::{EventQueue, SchedCore};
 pub use engine::{SimConfig, SimError, SimResult, Simulator};
+pub use sched::{EventQueue, SchedCore};
 pub use trace::{Trace, TraceEvent};
 
 use llhd::ir::Module;
 
-/// Elaborate `top` from `module` and simulate it with the given
-/// configuration. This is the convenience entry point used by examples,
-/// benchmarks, and tests.
+/// Elaborate `top` from `module` and simulate it on the interpreter.
 ///
 /// # Errors
 ///
 /// Returns an error if elaboration fails (unknown top unit, malformed
 /// hierarchy) or the simulation encounters an unsupported construct.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct simulations through `llhd_sim::api::SimSession::builder` \
+            (use `.engine(EngineKind::Interpret)` for this engine specifically)"
+)]
 pub fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, SimError> {
     let design = elaborate(module, top).map_err(SimError::Elaborate)?;
     let mut simulator = Simulator::new(module, design, config.clone());

@@ -182,7 +182,7 @@ impl EventQueue {
         wakes: &mut Vec<(u32, u64)>,
     ) -> Option<TimeValue> {
         let t = self.next_time()?;
-        if self.last.map_or(false, |(lt, _)| lt == t) {
+        if self.last.is_some_and(|(lt, _)| lt == t) {
             self.last = None;
         }
         // Entering a new physical instant: the near ring is necessarily
@@ -279,8 +279,6 @@ pub struct SchedCore {
     pending: Vec<u32>,
     /// Whether enqueue-time drive dropping is sound for this design.
     allow_drop: bool,
-    /// Hierarchical signal names, for trace records.
-    names: Vec<String>,
     /// Per signal: whether changes are recorded (trace filter, applied once).
     traced: Vec<bool>,
     /// Static sensitivity: resolved signal -> entity instances.
@@ -338,7 +336,6 @@ impl SchedCore {
             values,
             pending: vec![0; n],
             allow_drop,
-            names,
             traced,
             sensitivity: vec![Vec::new(); n],
             watchers: vec![Vec::new(); n],
@@ -347,7 +344,10 @@ impl SchedCore {
             run_stamp: vec![0; num_instances],
             change_stamp: vec![0; n],
             epoch: 0,
-            trace: Trace::new(),
+            // The trace interns the signal names once, indexed by resolved
+            // signal id; recording a change is then an id-stamped push with
+            // no string work (see `Trace::record_id`).
+            trace: Trace::with_names(names),
             signal_changes: 0,
             deltas_in_instant: 0,
             last_physical: 0,
@@ -379,10 +379,21 @@ impl SchedCore {
         self.signal_changes
     }
 
-    /// Take the recorded trace out of the core.
+    /// Take the recorded trace out of the core, leaving a fresh trace
+    /// over the same interned name table so recording stays valid if the
+    /// engine keeps stepping after a result snapshot.
     pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+        let names = self.trace.shared_names();
+        std::mem::replace(&mut self.trace, Trace::with_shared_names(names))
     }
+
+    /// Move the events recorded since the last drain into `buf`, leaving
+    /// the trace's interned name table in place so recording continues.
+    /// Streaming trace sinks pull events through this after every step.
+    pub fn drain_trace_into(&mut self, buf: &mut Vec<crate::trace::TraceEvent>) {
+        self.trace.drain_events_into(buf);
+    }
+
 
     /// The absolute time `delay` from now, clamped forward to the next
     /// delta step so no event can be scheduled at or before the present.
@@ -505,7 +516,7 @@ impl SchedCore {
             self.values[s] = value.clone();
             self.signal_changes += 1;
             if self.traced[s] {
-                self.trace.record(event_time, self.names[s].clone(), value);
+                self.trace.record_id(event_time, s as u32, value);
             }
             if self.change_stamp[s] == epoch {
                 continue;

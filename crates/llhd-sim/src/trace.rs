@@ -4,24 +4,50 @@
 //! are identical to those of a commercial simulator. [`Trace`] records every
 //! value change of every traced signal, can be diffed against another trace,
 //! and can be emitted in the standard Value Change Dump (VCD) format.
+//!
+//! Signal names are **interned**: the trace holds one name table and every
+//! event stores a compact [`TraceId`] into it, so recording a change on the
+//! simulation hot path never allocates a string. Engines pre-seed the table
+//! with the elaborated design's signal names (see [`Trace::with_names`]) and
+//! record through [`Trace::record_id`]; ad-hoc construction by name keeps
+//! working through [`Trace::record`], which interns on first use.
 
 use llhd::value::{ConstValue, TimeValue};
+use std::collections::HashMap;
 use std::fmt::Write;
+use std::sync::Arc;
+
+/// An interned signal name inside one [`Trace`]'s name table.
+///
+/// Traces produced by the engines index the table by *resolved*
+/// [`SignalId`](crate::design::SignalId), so the same design yields the
+/// same ids in both simulators — which is what keeps their event lists
+/// byte-comparable.
+pub type TraceId = u32;
 
 /// A single recorded value change.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
     /// The simulation time of the change.
     pub time: TimeValue,
-    /// The hierarchical name of the signal.
-    pub signal: String,
+    /// The interned name of the signal (resolve via [`Trace::name_of`]).
+    pub signal: TraceId,
     /// The new value.
     pub value: ConstValue,
 }
 
 /// The ordered list of value changes produced by a simulation run.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// The interned signal names, indexed by [`TraceId`]. Shared (`Arc`)
+    /// so splitting a run into result snapshots reuses one table instead
+    /// of cloning every name.
+    names: Arc<Vec<String>>,
+    /// Whether `lookup` has been populated from a pre-seeded name table
+    /// (built lazily on the first record-by-name).
+    lookup_built: bool,
+    /// Reverse lookup for [`Trace::record`]; engines bypass it entirely.
+    lookup: HashMap<String, TraceId>,
     events: Vec<TraceEvent>,
 }
 
@@ -31,11 +57,79 @@ impl Trace {
         Trace::default()
     }
 
-    /// Record a change.
-    pub fn record(&mut self, time: TimeValue, signal: impl Into<String>, value: ConstValue) {
+    /// Create a trace whose name table is pre-seeded with `names`, so
+    /// [`Trace::record_id`] can be used with indices into that table
+    /// (engines pass the elaborated signal names, indexed by resolved
+    /// signal id).
+    pub fn with_names(names: Vec<String>) -> Self {
+        Self::with_shared_names(Arc::new(names))
+    }
+
+    /// Create a trace over an already-shared name table (cheap: no name
+    /// is cloned). Used to continue recording against the same table
+    /// after the events of a run were taken out.
+    pub fn with_shared_names(names: Arc<Vec<String>>) -> Self {
+        // The reverse-lookup map is built lazily on the first `record` by
+        // name: engines only ever record by id, and a map over a large
+        // design's signal table would be pure construction overhead.
+        Trace {
+            names,
+            lookup_built: false,
+            lookup: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The shared name table (cheap to clone into another trace).
+    pub fn shared_names(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.names)
+    }
+
+    /// Intern `name`, returning its id.
+    pub fn intern(&mut self, name: &str) -> TraceId {
+        if !self.lookup_built {
+            self.lookup = self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i as TraceId))
+                .collect();
+            self.lookup_built = true;
+        }
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = self.names.len() as TraceId;
+        Arc::make_mut(&mut self.names).push(name.to_string());
+        self.lookup.insert(name.to_string(), id);
+        id
+    }
+
+    /// Record a change by signal name (interned on first use).
+    pub fn record(&mut self, time: TimeValue, signal: &str, value: ConstValue) {
+        let signal = self.intern(signal);
+        self.record_id(time, signal, value);
+    }
+
+    /// Record a change of a pre-interned signal. This is the engine hot
+    /// path: no hashing, no string allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is not an id of this trace's name table —
+    /// failing here, at the bad record, beats an out-of-bounds panic
+    /// later in an unrelated `to_vcd`/`name_of` call.
+    #[inline]
+    pub fn record_id(&mut self, time: TimeValue, signal: TraceId, value: ConstValue) {
+        assert!(
+            (signal as usize) < self.names.len(),
+            "record_id: signal id {} out of range ({} interned names)",
+            signal,
+            self.names.len()
+        );
         self.events.push(TraceEvent {
             time,
-            signal: signal.into(),
+            signal,
             value,
         });
     }
@@ -43,6 +137,41 @@ impl Trace {
     /// All events in order of occurrence.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Move all recorded events out of the trace, leaving the name table in
+    /// place so recording can continue. Streaming trace sinks drain the
+    /// engine trace through this after every step.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<TraceEvent>) {
+        buf.append(&mut self.events);
+    }
+
+    /// Append pre-recorded events (from the same name table) to this trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event's id is outside this trace's name table — the
+    /// same fail-fast contract as [`Trace::record_id`].
+    pub fn extend_events(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        let names = self.names.len() as TraceId;
+        self.events.extend(events.into_iter().inspect(|event| {
+            assert!(
+                event.signal < names,
+                "extend_events: signal id {} out of range ({} interned names)",
+                event.signal,
+                names
+            );
+        }));
+    }
+
+    /// The interned name table, indexed by [`TraceId`].
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The name of an interned signal.
+    pub fn name_of(&self, signal: TraceId) -> &str {
+        &self.names[signal as usize]
     }
 
     /// The number of recorded changes.
@@ -55,12 +184,27 @@ impl Trace {
         self.events.is_empty()
     }
 
+    /// Whether an interned name matches a query (exactly, or as the last
+    /// hierarchical component).
+    fn name_matches(name: &str, query: &str) -> bool {
+        name == query
+            || (name.ends_with(query)
+                && name.as_bytes().get(name.len() - query.len() - 1) == Some(&b'.'))
+    }
+
     /// The changes of one signal (matched by suffix so hierarchical prefixes
     /// can be ignored).
     pub fn changes_of<'a>(&'a self, signal: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        // Precompute which interned ids match, so the event scan does no
+        // string work.
+        let matches: Vec<bool> = self
+            .names
+            .iter()
+            .map(|n| Self::name_matches(n, signal))
+            .collect();
         self.events
             .iter()
-            .filter(move |e| e.signal == signal || e.signal.ends_with(&format!(".{}", signal)))
+            .filter(move |e| matches[e.signal as usize])
     }
 
     /// Compare against another trace, ignoring delta/epsilon ordering within
@@ -75,23 +219,23 @@ impl Trace {
     /// trace comparison.
     pub fn canonical(&self) -> Vec<(u128, String, ConstValue)> {
         use std::collections::BTreeMap;
-        let mut map: BTreeMap<(u128, String), ConstValue> = BTreeMap::new();
+        let mut map: BTreeMap<(u128, &str), &ConstValue> = BTreeMap::new();
         for event in &self.events {
             map.insert(
-                (event.time.as_femtos(), event.signal.clone()),
-                event.value.clone(),
+                (event.time.as_femtos(), self.name_of(event.signal)),
+                &event.value,
             );
         }
         // Remove entries that do not change the value relative to the
         // previous entry of the same signal.
-        let mut last: std::collections::HashMap<String, ConstValue> = Default::default();
+        let mut last: HashMap<&str, &ConstValue> = Default::default();
         let mut out = vec![];
         for ((time, signal), value) in map {
-            if last.get(&signal) == Some(&value) {
+            if last.get(signal) == Some(&value) {
                 continue;
             }
-            last.insert(signal.clone(), value.clone());
-            out.push((time, signal, value));
+            last.insert(signal, value);
+            out.push((time, signal.to_string(), value.clone()));
         }
         out
     }
@@ -99,26 +243,26 @@ impl Trace {
     /// Emit the trace in Value Change Dump (VCD) format.
     pub fn to_vcd(&self, timescale: &str) -> String {
         let mut out = String::new();
-        writeln!(out, "$timescale {} $end", timescale).unwrap();
-        // Collect signals and assign identifier codes.
-        let mut signals: Vec<String> = vec![];
+        // Collect signals in order of first appearance and assign
+        // identifier codes.
+        let mut code_of: Vec<Option<usize>> = vec![None; self.names.len()];
+        let mut signals: Vec<TraceId> = vec![];
+        let mut widths: Vec<usize> = vec![];
         for event in &self.events {
-            if !signals.contains(&event.signal) {
-                signals.push(event.signal.clone());
+            if code_of[event.signal as usize].is_none() {
+                code_of[event.signal as usize] = Some(signals.len());
+                signals.push(event.signal);
+                widths.push(event.value.ty().bit_size().max(1));
             }
         }
-        writeln!(out, "$scope module top $end").unwrap();
-        for (i, signal) in signals.iter().enumerate() {
-            let width = self
-                .events
+        write_vcd_header(
+            &mut out,
+            timescale,
+            signals
                 .iter()
-                .find(|e| &e.signal == signal)
-                .map(|e| e.value.ty().bit_size().max(1))
-                .unwrap_or(1);
-            writeln!(out, "$var wire {} s{} {} $end", width, i, signal).unwrap();
-        }
-        writeln!(out, "$upscope $end").unwrap();
-        writeln!(out, "$enddefinitions $end").unwrap();
+                .zip(widths.iter())
+                .map(|(&signal, &width)| (self.name_of(signal), width)),
+        );
         let mut current_time = None;
         for event in &self.events {
             let femtos = event.time.as_femtos();
@@ -126,27 +270,71 @@ impl Trace {
                 writeln!(out, "#{}", femtos).unwrap();
                 current_time = Some(femtos);
             }
-            let idx = signals.iter().position(|s| s == &event.signal).unwrap();
-            let bits = match &event.value {
-                ConstValue::Int(v) => {
-                    let mut s = String::new();
-                    for i in (0..v.width()).rev() {
-                        s.push(if v.bit(i) { '1' } else { '0' });
-                    }
-                    s
-                }
-                ConstValue::Logic(v) => format!("{}", v),
-                other => format!("{}", other),
-            };
-            if bits.len() == 1 {
-                writeln!(out, "{}s{}", bits, idx).unwrap();
-            } else {
-                writeln!(out, "b{} s{}", bits, idx).unwrap();
-            }
+            let idx = code_of[event.signal as usize].unwrap();
+            write_vcd_change(&mut out, &event.value, idx);
         }
         out
     }
 }
+
+/// Format the VCD prologue (`$timescale` through `$enddefinitions`), with
+/// `vars` as `(name, width)` in identifier-code order. Shared by
+/// [`Trace::to_vcd`] and the streaming VCD sink, which must produce
+/// byte-identical documents.
+pub(crate) fn write_vcd_header<'a>(
+    out: &mut String,
+    timescale: &str,
+    vars: impl Iterator<Item = (&'a str, usize)>,
+) {
+    writeln!(out, "$timescale {} $end", timescale).unwrap();
+    writeln!(out, "$scope module top $end").unwrap();
+    for (i, (name, width)) in vars.enumerate() {
+        writeln!(out, "$var wire {} s{} {} $end", width, i, name).unwrap();
+    }
+    writeln!(out, "$upscope $end").unwrap();
+    writeln!(out, "$enddefinitions $end").unwrap();
+}
+
+/// Format one VCD value-change line. Shared by [`Trace::to_vcd`] and the
+/// streaming VCD sink, which must produce byte-identical output.
+pub(crate) fn write_vcd_change(out: &mut String, value: &ConstValue, code: usize) {
+    let bits = match value {
+        ConstValue::Int(v) => {
+            let mut s = String::new();
+            for i in (0..v.width()).rev() {
+                s.push(if v.bit(i) { '1' } else { '0' });
+            }
+            s
+        }
+        ConstValue::Logic(v) => format!("{}", v),
+        other => format!("{}", other),
+    };
+    if bits.len() == 1 {
+        writeln!(out, "{}s{}", bits, code).unwrap();
+    } else {
+        writeln!(out, "b{} s{}", bits, code).unwrap();
+    }
+}
+
+/// Trace equality is semantic: the same changes, in the same order, under
+/// the same names — regardless of how the name tables were built (engines
+/// pre-seed the full signal table, hand-built traces intern on first use).
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events.len() == other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(other.events.iter())
+                .all(|(a, b)| {
+                    a.time == b.time
+                        && a.value == b.value
+                        && self.name_of(a.signal) == other.name_of(b.signal)
+                })
+    }
+}
+
+impl Eq for Trace {}
 
 #[cfg(test)]
 mod tests {
@@ -166,6 +354,21 @@ mod tests {
         assert_eq!(trace.changes_of("clk").count(), 2);
         assert_eq!(trace.changes_of("top.q").count(), 1);
         assert_eq!(trace.changes_of("missing").count(), 0);
+        // Interning: two records of the same name share one table entry.
+        assert_eq!(trace.names().len(), 2);
+    }
+
+    #[test]
+    fn preseeded_and_interned_traces_compare_equal() {
+        let mut seeded = Trace::with_names(vec![
+            "top.unused".to_string(),
+            "top.clk".to_string(),
+        ]);
+        seeded.record_id(t(1), 1, ConstValue::bool(true));
+        let mut adhoc = Trace::new();
+        adhoc.record(t(1), "top.clk", ConstValue::bool(true));
+        assert_eq!(seeded, adhoc);
+        assert_eq!(seeded.name_of(seeded.events()[0].signal), "top.clk");
     }
 
     #[test]
@@ -191,6 +394,29 @@ mod tests {
         b.record(t(1), "x", ConstValue::int(8, 1));
         b.record(t(3), "x", ConstValue::int(8, 2));
         assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn suffix_matching_requires_a_component_boundary() {
+        let mut trace = Trace::new();
+        trace.record(t(1), "top.sclk", ConstValue::bool(true));
+        trace.record(t(2), "top.clk", ConstValue::bool(true));
+        // "clk" must not match "sclk" (no '.' boundary).
+        assert_eq!(trace.changes_of("clk").count(), 1);
+    }
+
+    #[test]
+    fn draining_keeps_the_name_table() {
+        let mut trace = Trace::with_names(vec!["a".to_string()]);
+        trace.record_id(t(1), 0, ConstValue::bool(true));
+        let mut buf = vec![];
+        trace.drain_events_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(trace.is_empty());
+        // Recording continues against the same table.
+        trace.record_id(t(2), 0, ConstValue::bool(false));
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.name_of(0), "a");
     }
 
     #[test]

@@ -37,11 +37,7 @@ impl DominatorTree {
         let mut post = Vec::new();
         let mut stack = vec![(entry, 0usize)];
         visited.insert(entry);
-        loop {
-            let (bb, next) = match stack.last() {
-                Some(&top) => top,
-                None => break,
-            };
+        while let Some(&(bb, next)) = stack.last() {
             let succs = cfg.succs(bb);
             if next < succs.len() {
                 stack.last_mut().unwrap().1 += 1;

@@ -71,7 +71,7 @@ impl TemporalRegionGraph {
                 }
                 // Rule 1: a predecessor ending in `wait` forces a new TR.
                 let after_wait = preds.iter().any(|&p| {
-                    unit.terminator(p).map_or(false, |t| {
+                    unit.terminator(p).is_some_and(|t| {
                         matches!(
                             unit.inst_data(t).opcode,
                             Opcode::Wait | Opcode::WaitTime

@@ -316,7 +316,7 @@ mod tests {
             Some(ConstValue::Array(vec![a.clone(), b.clone()]))
         );
         assert_eq!(
-            eval_pure(Opcode::ExtSlice, &[a.clone()], &[4, 4]),
+            eval_pure(Opcode::ExtSlice, std::slice::from_ref(&a), &[4, 4]),
             Some(ConstValue::int(4, 0xa))
         );
         assert_eq!(

@@ -162,6 +162,9 @@ impl Module {
     /// Returns [`LinkError::DuplicateDefinition`] if both modules define a
     /// global unit of the same name, and [`LinkError::SignatureMismatch`] if
     /// a reference's signature disagrees with the linked definition.
+    // Link errors clone names and signatures for diagnostics; linking is a
+    // cold path, so the large `Err` variant is fine (clippy::result_large_err).
+    #[allow(clippy::result_large_err)]
     pub fn link(&mut self, other: Module) -> Result<(), LinkError> {
         let mut names: HashMap<UnitName, Signature> = HashMap::new();
         for &id in &self.units() {
@@ -187,6 +190,7 @@ impl Module {
 
     /// Verify that every `call`/`inst` reference to a global unit matches the
     /// signature of its definition in this module.
+    #[allow(clippy::result_large_err)] // see `link`
     pub fn check_references(&self) -> Result<(), LinkError> {
         let mut defs: HashMap<UnitName, Signature> = HashMap::new();
         for &id in &self.units() {

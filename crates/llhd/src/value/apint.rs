@@ -352,11 +352,11 @@ impl ApInt {
         let b = other.limbs();
         let n = a.len();
         let mut acc = vec![0u64; n];
-        for i in 0..n {
+        for (i, &ai) in a.iter().enumerate() {
             let mut carry = 0u128;
-            for j in 0..(n - i) {
+            for (j, &bj) in b.iter().enumerate().take(n - i) {
                 let idx = i + j;
-                let prod = (a[i] as u128) * (b[j] as u128) + (acc[idx] as u128) + carry;
+                let prod = (ai as u128) * (bj as u128) + (acc[idx] as u128) + carry;
                 acc[idx] = prod as u64;
                 carry = prod >> 64;
             }

@@ -265,7 +265,10 @@ impl LogicBit {
         }
     }
 
-    /// Logic not per IEEE 1164.
+    /// Logic not per IEEE 1164. Deliberately *not* `std::ops::Not`: nine-
+    /// valued negation is a domain operation (X/Z propagate), and hiding it
+    /// behind `!` would read as boolean complement.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> LogicBit {
         if self == LogicBit::Uninitialized {
             return LogicBit::Uninitialized;
@@ -337,7 +340,10 @@ impl LogicVector {
         LogicVector { bits }
     }
 
-    /// Parse an MSB-first string of IEEE 1164 characters.
+    /// Parse an MSB-first string of IEEE 1164 characters. Not the
+    /// `FromStr` trait because the failure carries no error payload and
+    /// call sites want `Option` composition.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Self> {
         let mut bits = Vec::with_capacity(s.len());
         for c in s.chars().rev() {

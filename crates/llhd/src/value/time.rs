@@ -147,11 +147,11 @@ impl fmt::Display for TimeValue {
         // Print with the largest unit that divides the value exactly.
         let (value, unit) = if self.femtos == 0 {
             (0, "s")
-        } else if self.femtos % 1_000_000_000 == 0 {
+        } else if self.femtos.is_multiple_of(1_000_000_000) {
             (self.femtos / 1_000_000_000, "us")
-        } else if self.femtos % 1_000_000 == 0 {
+        } else if self.femtos.is_multiple_of(1_000_000) {
             (self.femtos / 1_000_000, "ns")
-        } else if self.femtos % 1_000 == 0 {
+        } else if self.femtos.is_multiple_of(1_000) {
             (self.femtos / 1_000, "ps")
         } else {
             (self.femtos, "fs")

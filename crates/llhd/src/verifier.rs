@@ -174,11 +174,10 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
         }
         // Operand type sanity for the most important hardware instructions.
         match op {
-            Opcode::Prb => {
-                if !unit.value_type(data.args[0]).is_signal() {
+            Opcode::Prb
+                if !unit.value_type(data.args[0]).is_signal() => {
                     errors.push(err(unit, "prb operand must be a signal"));
                 }
-            }
             Opcode::Drv | Opcode::DrvCond => {
                 let sig_ty = unit.value_type(data.args[0]);
                 if !sig_ty.is_signal() {
@@ -214,11 +213,10 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
                     errors.push(err(unit, "reg needs at least one trigger"));
                 }
             }
-            Opcode::Wait | Opcode::WaitTime => {
-                if data.blocks.len() != 1 {
+            Opcode::Wait | Opcode::WaitTime
+                if data.blocks.len() != 1 => {
                     errors.push(err(unit, "wait needs exactly one resume block"));
                 }
-            }
             Opcode::BrCond => {
                 if data.blocks.len() != 2 {
                     errors.push(err(unit, "conditional branch needs two targets"));
@@ -228,19 +226,17 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
                     errors.push(err(unit, "branch condition must be an i1"));
                 }
             }
-            Opcode::Phi => {
-                if data.args.len() != data.blocks.len() || data.args.is_empty() {
+            Opcode::Phi
+                if (data.args.len() != data.blocks.len() || data.args.is_empty()) => {
                     errors.push(err(
                         unit,
                         "phi needs matching value and block operand counts",
                     ));
                 }
-            }
-            Opcode::Call | Opcode::Inst => {
-                if data.ext_unit.is_none() {
+            Opcode::Call | Opcode::Inst
+                if data.ext_unit.is_none() => {
                     errors.push(err(unit, format!("{} needs a target unit", op)));
                 }
-            }
             Opcode::Con => {
                 let a = unit.value_type(data.args[0]);
                 let b = unit.value_type(data.args[1]);
@@ -251,7 +247,7 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
             _ => {}
         }
         // Binary arithmetic requires matching operand types.
-        if op.is_comparison()
+        if (op.is_comparison()
             || matches!(
                 op,
                 Opcode::Add
@@ -263,9 +259,8 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
                     | Opcode::Udiv
                     | Opcode::Smul
                     | Opcode::Sdiv
-            )
-        {
-            if data.args.len() == 2 {
+            ))
+            && data.args.len() == 2 {
                 let a = unit.value_type(data.args[0]);
                 let b = unit.value_type(data.args[1]);
                 if a != b {
@@ -275,7 +270,6 @@ pub fn verify_unit(unit: &UnitData) -> VerifierResult {
                     ));
                 }
             }
-        }
     }
 
     if errors.is_empty() {

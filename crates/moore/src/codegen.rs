@@ -693,7 +693,7 @@ fn gen_expr_raw(
 mod tests {
     use crate::compile;
     use llhd::verifier::verify_module;
-    use llhd_sim::{simulate, SimConfig};
+    use llhd_sim::{SimConfig, SimSession};
 
     /// Figure 3 of the paper: the accumulator plus its testbench, reduced to
     /// a handful of iterations.
@@ -737,7 +737,12 @@ mod tests {
     #[test]
     fn simulated_accumulator_accumulates() {
         let module = compile(ACC_SV).unwrap();
-        let result = simulate(&module, "acc_tb", &SimConfig::until_nanos(100)).unwrap();
+        let result = SimSession::builder(&module, "acc_tb")
+            .config(SimConfig::until_nanos(100))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         let q_values: Vec<u64> = result
             .trace
             .changes_of("q")

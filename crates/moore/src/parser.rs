@@ -109,8 +109,8 @@ impl Parser {
         self.expect_keyword("module")?;
         let name = self.expect_ident()?;
         let mut ports = vec![];
-        if self.eat_symbol("(") {
-            if !self.eat_symbol(")") {
+        if self.eat_symbol("(")
+            && !self.eat_symbol(")") {
                 let mut direction = Direction::Input;
                 loop {
                     if self.eat_keyword("input") {
@@ -137,7 +137,6 @@ impl Parser {
                     self.expect_symbol(",")?;
                 }
             }
-        }
         self.expect_symbol(";")?;
         let mut items = vec![];
         while !self.eat_keyword("endmodule") {
@@ -399,16 +398,21 @@ impl Parser {
         })
     }
 
+    /// The pending binary operator at the cursor, if it binds at least as
+    /// tightly as `min_precedence`.
+    fn peek_binary_op(&self, min_precedence: u8) -> Option<(BinaryOp, u8)> {
+        match self.peek() {
+            Some(Tok::Symbol(s)) => match self.binary_op(s) {
+                Some(pair) if pair.1 >= min_precedence => Some(pair),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     fn parse_binary(&mut self, min_precedence: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let (op, precedence) = match self.peek() {
-                Some(Tok::Symbol(s)) => match self.binary_op(s) {
-                    Some(pair) if pair.1 >= min_precedence => pair,
-                    _ => break,
-                },
-                _ => break,
-            };
+        while let Some((op, precedence)) = self.peek_binary_op(min_precedence) {
             self.pos += 1;
             let rhs = self.parse_binary(precedence + 1)?;
             lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));

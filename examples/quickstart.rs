@@ -7,7 +7,6 @@ use llhd::assembly::write_module;
 use llhd::ir::{Module, RegMode, RegTrigger, Signature, UnitBuilder, UnitData, UnitKind, UnitName};
 use llhd::ty::{int_ty, signal_ty};
 use llhd::value::{ConstValue, TimeValue};
-use llhd_sim::{simulate, SimConfig};
 
 fn main() {
     // The accumulator of Figure 5 (right column): a register and a
@@ -166,7 +165,16 @@ fn main() {
     llhd::verifier::verify_module(&module).expect("module verifies");
     println!("=== LLHD assembly ===\n{}", write_module(&module));
 
-    let result = simulate(&module, "acc_tb", &SimConfig::until_nanos(40)).expect("simulation runs");
+    // One engine-agnostic surface drives both simulators:
+    // `llhd_blaze::session` registers the compiled backend and returns a
+    // `SimSession` builder; `EngineKind::Auto` then picks the engine by
+    // design size (this little accumulator stays on the interpreter).
+    let session = llhd_blaze::session(&module, "acc_tb")
+        .until_nanos(40)
+        .build()
+        .expect("session builds");
+    println!("Engine selected by EngineKind::Auto: {}", session.engine_name());
+    let result = session.run().expect("simulation runs");
     println!("=== Accumulator output (q) over time ===");
     for event in result.trace.changes_of("q") {
         println!("  t = {:>5}   q = {}", event.time.to_string(), event.value);

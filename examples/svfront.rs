@@ -5,9 +5,21 @@
 //! Run with `cargo run --example svfront`.
 
 use llhd::assembly::write_module;
+use llhd::ir::Module;
 use llhd::verifier::module_dialect;
 use llhd_opt::pipeline::{lower_to_structural, LoweringOptions};
-use llhd_sim::{simulate, SimConfig};
+use llhd_sim::{SimConfig, SimResult};
+
+/// Simulate through the unified session surface; `EngineKind::Auto` picks
+/// the engine (the blaze backend is registered by `llhd_blaze::session`).
+fn simulate(module: &Module, top: &str, config: &SimConfig) -> SimResult {
+    llhd_blaze::session(module, top)
+        .config(config.clone())
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("simulation runs")
+}
 
 const SOURCE: &str = r#"
 module blinker (input clk, output [3:0] count, output led);
@@ -33,7 +45,7 @@ fn main() {
     println!("Dialect: {}", module_dialect(&module));
 
     let config = SimConfig::until_nanos(130);
-    let behavioural = simulate(&module, "blinker_tb", &config).expect("behavioural simulation");
+    let behavioural = simulate(&module, "blinker_tb", &config);
 
     let mut lowered = module.clone();
     let report = lower_to_structural(&mut lowered, &LoweringOptions::default());
@@ -42,7 +54,7 @@ fn main() {
         report.lowered_processes + report.desequentialized_processes,
         report.rejected.len()
     );
-    let structural = simulate(&lowered, "blinker_tb", &config).expect("structural simulation");
+    let structural = simulate(&lowered, "blinker_tb", &config);
 
     assert!(
         behavioural.trace.equivalent(&structural.trace),

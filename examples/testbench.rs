@@ -5,11 +5,18 @@
 //! Run with `cargo run --example testbench`.
 
 use llhd_designs::accumulator_example;
-use llhd_sim::{simulate, SimConfig};
+use llhd_sim::{EngineKind, SimSession};
 
 fn main() {
     let module = accumulator_example().expect("accumulator compiles");
-    let result = simulate(&module, "acc_tb", &SimConfig::until_nanos(200)).expect("simulates");
+    llhd_blaze::register();
+    let result = SimSession::builder(&module, "acc_tb")
+        .engine(EngineKind::Auto)
+        .until_nanos(200)
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("simulates");
 
     // With x = 1 and en = 1 the accumulator increments by one per cycle, so
     // q(i) = i — the i*(i+1)/2 check of the paper specialised to x = 1

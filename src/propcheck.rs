@@ -65,7 +65,7 @@ impl Rng {
     pub fn u64(&mut self) -> u64 {
         const EDGES: [u64; 5] = [0, 1, u64::MAX, u64::MAX - 1, 1 << 63];
         let raw = self.next_raw();
-        if raw % 16 == 0 {
+        if raw.is_multiple_of(16) {
             EDGES[(self.next_raw() % EDGES.len() as u64) as usize]
         } else {
             raw

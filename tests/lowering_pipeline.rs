@@ -4,10 +4,23 @@
 //! simulated in its Behavioural form, then lowered to Structural LLHD and
 //! simulated again — with both engines. All four traces must agree.
 
+use llhd::ir::Module;
 use llhd::verifier::{module_dialect, verify_module, Dialect};
 use llhd_opt::pipeline::{lower_to_structural, LoweringOptions};
-use llhd_sim::SimConfig;
+use llhd_sim::api::{EngineKind, SimSession};
+use llhd_sim::{SimConfig, SimResult};
 use llhd_workspace::*;
+
+fn run(module: &Module, top: &str, config: &SimConfig, engine: EngineKind) -> SimResult {
+    llhd_blaze::register();
+    SimSession::builder(module, top)
+        .engine(engine)
+        .config(config.clone())
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("simulation runs")
+}
 
 #[test]
 fn behavioural_and_structural_accumulator_traces_match() {
@@ -21,10 +34,10 @@ fn behavioural_and_structural_accumulator_traces_match() {
     assert!(verify_module(&lowered).is_ok());
 
     let config = SimConfig::until_nanos(150);
-    let behavioural = llhd_sim::simulate(&module, "acc_tb", &config).unwrap();
-    let structural = llhd_sim::simulate(&lowered, "acc_tb", &config).unwrap();
-    let behavioural_blaze = llhd_blaze::simulate(&module, "acc_tb", &config).unwrap();
-    let structural_blaze = llhd_blaze::simulate(&lowered, "acc_tb", &config).unwrap();
+    let behavioural = run(&module, "acc_tb", &config, EngineKind::Interpret);
+    let structural = run(&lowered, "acc_tb", &config, EngineKind::Interpret);
+    let behavioural_blaze = run(&module, "acc_tb", &config, EngineKind::Compile);
+    let structural_blaze = run(&lowered, "acc_tb", &config, EngineKind::Compile);
 
     assert!(behavioural.trace.equivalent(&structural.trace));
     assert!(behavioural.trace.equivalent(&behavioural_blaze.trace));
@@ -53,8 +66,8 @@ fn every_design_lowering_is_sound() {
             .unwrap_or_else(|e| panic!("{} fails to verify after lowering: {:?}", design.name, e));
         let config = SimConfig::until_nanos(design.sim_time_ns(15))
             .with_trace_filter(&[design.probe_signal]);
-        let before = llhd_sim::simulate(&module, design.top, &config).unwrap();
-        let after = llhd_sim::simulate(&lowered, design.top, &config).unwrap();
+        let before = run(&module, design.top, &config, EngineKind::Interpret);
+        let after = run(&lowered, design.top, &config, EngineKind::Interpret);
         assert!(
             before.trace.equivalent(&after.trace),
             "{}: lowering changed behaviour",

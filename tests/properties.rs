@@ -25,9 +25,9 @@ fn apint_matches_u64_model() {
         prop_assert_eq!(x.and(&y).to_u64(), am & bm);
         prop_assert_eq!(x.or(&y).to_u64(), am | bm);
         prop_assert_eq!(x.xor(&y).to_u64(), am ^ bm);
-        if bm != 0 {
-            prop_assert_eq!(x.udiv(&y).to_u64(), am / bm);
-            prop_assert_eq!(x.urem(&y).to_u64(), am % bm);
+        if let (Some(quotient), Some(remainder)) = (am.checked_div(bm), am.checked_rem(bm)) {
+            prop_assert_eq!(x.udiv(&y).to_u64(), quotient);
+            prop_assert_eq!(x.urem(&y).to_u64(), remainder);
         }
         prop_assert_eq!(x.ucmp(&y), am.cmp(&bm));
         Ok(())
@@ -185,7 +185,7 @@ fn event_queue_pops_in_nondecreasing_time_order() {
                 // Events scheduled in the past of an already-popped instant
                 // would break monotonicity by construction; a real engine
                 // never does that, so skip them here too.
-                if last_popped.map_or(false, |t| time <= t) {
+                if last_popped.is_some_and(|t| time <= t) {
                     continue;
                 }
                 if rng.range_u64(0, 3) == 0 {
