@@ -16,11 +16,13 @@ fi
 cargo build --release --workspace --all-targets
 cargo test -q --release --workspace
 
-# Benchmark regression gate: re-measure the simulation suite in quick mode
-# and fail if any median regressed more than 20% against the committed
-# BENCH_simulation.json baseline. Prints the comparison table either way.
-# The baseline is machine-specific wall-clock data, so on hardware unlike
-# the one that produced it (or on a loaded CI runner), skip the gate with
+# Benchmark regression gate: re-measure the simulation and serialization
+# suites in quick mode and fail if any median regressed more than 20%
+# against the committed BENCH_simulation.json / BENCH_serialization.json
+# baselines (quick-mode regressions are re-measured at full length before
+# the gate fails). Prints the comparison tables either way. The baselines
+# are machine-specific wall-clock data, so on hardware unlike the one
+# that produced them (or on a loaded CI runner), skip the gate with
 # LLHD_SKIP_BENCH_GATE=1 — the build and tests above are unaffected.
 if [ "${LLHD_SKIP_BENCH_GATE:-0}" != "1" ]; then
     cargo run --release -q -p llhd-bench --bin bench_gate -- --quick

@@ -2,17 +2,26 @@
 //!
 //! * how much of LLHD-Blaze's advantage comes from the pre-resolved compiled
 //!   form versus from running on a cleaned-up module (the compiled simulator
-//!   is benchmarked on both the `-O0` and the optimized module), and
-//! * what the interpreter gains from the same cleanup.
+//!   is benchmarked on both the `-O0` and the optimized module),
+//! * what the interpreter gains from the same cleanup, and
+//! * what each stage of the blaze lowering pipeline buys on the run phase:
+//!   `blaze_run_generic` executes the PR-2-era generic per-op dispatch
+//!   (specialization off), `blaze_run_nofuse` adds per-instance
+//!   specialization (baked signal bindings, constant folding, inline
+//!   delays) without superinstruction fusion, and `blaze_run_full` is the
+//!   shipping configuration. All three share one ahead-of-time compile per
+//!   configuration, so the numbers isolate the dispatch loop.
 //!
 //! Run with `cargo bench -p llhd-bench --bench ablation`; emits
 //! `BENCH_ablation.json` for trend tracking.
 
 use llhd_bench::harness::Harness;
+use llhd_blaze::{compile_design_with, BlazeOptions, BlazeSimulator};
 use llhd_designs::design_by_name;
 use llhd_opt::pipeline::optimize_module;
 use llhd_sim::api::{EngineKind, SimSession};
-use llhd_sim::SimConfig;
+use llhd_sim::{elaborate, SimConfig};
+use std::sync::Arc;
 
 fn main() {
     llhd_blaze::register();
@@ -38,5 +47,35 @@ fn main() {
     });
     h.bench("blaze_O0", || run(&module, EngineKind::Compile));
     h.bench("blaze_optimized", || run(&optimized, EngineKind::Compile));
+
+    // Lowering-stage ablation on the run phase: one compile per
+    // configuration, engine instantiation + stepping measured.
+    let elaborated = Arc::new(elaborate(&module, design.top).unwrap());
+    for (name, options) in [
+        (
+            "blaze_run_generic",
+            BlazeOptions {
+                fuse: false,
+                specialize: false,
+            },
+        ),
+        (
+            "blaze_run_nofuse",
+            BlazeOptions {
+                fuse: false,
+                specialize: true,
+            },
+        ),
+        ("blaze_run_full", BlazeOptions::default()),
+    ] {
+        let compiled = Arc::new(
+            compile_design_with(&module, Arc::clone(&elaborated), options).unwrap(),
+        );
+        h.bench(name, || {
+            BlazeSimulator::new(Arc::clone(&compiled), config.clone())
+                .run()
+                .unwrap()
+        });
+    }
     h.finish();
 }

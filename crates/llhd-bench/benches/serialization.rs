@@ -3,33 +3,15 @@
 //!
 //! Run with `cargo bench -p llhd-bench --bench serialization`; emits
 //! `BENCH_serialization.json` for trend tracking. Throughput is reported in
-//! bytes of the respective representation per second.
+//! bytes of the respective representation per second. The measurement loop
+//! lives in [`llhd_bench::suites::serialization_suite`], shared with the CI
+//! regression gate (`bench_gate`).
 
-use llhd::assembly::{parse_module, write_module};
-use llhd::bitcode::{decode_module, encode_module};
 use llhd_bench::harness::Harness;
-use llhd_designs::all_designs;
+use llhd_bench::suites::serialization_suite;
 
 fn main() {
-    // The largest design of the suite exercises the serializers hardest.
-    let design = all_designs()
-        .into_iter()
-        .max_by_key(|d| d.build().map(|m| write_module(&m).len()).unwrap_or(0))
-        .unwrap();
-    let module = design.build().unwrap();
-    let text = write_module(&module);
-    let bitcode = encode_module(&module);
-
     let mut h = Harness::from_args("serialization");
-    h.bench_throughput("write_text", text.len() as u64, || write_module(&module));
-    h.bench_throughput("parse_text", text.len() as u64, || {
-        parse_module(&text).unwrap()
-    });
-    h.bench_throughput("encode_bitcode", bitcode.len() as u64, || {
-        encode_module(&module)
-    });
-    h.bench_throughput("decode_bitcode", bitcode.len() as u64, || {
-        decode_module(&bitcode).unwrap()
-    });
+    serialization_suite(&mut h);
     h.finish();
 }

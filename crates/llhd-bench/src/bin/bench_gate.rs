@@ -1,24 +1,26 @@
-//! CI regression gate for the simulation benchmarks.
+//! CI regression gate for the benchmark suites.
 //!
-//! Re-measures the Table 2 simulation suite (the exact loop behind
-//! `cargo bench --bench simulation`, shared via
-//! [`llhd_bench::suites::simulation_suite`]) and compares the fresh
-//! medians against the committed `BENCH_simulation.json` baseline. The
-//! comparison table is printed either way; the process exits non-zero if
-//! any benchmark's median regressed by more than the threshold.
+//! Re-measures the Table 2 simulation suite and the Table 4 serialization
+//! suite (the exact loops behind `cargo bench --bench simulation` /
+//! `--bench serialization`, shared via [`llhd_bench::suites`]) and
+//! compares the fresh medians against the committed `BENCH_simulation.json`
+//! and `BENCH_serialization.json` baselines. The comparison tables are
+//! printed either way; the process exits non-zero if any benchmark's
+//! median regressed by more than the threshold.
 //!
 //! Flags:
 //! * `--quick` — fewer/shorter samples (what `ci.sh` runs; full-length
 //!   sampling is the default). Quick samples are noisy on loaded
 //!   machines, so any quick-mode regression is re-measured at full
 //!   length before the gate fails — only reproducible regressions count.
-//! * `--baseline PATH` — compare against a different baseline file
-//!   (default: the committed `BENCH_simulation.json` at the workspace
-//!   root).
+//! * `--baseline PATH` — compare the *simulation* suite against a
+//!   different baseline file (default: the committed `BENCH_simulation.json`
+//!   at the workspace root; the serialization suite always gates against
+//!   the committed `BENCH_serialization.json`).
 //! * `--threshold PCT` — allowed regression in percent (default 20).
 
 use llhd_bench::harness::{default_json_path, BenchConfig, Harness};
-use llhd_bench::suites::simulation_suite;
+use llhd_bench::suites::{serialization_suite, simulation_suite};
 use std::time::Duration;
 
 /// Extract `(name, median_ns)` pairs from a `BENCH_*.json` report, which
@@ -66,47 +68,34 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut baseline_path: Option<String> = None;
-    let mut threshold_pct = 20.0f64;
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--quick" => quick = true,
-            "--baseline" => {
-                baseline_path = argv.get(i + 1).cloned();
-                i += 1;
-            }
-            "--threshold" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
-                Some(t) => {
-                    threshold_pct = t;
-                    i += 1;
-                }
-                None => {
-                    eprintln!("bench_gate: --threshold requires a number in percent");
-                    std::process::exit(2);
-                }
-            },
-            other => eprintln!("bench_gate: ignoring unknown argument {:?}", other),
-        }
-        i += 1;
-    }
-    let baseline_path = baseline_path.unwrap_or_else(|| default_json_path("simulation"));
-    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+/// One gated suite: a name, the shared measurement loop, and the baseline
+/// to compare against.
+struct Suite {
+    name: &'static str,
+    run: fn(&mut Harness),
+    baseline_path: String,
+}
+
+/// Gate one suite: measure, compare, and (in quick mode) re-measure any
+/// regression at full length before counting it. Returns the reproducible
+/// regressions as `(benchmark, ratio)`.
+fn gate_suite(suite: &Suite, quick: bool, threshold_pct: f64) -> Vec<(String, f64)> {
+    let baseline_text = match std::fs::read_to_string(&suite.baseline_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!(
                 "bench_gate: cannot read baseline {}: {} — nothing to gate against",
-                baseline_path, e
+                suite.baseline_path, e
             );
             std::process::exit(2);
         }
     };
     let baseline = parse_baseline(&baseline_text);
     if baseline.is_empty() {
-        eprintln!("bench_gate: baseline {} contains no benchmarks", baseline_path);
+        eprintln!(
+            "bench_gate: baseline {} contains no benchmarks",
+            suite.baseline_path
+        );
         std::process::exit(2);
     }
 
@@ -120,16 +109,17 @@ fn main() {
     } else {
         BenchConfig {
             json_path: None,
-            ..BenchConfig::new("simulation")
+            ..BenchConfig::new(suite.name)
         }
     };
     println!(
-        "bench_gate: measuring simulation suite ({} mode), baseline {}",
+        "bench_gate: measuring {} suite ({} mode), baseline {}",
+        suite.name,
         if quick { "quick" } else { "full" },
-        baseline_path
+        suite.baseline_path
     );
-    let mut h = Harness::new("simulation", config);
-    simulation_suite(&mut h);
+    let mut h = Harness::new(suite.name, config);
+    (suite.run)(&mut h);
 
     println!();
     println!(
@@ -178,14 +168,14 @@ fn main() {
             regressions.len()
         );
         let mut retry = Harness::new(
-            "simulation",
+            suite.name,
             BenchConfig {
                 json_path: None,
-                ..BenchConfig::new("simulation")
+                ..BenchConfig::new(suite.name)
             },
         );
         retry.set_filters(regressions.iter().map(|(name, _)| name.clone()).collect());
-        simulation_suite(&mut retry);
+        (suite.run)(&mut retry);
         regressions = regressions
             .into_iter()
             .filter_map(|(name, quick_ratio)| {
@@ -208,11 +198,57 @@ fn main() {
             })
             .collect();
     }
-
     println!();
+    regressions
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold_pct = 20.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--baseline" => {
+                baseline_path = argv.get(i + 1).cloned();
+                i += 1;
+            }
+            "--threshold" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(t) => {
+                    threshold_pct = t;
+                    i += 1;
+                }
+                None => {
+                    eprintln!("bench_gate: --threshold requires a number in percent");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("bench_gate: ignoring unknown argument {:?}", other),
+        }
+        i += 1;
+    }
+    let suites = [
+        Suite {
+            name: "simulation",
+            run: simulation_suite,
+            baseline_path: baseline_path.unwrap_or_else(|| default_json_path("simulation")),
+        },
+        Suite {
+            name: "serialization",
+            run: serialization_suite,
+            baseline_path: default_json_path("serialization"),
+        },
+    ];
+    let mut regressions = vec![];
+    for suite in &suites {
+        regressions.extend(gate_suite(suite, quick, threshold_pct));
+    }
+
     if regressions.is_empty() {
         println!(
-            "bench_gate: OK — no median regressed more than {:.0}% vs the baseline",
+            "bench_gate: OK — no median regressed more than {:.0}% vs the baselines",
             threshold_pct
         );
     } else {

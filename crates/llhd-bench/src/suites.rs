@@ -12,6 +12,8 @@
 //! pinned per benchmark so the two engines stay individually tracked.
 
 use crate::harness::Harness;
+use llhd::assembly::{parse_module, write_module};
+use llhd::bitcode::{decode_module, encode_module};
 use llhd_designs::all_designs;
 use llhd_sim::api::{BatchJob, DesignCache, EngineKind, SimSession};
 use llhd_sim::SimConfig;
@@ -32,7 +34,8 @@ pub fn simulation_suite(h: &mut Harness) {
     for design in all_designs() {
         let interp_name = format!("llhd-sim/{}", design.name);
         let blaze_name = format!("llhd-blaze/{}", design.name);
-        if !h.wants(&interp_name) && !h.wants(&blaze_name) {
+        let run_name = format!("blaze-run/{}", design.name);
+        if !h.wants(&interp_name) && !h.wants(&blaze_name) && !h.wants(&run_name) {
             continue;
         }
         let module = design.build().expect("design must build");
@@ -64,6 +67,33 @@ pub fn simulation_suite(h: &mut Harness) {
                     .unwrap()
             },
         );
+        // The *run phase* of the compiled engine — the number the paper's
+        // Table 2/3 story hinges on. Elaboration and `compile_design` are
+        // served from a prewarmed design cache (the steady state of the
+        // batch runner or a simulation server), so each iteration measures
+        // engine instantiation plus the stepping loop only.
+        if h.wants(&run_name) {
+            let cache = DesignCache::new();
+            let key = DesignCache::fingerprint(&module);
+            SimSession::builder(&module, design.top)
+                .engine(EngineKind::Compile)
+                .config(config.clone())
+                .cache(&cache)
+                .cache_key(key)
+                .build()
+                .unwrap();
+            h.bench_throughput(&run_name, SIMULATION_CYCLES, || {
+                SimSession::builder(&module, design.top)
+                    .engine(EngineKind::Compile)
+                    .config(config.clone())
+                    .cache(&cache)
+                    .cache_key(key)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            });
+        }
     }
     // The first scale-out workload: all ten designs as one batch, fanned
     // across std threads (one worker per core), compiled engine, with a
@@ -104,4 +134,29 @@ pub fn simulation_suite(h: &mut Harness) {
             results
         },
     );
+}
+
+/// The Table 4 serialization suite: text emission/parsing and bitcode
+/// encode/decode rates over the largest benchmark design. Shared between
+/// `cargo bench --bench serialization` and the CI regression gate.
+pub fn serialization_suite(h: &mut Harness) {
+    // The largest design of the suite exercises the serializers hardest.
+    let design = all_designs()
+        .into_iter()
+        .max_by_key(|d| d.build().map(|m| write_module(&m).len()).unwrap_or(0))
+        .unwrap();
+    let module = design.build().unwrap();
+    let text = write_module(&module);
+    let bitcode = encode_module(&module);
+
+    h.bench_throughput("write_text", text.len() as u64, || write_module(&module));
+    h.bench_throughput("parse_text", text.len() as u64, || {
+        parse_module(&text).unwrap()
+    });
+    h.bench_throughput("encode_bitcode", bitcode.len() as u64, || {
+        encode_module(&module)
+    });
+    h.bench_throughput("decode_bitcode", bitcode.len() as u64, || {
+        decode_module(&bitcode).unwrap()
+    });
 }

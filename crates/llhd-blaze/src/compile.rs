@@ -43,6 +43,48 @@ pub struct ArgRange {
     len: u32,
 }
 
+impl ArgRange {
+    /// Append `slots` to `pool` and return the range referencing them.
+    pub(crate) fn copy_into(pool: &mut Vec<u32>, slots: &[u32]) -> ArgRange {
+        let offset = pool.len() as u32;
+        pool.extend_from_slice(slots);
+        ArgRange {
+            offset,
+            len: slots.len() as u32,
+        }
+    }
+
+    /// The slice of `pool` this range references.
+    #[inline]
+    pub(crate) fn slice(self, pool: &[u32]) -> &[u32] {
+        &pool[self.offset as usize..(self.offset + self.len) as usize]
+    }
+}
+
+/// Compile-time knobs for the blaze lowering pipeline, exposed for the
+/// ablation benchmarks (and anyone who wants the PR-2-era generic
+/// dispatch back).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlazeOptions {
+    /// Superinstruction fusion: pre-decoded fast-path variants plus the
+    /// compare+branch, array+mux, and compute+drive pair fusions. With
+    /// `false`, each generic op lowers to exactly one superop.
+    pub fuse: bool,
+    /// Per-instance specialization: baked signal bindings, inline constant
+    /// delays, and cross-block constant folding. With `false`, instances
+    /// execute the generic per-op stream through their signal tables.
+    pub specialize: bool,
+}
+
+impl Default for BlazeOptions {
+    fn default() -> Self {
+        BlazeOptions {
+            fuse: true,
+            specialize: true,
+        }
+    }
+}
+
 
 /// Recognised intrinsic calls.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -155,6 +197,16 @@ pub struct CompiledUnit {
     pub const_regs: Vec<(u32, ConstValue)>,
     /// Operand-slot arena referenced by the [`ArgRange`]s in the ops.
     pub arg_pool: Vec<u32>,
+    /// The superinstruction stream (processes and entities only; functions
+    /// execute the generic ops). Instance binding specializes it per
+    /// instance; see [`crate::superop`].
+    pub lowered: Option<crate::superop::LoweredUnit>,
+    /// Whether any `const time` in this unit carries an epsilon component.
+    /// Collected during the one compile walk so [`compile_design_with`]
+    /// can decide enqueue-time drive dropping without re-walking the
+    /// module (see [`llhd_sim::sched::module_allows_drive_dropping`] for
+    /// the soundness argument).
+    pub has_epsilon_time_const: bool,
 }
 
 impl CompiledUnit {
@@ -170,7 +222,7 @@ impl CompiledUnit {
     /// The operand slots referenced by `range`.
     #[inline]
     pub fn args(&self, range: ArgRange) -> &[u32] {
-        &self.arg_pool[range.offset as usize..(range.offset + range.len) as usize]
+        range.slice(&self.arg_pool)
     }
 
     /// The operations of block `index`, in execution order.
@@ -178,6 +230,34 @@ impl CompiledUnit {
     pub fn block_ops(&self, index: usize) -> &[Op] {
         let (start, end) = self.block_ranges[index];
         &self.ops[start as usize..end as usize]
+    }
+
+    /// Whether any part of this unit can execute more than once per run:
+    /// entities re-run on every sensitivity hit, and a process re-runs
+    /// blocks iff its CFG has a back edge (a branch or wait resuming at
+    /// its own block or an earlier one). Straight-line processes execute
+    /// each op at most once.
+    pub fn reexecutes(&self) -> bool {
+        if self.kind == UnitKind::Entity {
+            return true;
+        }
+        for (block, &(start, end)) in self.block_ranges.iter().enumerate() {
+            for op in &self.ops[start as usize..end as usize] {
+                let back = |target: usize| target <= block;
+                let has_back_edge = match op {
+                    Op::Br { target } => back(*target),
+                    Op::BrCond {
+                        if_false, if_true, ..
+                    } => back(*if_false) || back(*if_true),
+                    Op::Wait { resume, .. } => back(*resume),
+                    _ => false,
+                };
+                if has_back_edge {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
@@ -193,6 +273,11 @@ pub struct CompiledInstance {
     /// The global signal bound to each signal slot, pre-resolved through
     /// any `con` aliases so the engine never chases them at run time.
     pub signal_table: Vec<SignalId>,
+    /// The specialized superinstruction stream this instance executes
+    /// (`None` with [`BlazeOptions::specialize`] off, in which case the
+    /// engine falls back to the generic per-op dispatch). Shared so engine
+    /// instantiation over a cached design costs a reference-count bump.
+    pub code: Option<Arc<crate::superop::SpecializedCode>>,
 }
 
 /// A fully compiled design ready for execution by
@@ -211,9 +296,12 @@ pub struct CompiledDesign {
     /// (see [`llhd_sim::sched::module_allows_drive_dropping`]), decided
     /// once at compile time.
     pub allow_drive_drop: bool,
+    /// The lowering knobs this design was compiled with.
+    pub options: BlazeOptions,
 }
 
-/// Compile all units of a module and bind the elaborated instances.
+/// Compile all units of a module and bind the elaborated instances, with
+/// the default [`BlazeOptions`] (fusion and specialization on).
 ///
 /// # Errors
 ///
@@ -222,12 +310,35 @@ pub fn compile_design(
     module: &Module,
     design: impl Into<Arc<ElaboratedDesign>>,
 ) -> Result<CompiledDesign, CompileError> {
+    compile_design_with(module, design, BlazeOptions::default())
+}
+
+/// [`compile_design`] with explicit lowering knobs (the ablation surface).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for constructs outside the supported subset.
+pub fn compile_design_with(
+    module: &Module,
+    design: impl Into<Arc<ElaboratedDesign>>,
+    options: BlazeOptions,
+) -> Result<CompiledDesign, CompileError> {
     let design = design.into();
     let mut units = HashMap::new();
+    // Drive dropping is sound iff no time constant anywhere carries an
+    // epsilon component; the per-unit compile walk collects that, so no
+    // second walk over the module is needed (the criterion matches
+    // `llhd_sim::sched::module_allows_drive_dropping`, asserted below).
+    let mut allow_drive_drop = true;
     for id in module.units() {
-        let compiled = compile_unit(module, id)?;
+        let compiled = compile_unit_with(module, id, options)?;
+        allow_drive_drop &= !compiled.has_epsilon_time_const;
         units.insert(id, Arc::new(compiled));
     }
+    debug_assert_eq!(
+        allow_drive_drop,
+        llhd_sim::sched::module_allows_drive_dropping(module)
+    );
     let mut instances = Vec::with_capacity(design.instances.len());
     for instance in &design.instances {
         let unit = &units[&instance.unit];
@@ -238,18 +349,27 @@ pub fn compile_design(
                 signal_table[slot as usize] = design.resolve(sig);
             }
         }
+        // Instance-bind-time specialization: bake this instance's signal
+        // bindings into its own copy of the (already folded) superop
+        // stream. `lowered` is only built when specialization is on.
+        let code = unit
+            .lowered
+            .as_ref()
+            .map(|lowered| Arc::new(crate::superop::specialize(lowered, &signal_table)));
         instances.push(CompiledInstance {
             unit: instance.unit,
             kind: instance.kind,
             name: instance.name.clone(),
             signal_table,
+            code,
         });
     }
     Ok(CompiledDesign {
         units,
         instances,
         design,
-        allow_drive_drop: llhd_sim::sched::module_allows_drive_dropping(module),
+        allow_drive_drop,
+        options,
     })
 }
 
@@ -284,8 +404,21 @@ impl SlotMap {
     }
 }
 
-/// Compile a single unit.
+/// Compile a single unit with the default [`BlazeOptions`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for constructs outside the supported subset.
 pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, CompileError> {
+    compile_unit_with(module, id, BlazeOptions::default())
+}
+
+/// Compile a single unit.
+pub fn compile_unit_with(
+    module: &Module,
+    id: UnitId,
+    options: BlazeOptions,
+) -> Result<CompiledUnit, CompileError> {
     let unit = module.unit(id);
     let num_values = unit.num_value_slots();
     let mut reg_of = SlotMap::new(num_values);
@@ -308,16 +441,29 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
         }
     }
 
-    let mut const_regs: Vec<(u32, ConstValue)> = Vec::new();
-    let mut arg_pool: Vec<u32> = Vec::new();
     let block_list = unit.blocks();
+    // Count the constants up front: unrolled testbenches materialize
+    // thousands, and growing `const_regs` through doublings would memcpy
+    // the accumulated `ConstValue`s over and over.
+    let num_consts = block_list
+        .iter()
+        .flat_map(|&b| unit.insts_slice(b))
+        .filter(|&&inst| unit.inst_data(inst).opcode == Opcode::Const)
+        .count();
+    let mut const_regs: Vec<(u32, ConstValue)> = Vec::with_capacity(num_consts);
+    let mut arg_pool: Vec<u32> = Vec::with_capacity(unit.num_total_insts());
     let mut block_index = vec![u32::MAX; block_list.iter().map(|b| b.index() + 1).max().unwrap_or(0)];
     for (i, &b) in block_list.iter().enumerate() {
         block_index[b.index()] = i as u32;
     }
     let block_index = |b: llhd::ir::Block| block_index[b.index()] as usize;
 
+    let mut has_epsilon_time_const = false;
     let mut ops: Vec<Op> = Vec::with_capacity(unit.num_total_insts());
+    // Parallel to `ops`: whether a pure op's operands are all
+    // integer-typed, which lets the superinstruction lowering pick the
+    // pre-decoded `IntBin` fast path (types are gone after this walk).
+    let mut int_typed: Vec<bool> = Vec::with_capacity(unit.num_total_insts());
     let mut block_ranges = Vec::with_capacity(block_list.len());
     for &block in &block_list {
         let insts = unit.insts_slice(block);
@@ -325,10 +471,14 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
         for &inst in insts {
             let data = unit.inst_data(inst);
             let dst = unit.get_inst_result(inst).map(|r| reg(&mut reg_of, r));
+            let mut int_args = false;
             let op = match data.opcode {
                 Opcode::Const => {
                     // Materialized once into the register file; nothing to
                     // execute at run time.
+                    if let Some(ConstValue::Time(t)) = &data.konst {
+                        has_epsilon_time_const |= t.epsilon() > 0;
+                    }
                     const_regs.push((dst.unwrap() as u32, data.konst.clone().unwrap()));
                     continue;
                 }
@@ -462,6 +612,7 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                     ))
                 }
                 op if op.is_pure() => {
+                    int_args = data.args.iter().all(|&a| unit.value_type(a).is_int());
                     let offset = arg_pool.len() as u32;
                     arg_pool.extend(data.args.iter().map(|&a| reg(&mut reg_of, a) as u32));
                     Op::Pure {
@@ -483,11 +634,12 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
                 }
             };
             ops.push(op);
+            int_typed.push(int_args);
         }
         block_ranges.push((start, ops.len() as u32));
     }
 
-    Ok(CompiledUnit {
+    let mut compiled = CompiledUnit {
         kind: unit.kind(),
         name: unit.name().to_string(),
         ops,
@@ -502,7 +654,27 @@ pub fn compile_unit(module: &Module, id: UnitId) -> Result<CompiledUnit, Compile
         signal_slot_of_value: sig_of.of,
         const_regs,
         arg_pool,
-    })
+        lowered: None,
+        has_epsilon_time_const,
+    };
+    // The lowered stream is only consumed by instance specialization, so
+    // it is only built when that knob is on. Functions execute through
+    // the generic ops (they never touch signals and are cold next to the
+    // activation loop). Of the rest, only *re-executing* bodies are worth
+    // lowering: entities (activated on every sensitivity hit) and
+    // processes whose CFG has a back edge. A loop-free process — e.g. a
+    // testbench `initial` block that a frontend unrolled into thousands
+    // of straight-line ops — runs every op at most once, so specializing
+    // it can never repay the per-op lowering cost it would add to
+    // `compile_design`.
+    if options.specialize && compiled.kind != UnitKind::Function && compiled.reexecutes() {
+        compiled.lowered = Some(crate::superop::lower_unit(
+            &compiled,
+            &int_typed,
+            options.fuse,
+        ));
+    }
+    Ok(compiled)
 }
 
 #[cfg(test)]

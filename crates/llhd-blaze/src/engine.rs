@@ -10,8 +10,12 @@
 //! indices were computed ahead of time by [`crate::compile`].
 
 use crate::compile::{CompiledDesign, CompiledUnit, Intrinsic, Op};
-use llhd::eval::eval_pure;
-use llhd::ir::{RegMode, UnitId, UnitKind};
+use crate::superop::{eval_bin, Delay, SpecializedCode, SuperOp};
+use llhd::eval::{
+    eval_cast, eval_ext_field, eval_ext_slice, eval_ins_field, eval_ins_slice, eval_mux,
+    eval_pure, eval_unary,
+};
+use llhd::ir::{Opcode, RegMode, UnitId, UnitKind};
 use llhd::value::{ConstValue, TimeValue};
 use llhd_sim::design::{InstanceKind, SignalId};
 use llhd_sim::sched::SchedCore;
@@ -37,6 +41,11 @@ struct InstanceState {
     /// path (every probe, drive, and wait), and reading it here skips the
     /// `Arc` indirection into the shared design.
     signal_table: Vec<SignalId>,
+    /// The specialized superinstruction stream (signal bindings and
+    /// constants baked in at instance-bind time). `None` only with
+    /// [`crate::compile::BlazeOptions::specialize`] off, which falls back
+    /// to the generic per-op dispatch over `unit`.
+    code: Option<Arc<SpecializedCode>>,
 }
 
 /// The accelerated simulator.
@@ -76,13 +85,21 @@ impl BlazeSimulator {
         let mut states = Vec::with_capacity(compiled.instances.len());
         for (idx, instance) in compiled.instances.iter().enumerate() {
             let unit = Arc::clone(&compiled.units[&instance.unit]);
+            // Specialized instances start from the unit's pre-folded
+            // register file; the generic fallback materializes the unit's
+            // constants only.
+            let regs = match (&instance.code, &unit.lowered) {
+                (Some(_), Some(lowered)) => lowered.init_regs.clone(),
+                _ => unit.new_regs(),
+            };
             states.push(InstanceState {
                 status: Status::Ready,
-                regs: unit.new_regs(),
+                regs,
                 mems: vec![ConstValue::Void; unit.num_mems],
                 states: vec![None; unit.num_states],
                 unit,
                 signal_table: instance.signal_table.clone(),
+                code: instance.code.clone(),
             });
             if instance.kind == InstanceKind::Entity {
                 // Static sensitivity: every probed or delayed signal slot
@@ -242,6 +259,10 @@ impl BlazeSimulator {
 
     fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
         self.activations += 1;
+        if let Some(code) = &self.states[idx].code {
+            let code = Arc::clone(code);
+            return self.run_instance_spec(idx, &code);
+        }
         let unit = Arc::clone(&self.states[idx].unit);
         let mut block = match &self.states[idx].status {
             Status::Halted => return Ok(()),
@@ -436,6 +457,380 @@ impl BlazeSimulator {
                     return Ok(());
                 }
             }
+        }
+    }
+
+    /// The specialized dispatch loop: executes an instance's baked
+    /// superinstruction stream. Signal operands are resolved
+    /// [`SignalId`]s (no table chase), pure ops evaluate by reference
+    /// (no operand cloning), and the fused records
+    /// (`CmpBr`/`Sel`/`BinDrv`) retire two source ops per dispatch.
+    /// Semantics — drive order, suspension, error points — mirror
+    /// [`BlazeSimulator::run_instance`]'s generic loop exactly; the
+    /// differential and propcheck suites enforce byte-identical traces.
+    fn run_instance_spec(&mut self, idx: usize, code: &SpecializedCode) -> Result<(), SimError> {
+        let mut block = match &self.states[idx].status {
+            Status::Halted => return Ok(()),
+            Status::Suspended { resume } => *resume,
+            Status::Ready => self.states[idx].unit.entry,
+        };
+        self.states[idx].status = Status::Ready;
+        let mut steps = 0usize;
+        loop {
+            let mut next_block = None;
+            for op in code.block_ops(block) {
+                // Fused records retire two source ops per dispatch; they
+                // count as two toward the activation guard so the limit
+                // fires at the same executed-op count as the generic loop.
+                steps += match op {
+                    SuperOp::CmpBr { .. } | SuperOp::BinDrv { .. } | SuperOp::Sel { .. } => 2,
+                    _ => 1,
+                };
+                if steps > self.config.max_steps_per_activation {
+                    return Err(SimError::Runtime(format!(
+                        "instance {} exceeded the step limit",
+                        self.compiled.instances[idx].name
+                    )));
+                }
+                match op {
+                    SuperOp::Bin {
+                        kind,
+                        opcode,
+                        dst,
+                        a,
+                        b,
+                    } => {
+                        let regs = &self.states[idx].regs;
+                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", opcode))
+                            })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Un { opcode, dst, a } => {
+                        let value = eval_unary(*opcode, &self.states[idx].regs[*a as usize])
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", opcode))
+                            })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Cast {
+                        opcode,
+                        dst,
+                        a,
+                        width,
+                    } => {
+                        let value = eval_cast(
+                            *opcode,
+                            &self.states[idx].regs[*a as usize],
+                            *width as usize,
+                        )
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::ExtF { dst, a, index } => {
+                        let value =
+                            eval_ext_field(&self.states[idx].regs[*a as usize], *index as usize)
+                                .ok_or_else(|| {
+                                    SimError::Runtime(format!(
+                                        "cannot evaluate {}",
+                                        Opcode::ExtField
+                                    ))
+                                })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::ExtS {
+                        dst,
+                        a,
+                        offset,
+                        length,
+                    } => {
+                        let value = eval_ext_slice(
+                            &self.states[idx].regs[*a as usize],
+                            *offset as usize,
+                            *length as usize,
+                        )
+                        .ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", Opcode::ExtSlice))
+                        })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::InsF { dst, a, b, index } => {
+                        let regs = &self.states[idx].regs;
+                        let value = eval_ins_field(
+                            &regs[*a as usize],
+                            &regs[*b as usize],
+                            *index as usize,
+                        )
+                        .ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", Opcode::InsField))
+                        })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::InsS { dst, a, b, offset } => {
+                        let regs = &self.states[idx].regs;
+                        let value = eval_ins_slice(
+                            &regs[*a as usize],
+                            &regs[*b as usize],
+                            *offset as usize,
+                            0,
+                        )
+                        .ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", Opcode::InsSlice))
+                        })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Mux { dst, choices, sel } => {
+                        let regs = &self.states[idx].regs;
+                        let value = eval_mux(&regs[*choices as usize], &regs[*sel as usize])
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", Opcode::Mux))
+                            })?;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Sel { dst, sel, elems } => {
+                        let elems = code.args(*elems);
+                        let regs = &self.states[idx].regs;
+                        let index = regs[*sel as usize].to_u64().ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", Opcode::Mux))
+                        })? as usize;
+                        let pick = elems[index.min(elems.len() - 1)] as usize;
+                        let value = regs[pick].clone();
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Pure {
+                        opcode,
+                        dst,
+                        args,
+                        imms,
+                    } => {
+                        let mut arg_values = std::mem::take(&mut self.args_buf);
+                        arg_values.clear();
+                        arg_values.extend(
+                            code.args(*args)
+                                .iter()
+                                .map(|&a| self.states[idx].regs[a as usize].clone()),
+                        );
+                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", opcode))
+                        })?;
+                        self.args_buf = arg_values;
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::CmpBr {
+                        kind,
+                        opcode,
+                        a,
+                        b,
+                        if_false,
+                        if_true,
+                    } => {
+                        let regs = &self.states[idx].regs;
+                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", opcode))
+                            })?;
+                        next_block = Some(if value.is_truthy() {
+                            *if_true as usize
+                        } else {
+                            *if_false as usize
+                        });
+                        break;
+                    }
+                    SuperOp::BinDrv {
+                        kind,
+                        opcode,
+                        a,
+                        b,
+                        sig,
+                        delay,
+                        cond,
+                        ..
+                    } => {
+                        // The compute happens unconditionally, exactly like
+                        // the unfused pure op preceding the drive.
+                        let regs = &self.states[idx].regs;
+                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", opcode))
+                            })?;
+                        if let Some(cond) = cond {
+                            if !self.states[idx].regs[*cond as usize].is_truthy() {
+                                continue;
+                            }
+                        }
+                        let delay = self.delay_value(idx, delay)?;
+                        self.core
+                            .schedule_drive(SignalId(*sig as usize), value, &delay);
+                    }
+                    SuperOp::Prb { dst, sig } => {
+                        let value = self.core.value(SignalId(*sig as usize)).clone();
+                        self.states[idx].regs[*dst as usize] = value;
+                    }
+                    SuperOp::Drv {
+                        sig,
+                        value,
+                        delay,
+                        cond,
+                    } => {
+                        if let Some(cond) = cond {
+                            if !self.states[idx].regs[*cond as usize].is_truthy() {
+                                continue;
+                            }
+                        }
+                        let value = self.states[idx].regs[*value as usize].clone();
+                        let delay = self.delay_value(idx, delay)?;
+                        self.core
+                            .schedule_drive(SignalId(*sig as usize), value, &delay);
+                    }
+                    SuperOp::Del {
+                        target,
+                        source,
+                        delay,
+                    } => {
+                        let delay = self.delay_value(idx, delay)?;
+                        let value = self.core.value(SignalId(*source as usize)).clone();
+                        self.core
+                            .schedule_drive(SignalId(*target as usize), value, &delay);
+                    }
+                    SuperOp::Reg { sig, triggers } => {
+                        let signal = SignalId(*sig as usize);
+                        for trigger in triggers {
+                            let current = self.states[idx].regs[trigger.trigger].clone();
+                            let previous = self.states[idx].states[trigger.state].take();
+                            let fire = match trigger.mode {
+                                RegMode::High => current.is_truthy(),
+                                RegMode::Low => !current.is_truthy(),
+                                RegMode::Rise => {
+                                    previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                        && current.is_truthy()
+                                }
+                                RegMode::Fall => {
+                                    previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                        && !current.is_truthy()
+                                }
+                                RegMode::Both => {
+                                    previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                                }
+                            };
+                            self.states[idx].states[trigger.state] = Some(current);
+                            if !fire {
+                                continue;
+                            }
+                            if let Some(gate) = trigger.gate {
+                                if !self.states[idx].regs[gate].is_truthy() {
+                                    continue;
+                                }
+                            }
+                            let value = self.states[idx].regs[trigger.value].clone();
+                            self.core
+                                .schedule_drive(signal, value, &TimeValue::from_delta(1));
+                        }
+                    }
+                    SuperOp::Var { mem, init } => {
+                        self.states[idx].mems[*mem as usize] =
+                            self.states[idx].regs[*init as usize].clone();
+                    }
+                    SuperOp::Ld { dst, mem } => {
+                        self.states[idx].regs[*dst as usize] =
+                            self.states[idx].mems[*mem as usize].clone();
+                    }
+                    SuperOp::St { mem, value } => {
+                        self.states[idx].mems[*mem as usize] =
+                            self.states[idx].regs[*value as usize].clone();
+                    }
+                    SuperOp::Call {
+                        callee,
+                        intrinsic,
+                        dst,
+                        args,
+                    } => {
+                        let arg_values: Vec<ConstValue> = code
+                            .args(*args)
+                            .iter()
+                            .map(|&a| self.states[idx].regs[a as usize].clone())
+                            .collect();
+                        let result = match intrinsic {
+                            Some(Intrinsic::Assert) => {
+                                self.assertions_checked += 1;
+                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                    self.assertion_failures += 1;
+                                }
+                                None
+                            }
+                            Some(Intrinsic::Ignore) => None,
+                            None => self.call_function(callee.unwrap(), &arg_values)?,
+                        };
+                        if let (Some(dst), Some(value)) = (dst, result) {
+                            self.states[idx].regs[*dst as usize] = value;
+                        }
+                    }
+                    SuperOp::Wait {
+                        resume,
+                        time,
+                        observed,
+                    } => {
+                        let mut watch = std::mem::take(&mut self.observed_buf);
+                        watch.clear();
+                        watch.extend(
+                            code.args(*observed)
+                                .iter()
+                                .map(|&sig| SignalId(sig as usize)),
+                        );
+                        let timeout = match time {
+                            Some(t) => Some(self.delay_value(idx, t)?),
+                            None => None,
+                        };
+                        self.states[idx].status = Status::Suspended {
+                            resume: *resume as usize,
+                        };
+                        self.core.suspend(idx, &watch, timeout.as_ref());
+                        self.observed_buf = watch;
+                        return Ok(());
+                    }
+                    SuperOp::Halt => {
+                        self.states[idx].status = Status::Halted;
+                        return Ok(());
+                    }
+                    SuperOp::Br { target } => {
+                        next_block = Some(*target as usize);
+                        break;
+                    }
+                    SuperOp::BrCond {
+                        cond,
+                        if_false,
+                        if_true,
+                    } => {
+                        next_block = Some(if self.states[idx].regs[*cond as usize].is_truthy() {
+                            *if_true as usize
+                        } else {
+                            *if_false as usize
+                        });
+                        break;
+                    }
+                    SuperOp::Ret => {
+                        return Err(SimError::Runtime(
+                            "ret outside of a function".to_string(),
+                        ));
+                    }
+                }
+            }
+            match next_block {
+                Some(b) => block = b,
+                None => {
+                    // Entities simply finish their single pass; processes
+                    // must end in a terminator, which the verifier enforces.
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Resolve a (possibly baked) delay operand to its time value.
+    fn delay_value(&self, idx: usize, delay: &Delay) -> Result<TimeValue, SimError> {
+        match delay {
+            Delay::Const(t) => Ok(*t),
+            Delay::Reg(slot) => self.time_reg(idx, *slot as usize),
         }
     }
 
@@ -649,6 +1044,104 @@ mod tests {
         assert_eq!(reference.signal_changes, blaze.signal_changes);
         let last = blaze.trace.changes_of("out").last().unwrap().clone();
         assert_eq!(last.value, ConstValue::int(8, 50));
+    }
+
+    /// A failed step poisons the engine under the *specialized* dispatch
+    /// loop exactly like it did under the generic one: the error replays
+    /// on every later step instead of silently resuming the half-applied
+    /// cycle.
+    #[test]
+    fn poisoned_engine_replays_error_under_specialized_dispatch() {
+        // A zero-delay inverter pair oscillates forever within one
+        // instant; the delta-cycle guard fails the step mid-run. Entities
+        // always take the specialized stream, which the test asserts.
+        let module = parse_module(
+            r#"
+            entity @inv (i1$ %a) -> (i1$ %q) {
+                %ap = prb i1$ %a
+                %n = not i1 %ap
+                %delay = const time 0s
+                drv i1$ %q, %n after %delay
+            }
+            entity @top () -> () {
+                %zero = const i1 0
+                %x = sig i1 %zero
+                %y = sig i1 %zero
+                inst @inv (%x) -> (%y)
+                inst @inv (%y) -> (%x)
+            }
+            "#,
+        )
+        .unwrap();
+        let design = llhd_sim::elaborate(&module, "top").unwrap();
+        let compiled = crate::compile_design(&module, design).unwrap();
+        assert!(
+            compiled
+                .instances
+                .iter()
+                .filter(|i| i.kind == llhd_sim::design::InstanceKind::Entity)
+                .all(|i| i.code.is_some()),
+            "entities must execute the specialized stream"
+        );
+        let mut sim = BlazeSimulator::new(compiled, SimConfig::until_nanos(10));
+        let first = loop {
+            match sim.step() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(first, SimError::Runtime(_)));
+        // Later steps replay the failure instead of continuing from the
+        // half-applied cycle, and so does a fresh initialize.
+        assert_eq!(sim.step().unwrap_err(), first);
+        assert_eq!(sim.step().unwrap_err(), first);
+        BlazeSimulator::initialize(&mut sim).unwrap_err();
+    }
+
+    /// The specialized loop hits the same error points as the generic
+    /// one: a `ret` outside a function fails the activation, and the
+    /// session replays it.
+    #[test]
+    fn ret_in_specialized_process_poisons_and_replays() {
+        // The wait's back edge makes the process eligible for
+        // specialization; the false branch of the entry compare reaches
+        // the illegal `ret` on the very first activation.
+        let module = parse_module(
+            r#"
+            proc @bad (i1$ %c) -> () {
+            entry:
+                %cp = prb i1$ %c
+                %t = const time 1ns
+                br %cp, %stop, %again
+            again:
+                wait %entry for %t
+            stop:
+                ret
+            }
+            entity @top () -> () {
+                %zero = const i1 0
+                %c = sig i1 %zero
+                inst @bad (%c) -> ()
+            }
+            "#,
+        )
+        .unwrap();
+        let design = llhd_sim::elaborate(&module, "top").unwrap();
+        let compiled = crate::compile_design(&module, design).unwrap();
+        assert!(
+            compiled
+                .instances
+                .iter()
+                .filter(|i| i.kind == InstanceKind::Process)
+                .all(|i| i.code.is_some()),
+            "the looping process must execute the specialized stream"
+        );
+        let mut sim = BlazeSimulator::new(compiled, SimConfig::until_nanos(10));
+        let first = BlazeSimulator::initialize(&mut sim).unwrap_err();
+        assert!(matches!(first, SimError::Runtime(_)));
+        assert_eq!(first.to_string(), "runtime error: ret outside of a function");
+        assert_eq!(BlazeSimulator::initialize(&mut sim).unwrap_err(), first);
+        assert_eq!(sim.step().unwrap_err(), first);
     }
 
     #[test]

@@ -19,15 +19,17 @@
 
 pub mod compile;
 pub mod engine;
+pub mod superop;
 
-pub use compile::{compile_design, CompileError, CompiledDesign};
+pub use compile::{
+    compile_design, compile_design_with, BlazeOptions, CompileError, CompiledDesign,
+};
 pub use engine::BlazeSimulator;
 
 use llhd::ir::Module;
 use llhd_sim::api::{
     self, CompileBackend, CompiledArtifact, Engine, Error, SessionBuilder, SimSession,
 };
-use llhd_sim::{elaborate, SimConfig, SimError, SimResult};
 use std::sync::Arc;
 
 /// Install this crate as the compile backend of the unified session API,
@@ -61,29 +63,11 @@ pub fn session<'m>(module: &'m Module, top: &'m str) -> SessionBuilder<'m> {
     SimSession::builder(module, top)
 }
 
-/// Elaborate, compile, and simulate `top` from `module`.
-///
-/// # Errors
-///
-/// Returns an error if elaboration or compilation fails, or the simulation
-/// encounters an unsupported construct.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct simulations through `llhd_blaze::session` (or register the \
-            backend with `llhd_blaze::register()` and use \
-            `llhd_sim::api::SimSession::builder` with `EngineKind::Compile`)"
-)]
-pub fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, SimError> {
-    let design = elaborate(module, top).map_err(SimError::Elaborate)?;
-    let compiled = compile_design(module, design).map_err(|e| SimError::Runtime(e.to_string()))?;
-    let mut simulator = BlazeSimulator::new(compiled, config.clone());
-    simulator.run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use llhd::assembly::parse_module;
+    use llhd_sim::SimConfig;
 
     /// The accumulator design of the paper (Figure 2/3/5) with a reduced
     /// iteration count, simulated by both engines; the traces must match.

@@ -51,22 +51,3 @@ pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
 pub use engine::{SimConfig, SimError, SimResult, Simulator};
 pub use sched::{EventQueue, SchedCore};
 pub use trace::{Trace, TraceEvent};
-
-use llhd::ir::Module;
-
-/// Elaborate `top` from `module` and simulate it on the interpreter.
-///
-/// # Errors
-///
-/// Returns an error if elaboration fails (unknown top unit, malformed
-/// hierarchy) or the simulation encounters an unsupported construct.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct simulations through `llhd_sim::api::SimSession::builder` \
-            (use `.engine(EngineKind::Interpret)` for this engine specifically)"
-)]
-pub fn simulate(module: &Module, top: &str, config: &SimConfig) -> Result<SimResult, SimError> {
-    let design = elaborate(module, top).map_err(SimError::Elaborate)?;
-    let mut simulator = Simulator::new(module, design, config.clone());
-    simulator.run()
-}

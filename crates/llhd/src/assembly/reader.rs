@@ -54,160 +54,193 @@ pub fn parse_module(input: &str) -> Result<Module, ParseError> {
 // Lexer
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum Tok {
+/// A token borrowing its text from the input. Lexing allocates nothing per
+/// token — parsing a module allocates names only at the point where the
+/// parser interns them into the unit (value/block name maps), which is the
+/// hot path of `parse_module` on large modules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tok<'a> {
     /// A bare identifier or keyword (`func`, `add`, `i32`, `entry`, `1ns`).
-    Ident(String),
+    Ident(&'a str),
     /// A global name `@foo`.
-    Global(String),
+    Global(&'a str),
     /// A local name `%foo`.
-    Local(String),
+    Local(&'a str),
     /// An integer literal.
-    Number(String),
+    Number(&'a str),
     /// A quoted string literal (without quotes).
-    Str(String),
+    Str(&'a str),
     /// Punctuation.
     Punct(char),
 }
 
-#[derive(Clone, Debug)]
-struct Token {
-    tok: Tok,
+#[derive(Clone, Copy, Debug)]
+struct Token<'a> {
+    tok: Tok<'a>,
     line: usize,
 }
 
-fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
-    let mut tokens = Vec::new();
-    let mut chars = input.chars().peekable();
+/// Scan a name/identifier run starting at `start`, returning its end. The
+/// ASCII hot path is a byte scan; embedded non-ASCII characters are
+/// accepted iff they are unicode-alphanumeric (matching the previous
+/// char-based lexer).
+fn scan_name(input: &str, start: usize) -> usize {
+    let bytes = input.as_bytes();
+    let mut end = start;
+    while end < bytes.len() {
+        let b = bytes[end];
+        if b < 0x80 {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                end += 1;
+            } else {
+                break;
+            }
+        } else {
+            let c = input[end..].chars().next().unwrap();
+            if c.is_alphanumeric() {
+                end += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+    end
+}
+
+fn lex(input: &str) -> Result<Vec<Token<'_>>, ParseError> {
+    let bytes = input.as_bytes();
+    // Pre-size for the common token density so the vector does not
+    // repeatedly regrow while lexing multi-hundred-kilobyte modules.
+    let mut tokens = Vec::with_capacity(input.len() / 4);
     let mut line = 1usize;
-    while let Some(&c) = chars.peek() {
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
         match c {
-            '\n' => {
+            b'\n' => {
                 line += 1;
-                chars.next();
+                i += 1;
             }
-            c if c.is_whitespace() => {
-                chars.next();
-            }
-            ';' => {
-                // Comment until end of line.
-                for c in chars.by_ref() {
-                    if c == '\n' {
-                        line += 1;
-                        break;
-                    }
+            c if c.is_ascii_whitespace() => i += 1,
+            b';' => {
+                // Comment until end of line (the newline itself is handled
+                // by the next iteration, which counts the line).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
                 }
             }
-            '@' | '%' => {
-                chars.next();
-                let mut name = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c.is_alphanumeric() || c == '_' || c == '.' {
-                        name.push(c);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                if name.is_empty() {
+            b'@' | b'%' => {
+                let end = scan_name(input, i + 1);
+                if end == i + 1 {
                     return Err(ParseError {
                         line,
-                        message: format!("expected name after '{}'", c),
+                        message: format!("expected name after '{}'", c as char),
                     });
                 }
-                let tok = if c == '@' {
+                let name = &input[i + 1..end];
+                let tok = if c == b'@' {
                     Tok::Global(name)
                 } else {
                     Tok::Local(name)
                 };
                 tokens.push(Token { tok, line });
+                i = end;
             }
-            '"' => {
-                chars.next();
-                let mut s = String::new();
-                loop {
-                    match chars.next() {
-                        Some('"') => break,
-                        Some(c) => s.push(c),
-                        None => {
-                            return Err(ParseError {
-                                line,
-                                message: "unterminated string literal".to_string(),
-                            })
+            b'"' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    end += 1;
+                }
+                if end >= bytes.len() {
+                    return Err(ParseError {
+                        line,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(&input[start..end]),
+                    line,
+                });
+                i = end + 1;
+            }
+            b'0'..=b'9' => {
+                // A literal like `1ns` stays one token; pure digits are a
+                // number. Name characters `_`/`.` terminate the run, like
+                // the char-based lexer's `is_alphanumeric` did.
+                let mut end = i;
+                let mut all_digits = true;
+                while end < bytes.len() {
+                    let b = bytes[end];
+                    if b < 0x80 {
+                        if b.is_ascii_alphanumeric() {
+                            all_digits &= b.is_ascii_digit();
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        let ch = input[end..].chars().next().unwrap();
+                        if ch.is_alphanumeric() {
+                            all_digits = false;
+                            end += ch.len_utf8();
+                        } else {
+                            break;
                         }
                     }
                 }
-                tokens.push(Token {
-                    tok: Tok::Str(s),
-                    line,
-                });
-            }
-            c if c.is_ascii_digit() => {
-                let mut s = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c.is_alphanumeric() {
-                        s.push(c);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                // A literal like `1ns` stays one token; pure digits are a
-                // number.
-                if s.chars().all(|c| c.is_ascii_digit()) {
-                    tokens.push(Token {
-                        tok: Tok::Number(s),
-                        line,
-                    });
+                let text = &input[i..end];
+                let tok = if all_digits {
+                    Tok::Number(text)
                 } else {
-                    tokens.push(Token {
-                        tok: Tok::Ident(s),
-                        line,
-                    });
-                }
+                    Tok::Ident(text)
+                };
+                tokens.push(Token { tok, line });
+                i = end;
             }
-            c if c.is_alphabetic() || c == '_' => {
-                let mut s = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c.is_alphanumeric() || c == '_' || c == '.' {
-                        s.push(c);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                tokens.push(Token {
-                    tok: Tok::Ident(s),
-                    line,
-                });
-            }
-            '-' => {
-                chars.next();
-                if chars.peek() == Some(&'>') {
-                    chars.next();
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
                     tokens.push(Token {
                         tok: Tok::Punct('>'),
                         line,
                     });
+                    i += 2;
                 } else {
                     tokens.push(Token {
                         tok: Tok::Punct('-'),
                         line,
                     });
+                    i += 1;
                 }
             }
-            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ':' | '=' | '$' | '*' | 'x' => {
-                chars.next();
+            // NB: `x` is intentionally absent — it lexes as an identifier
+            // (`xor`, `%xp`, the `x` of array types), never as punctuation.
+            b'(' | b')' | b'{' | b'}' | b'[' | b']' | b',' | b':' | b'=' | b'$' | b'*' => {
                 tokens.push(Token {
-                    tok: Tok::Punct(c),
+                    tok: Tok::Punct(c as char),
                     line,
                 });
+                i += 1;
             }
-            other => {
-                return Err(ParseError {
-                    line,
-                    message: format!("unexpected character '{}'", other),
-                })
+            _ => {
+                // Identifier start, unicode whitespace, or garbage —
+                // decode one char to decide (cold path).
+                let ch = input[i..].chars().next().unwrap();
+                if ch.is_alphabetic() || ch == '_' {
+                    let end = scan_name(input, i);
+                    tokens.push(Token {
+                        tok: Tok::Ident(&input[i..end]),
+                        line,
+                    });
+                    i = end;
+                } else if ch.is_whitespace() {
+                    i += ch.len_utf8();
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected character '{}'", ch),
+                    });
+                }
             }
         }
     }
@@ -218,18 +251,21 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
 // Parser
 // ---------------------------------------------------------------------------
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'a> {
+    tokens: Vec<Token<'a>>,
     pos: usize,
     module: Module,
 }
 
+/// Per-unit name tables. Names are interned (allocated) here, at the
+/// point a definition binds them — the only per-name allocations on the
+/// parse path.
 struct UnitContext {
     values: HashMap<String, Value>,
     blocks: HashMap<String, Block>,
 }
 
-impl Parser {
+impl<'a> Parser<'a> {
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
     }
@@ -248,16 +284,16 @@ impl Parser {
         }
     }
 
-    fn peek(&self) -> Option<&Tok> {
-        self.tokens.get(self.pos).map(|t| &t.tok)
+    fn peek(&self) -> Option<Tok<'a>> {
+        self.tokens.get(self.pos).map(|t| t.tok)
     }
 
-    fn peek_at(&self, offset: usize) -> Option<&Tok> {
-        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    fn peek_at(&self, offset: usize) -> Option<Tok<'a>> {
+        self.tokens.get(self.pos + offset).map(|t| t.tok)
     }
 
-    fn next(&mut self) -> Option<Tok> {
-        let tok = self.tokens.get(self.pos).map(|t| t.tok.clone());
+    fn next(&mut self) -> Option<Tok<'a>> {
+        let tok = self.tokens.get(self.pos).map(|t| t.tok);
         self.pos += 1;
         tok
     }
@@ -277,7 +313,7 @@ impl Parser {
     }
 
     fn eat_punct(&mut self, c: char) -> bool {
-        if self.peek() == Some(&Tok::Punct(c)) {
+        if self.peek() == Some(Tok::Punct(c)) {
             self.pos += 1;
             true
         } else {
@@ -295,7 +331,7 @@ impl Parser {
         false
     }
 
-    fn parse_local(&mut self) -> Result<String, ParseError> {
+    fn parse_local(&mut self) -> Result<&'a str, ParseError> {
         match self.next() {
             Some(Tok::Local(s)) => Ok(s),
             other => Err(self.error(format!("expected %name, found {:?}", other))),
@@ -315,7 +351,7 @@ impl Parser {
 
     fn parse_type(&mut self) -> Result<Type, ParseError> {
         let mut base = match self.next() {
-            Some(Tok::Ident(s)) => self.parse_base_type_ident(&s)?,
+            Some(Tok::Ident(s)) => self.parse_base_type_ident(s)?,
             Some(Tok::Punct('[')) => {
                 let len = self.parse_number()?;
                 self.expect_ident("x")?;
@@ -373,9 +409,9 @@ impl Parser {
 
     fn parse_unit(&mut self) -> Result<(), ParseError> {
         let kind = match self.next() {
-            Some(Tok::Ident(s)) if s == "func" => UnitKind::Function,
-            Some(Tok::Ident(s)) if s == "proc" => UnitKind::Process,
-            Some(Tok::Ident(s)) if s == "entity" => UnitKind::Entity,
+            Some(Tok::Ident("func")) => UnitKind::Function,
+            Some(Tok::Ident("proc")) => UnitKind::Process,
+            Some(Tok::Ident("entity")) => UnitKind::Entity,
             other => return Err(self.error(format!("expected unit keyword, found {:?}", other))),
         };
         let name = match self.next() {
@@ -384,7 +420,7 @@ impl Parser {
             other => return Err(self.error(format!("expected unit name, found {:?}", other))),
         };
         let inputs = self.parse_arg_list()?;
-        let mut arg_names: Vec<String> = inputs.iter().map(|(n, _)| n.clone()).collect();
+        let mut arg_names: Vec<&'a str> = inputs.iter().map(|&(n, _)| n).collect();
         let sig = match kind {
             UnitKind::Function => {
                 let ret = self.parse_type()?;
@@ -393,7 +429,7 @@ impl Parser {
             UnitKind::Process | UnitKind::Entity => {
                 self.expect_punct('>')?;
                 let outputs = self.parse_arg_list()?;
-                arg_names.extend(outputs.iter().map(|(n, _)| n.clone()));
+                arg_names.extend(outputs.iter().map(|&(n, _)| n));
                 Signature::new_entity(
                     inputs.iter().map(|(_, t)| t.clone()).collect(),
                     outputs.iter().map(|(_, t)| t.clone()).collect(),
@@ -406,10 +442,10 @@ impl Parser {
             values: HashMap::new(),
             blocks: HashMap::new(),
         };
-        for (i, name) in arg_names.iter().enumerate() {
+        for (i, &name) in arg_names.iter().enumerate() {
             let value = unit.arg_value(i);
-            unit.set_value_name(value, name.clone());
-            ctx.values.insert(name.clone(), value);
+            unit.set_value_name(value, name);
+            ctx.values.insert(name.to_string(), value);
         }
         self.expect_punct('{')?;
         self.parse_body(&mut unit, &mut ctx)?;
@@ -417,7 +453,7 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_arg_list(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
+    fn parse_arg_list(&mut self) -> Result<Vec<(&'a str, Type)>, ParseError> {
         self.expect_punct('(')?;
         let mut args = vec![];
         if self.eat_punct(')') {
@@ -443,7 +479,7 @@ impl Parser {
         let is_entity = unit.kind() == UnitKind::Entity;
         let mut builder = UnitBuilder::new(unit);
         // Phi operand patches: (inst, operand index, value name).
-        let mut patches: Vec<(crate::ir::Inst, usize, String)> = vec![];
+        let mut patches: Vec<(crate::ir::Inst, usize, &'a str)> = vec![];
         loop {
             match self.peek() {
                 Some(Tok::Punct('}')) => {
@@ -451,7 +487,7 @@ impl Parser {
                     break;
                 }
                 None => return Err(self.error("unexpected end of input in unit body")),
-                Some(Tok::Ident(_)) if self.peek_at(1) == Some(&Tok::Punct(':')) => {
+                Some(Tok::Ident(_)) if self.peek_at(1) == Some(Tok::Punct(':')) => {
                     // A block label.
                     let label = match self.next() {
                         Some(Tok::Ident(s)) => s,
@@ -461,7 +497,7 @@ impl Parser {
                     if is_entity {
                         return Err(self.error("entities may not contain block labels"));
                     }
-                    let block = Self::lookup_block(&mut builder, ctx, &label);
+                    let block = Self::lookup_block(&mut builder, ctx, label);
                     builder.append_to(block);
                 }
                 _ => {
@@ -473,7 +509,7 @@ impl Parser {
         for (inst, index, name) in patches {
             let value = *ctx
                 .values
-                .get(&name)
+                .get(name)
                 .ok_or_else(|| self.error(format!("unknown value %{}", name)))?;
             builder.unit_mut().inst_data_mut(inst).args[index] = value;
         }
@@ -498,7 +534,7 @@ impl Parser {
 
     fn parse_value(&mut self, ctx: &UnitContext) -> Result<Value, ParseError> {
         let name = self.parse_local()?;
-        self.lookup_value(ctx, &name)
+        self.lookup_value(ctx, name)
     }
 
     fn parse_value_list(&mut self, ctx: &UnitContext) -> Result<Vec<Value>, ParseError> {
@@ -518,7 +554,7 @@ impl Parser {
         &mut self,
         builder: &mut UnitBuilder,
         ctx: &mut UnitContext,
-        patches: &mut Vec<(crate::ir::Inst, usize, String)>,
+        patches: &mut Vec<(crate::ir::Inst, usize, &'a str)>,
     ) -> Result<(), ParseError> {
         // Optional result binding.
         let result_name = if let (Some(Tok::Local(_)), Some(Tok::Punct('='))) =
@@ -536,7 +572,7 @@ impl Parser {
             other => return Err(self.error(format!("expected instruction, found {:?}", other))),
         };
 
-        let inst = match mnemonic.as_str() {
+        let inst = match mnemonic {
             "const" => {
                 let ty = self.parse_type()?;
                 let konst = self.parse_const_value(&ty)?;
@@ -558,11 +594,11 @@ impl Parser {
                 let ty = self.parse_type()?;
                 let mut args = vec![];
                 let mut blocks = vec![];
-                let mut pending: Vec<(usize, String)> = vec![];
+                let mut pending: Vec<(usize, &'a str)> = vec![];
                 loop {
                     self.expect_punct('[')?;
                     let vname = self.parse_local()?;
-                    match ctx.values.get(&vname) {
+                    match ctx.values.get(vname) {
                         Some(&v) => args.push(v),
                         None => {
                             pending.push((args.len(), vname));
@@ -572,7 +608,7 @@ impl Parser {
                     }
                     self.expect_punct(',')?;
                     let bname = self.parse_local()?;
-                    blocks.push(Self::lookup_block(builder, ctx, &bname));
+                    blocks.push(Self::lookup_block(builder, ctx, bname));
                     self.expect_punct(']')?;
                     if !self.eat_punct(',') {
                         break;
@@ -590,21 +626,21 @@ impl Parser {
                 // `br %bb` or `br %cond, %bb_false, %bb_true`.
                 let first = self.parse_local()?;
                 if self.eat_punct(',') {
-                    let cond = self.lookup_value(ctx, &first)?;
+                    let cond = self.lookup_value(ctx, first)?;
                     let f = self.parse_local()?;
                     self.expect_punct(',')?;
                     let t = self.parse_local()?;
-                    let bf = Self::lookup_block(builder, ctx, &f);
-                    let bt = Self::lookup_block(builder, ctx, &t);
+                    let bf = Self::lookup_block(builder, ctx, f);
+                    let bt = Self::lookup_block(builder, ctx, t);
                     builder.br_cond(cond, bf, bt)
                 } else {
-                    let bb = Self::lookup_block(builder, ctx, &first);
+                    let bb = Self::lookup_block(builder, ctx, first);
                     builder.br(bb)
                 }
             }
             "wait" => {
                 let target = self.parse_local()?;
-                let target = Self::lookup_block(builder, ctx, &target);
+                let target = Self::lookup_block(builder, ctx, target);
                 let time = if self.eat_ident("for") {
                     Some(self.parse_value(ctx)?)
                 } else {
@@ -665,7 +701,7 @@ impl Parser {
                 while self.eat_punct(',') {
                     let value = self.parse_value(ctx)?;
                     let mode = match self.next() {
-                        Some(Tok::Ident(s)) => RegMode::from_keyword(&s)
+                        Some(Tok::Ident(s)) => RegMode::from_keyword(s)
                             .ok_or_else(|| self.error(format!("unknown reg mode '{}'", s)))?,
                         other => {
                             return Err(self.error(format!("expected reg mode, found {:?}", other)))
@@ -790,7 +826,7 @@ impl Parser {
             "zext" | "sext" | "trunc" => {
                 let ty = self.parse_type()?;
                 let value = self.parse_value(ctx)?;
-                let opcode = Opcode::from_mnemonic(&mnemonic).unwrap();
+                let opcode = Opcode::from_mnemonic(mnemonic).unwrap();
                 let mut data = InstData::new(opcode, vec![value]);
                 data.imms = vec![ty.unwrap_int()];
                 builder.build(data)
@@ -817,8 +853,8 @@ impl Parser {
                 .unit()
                 .get_inst_result(inst)
                 .ok_or_else(|| self.error("instruction produces no result to bind"))?;
-            builder.unit_mut().set_value_name(result, name.clone());
-            ctx.values.insert(name, result);
+            builder.unit_mut().set_value_name(result, name);
+            ctx.values.insert(name.to_string(), result);
         }
         Ok(())
     }
@@ -833,19 +869,21 @@ impl Parser {
         use crate::ty::TypeKind;
         match ty.kind() {
             TypeKind::Int(width) => {
-                let digits = match self.next() {
-                    Some(Tok::Number(s)) => s,
+                // `(negated, digits)`; the sign is applied after parsing
+                // so the digit slice borrows straight from the input.
+                let (neg, digits) = match self.next() {
+                    Some(Tok::Number(s)) => (false, s),
                     Some(Tok::Punct('-')) => match self.next() {
-                        Some(Tok::Number(s)) => format!("-{}", s),
+                        Some(Tok::Number(s)) => (true, s),
                         other => {
                             return Err(self.error(format!("expected number, found {:?}", other)))
                         }
                     },
                     other => return Err(self.error(format!("expected number, found {:?}", other))),
                 };
-                let value = ApInt::from_str_radix10(*width, &digits)
+                let value = ApInt::from_str_radix10(*width, digits)
                     .ok_or_else(|| self.error(format!("invalid integer '{}'", digits)))?;
-                Ok(ConstValue::Int(value))
+                Ok(ConstValue::Int(if neg { value.neg() } else { value }))
             }
             TypeKind::Enum(states) => {
                 let value = self.parse_number()?;
@@ -856,7 +894,7 @@ impl Parser {
             }
             TypeKind::Logic(width) => match self.next() {
                 Some(Tok::Str(s)) => {
-                    let v = LogicVector::from_str(&s)
+                    let v = LogicVector::from_str(s)
                         .ok_or_else(|| self.error(format!("invalid logic literal '{}'", s)))?;
                     if v.width() != *width {
                         return Err(self.error(format!(
