@@ -11,10 +11,43 @@ if [ "${LLHD_SKIP_CLIPPY:-0}" != "1" ] && cargo clippy --version >/dev/null 2>&1
     cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+# Rustdoc gate: the public API documentation (including intra-doc links)
+# must build warning-free. --no-deps keeps it fast; doctests themselves
+# run as part of `cargo test` below.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 # Tests run in release so they reuse the artifacts of the build above
 # instead of recompiling the whole workspace in the dev profile.
 cargo build --release --workspace --all-targets
 cargo test -q --release --workspace
+
+# Server smoke test: a request → response → shutdown round-trip through
+# the real llhd-server binary over stdio (the same protocol the TCP mode
+# speaks; see docs/PROTOCOL.md). Three requests in, three ok-responses
+# out, clean exit.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/requests" <<'EOF'
+{"type":"ping","id":1}
+{"type":"sim","id":2,"source":"proc @blink () -> (i1$ %led) { entry: %on = const i1 1 %off = const i1 0 %t = const time 5ns drv i1$ %led, %on after %t wait %next for %t next: drv i1$ %led, %off after %t wait %entry for %t }","top":"blink","until_ns":100}
+{"type":"shutdown","id":3}
+EOF
+./target/release/llhd-server --stdio --stats-interval 0 \
+    < "$SMOKE_DIR/requests" > "$SMOKE_DIR/responses"
+# (`|| true`: grep -c exits 1 on zero matches, which `set -e` would turn
+# into a silent abort before the diagnostics below could print.)
+OK_COUNT=$(grep -c '"ok":true' "$SMOKE_DIR/responses" || true)
+if [ "$OK_COUNT" != "3" ]; then
+    echo "ci.sh: server stdio smoke test failed; responses were:" >&2
+    cat "$SMOKE_DIR/responses" >&2
+    exit 1
+fi
+grep -q '"signal_changes":20' "$SMOKE_DIR/responses" || {
+    echo "ci.sh: server smoke test: unexpected sim result:" >&2
+    cat "$SMOKE_DIR/responses" >&2
+    exit 1
+}
+echo "ci.sh: server stdio smoke test OK"
 
 # Benchmark regression gate: re-measure the simulation and serialization
 # suites in quick mode and fail if any median regressed more than 20%

@@ -8,8 +8,8 @@
 //! baseline would drift into noise.
 //!
 //! Every simulation is constructed through the unified
-//! [`SimSession`](llhd_sim::api::SimSession) surface, with the engine
-//! pinned per benchmark so the two engines stay individually tracked.
+//! [`llhd_sim::api::SimSession`] surface, with the engine pinned per
+//! benchmark so the two engines stay individually tracked.
 
 use crate::harness::Harness;
 use llhd::assembly::{parse_module, write_module};
@@ -101,39 +101,133 @@ pub fn simulation_suite(h: &mut Harness) {
     // process lifetime* — the steady state a simulation server would see.
     // The whole fixture is skipped when a filter excludes the benchmark
     // (e.g. bench_gate's targeted quick-mode re-measure).
-    if !h.wants("batch/all-designs") {
+    if h.wants("batch/all-designs") {
+        let built: Vec<_> = all_designs()
+            .into_iter()
+            .map(|design| {
+                let module = design.build().expect("design must build");
+                let config =
+                    SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
+                (design, module, config)
+            })
+            .collect();
+        let jobs: Vec<BatchJob> = built
+            .iter()
+            .map(|(design, module, config)| BatchJob {
+                module,
+                top: design.top,
+                engine: EngineKind::Compile,
+                config: config.clone(),
+                cache_key: None,
+            })
+            .collect();
+        let cache = DesignCache::new();
+        h.bench_throughput(
+            "batch/all-designs",
+            SIMULATION_CYCLES * jobs.len() as u64,
+            || {
+                let results = SimSession::run_batch(&jobs, Some(&cache));
+                for result in &results {
+                    result.as_ref().unwrap();
+                }
+                results
+            },
+        );
+    }
+    server_throughput(h);
+}
+
+/// Concurrent clients per iteration of the `server/throughput` benchmark.
+const SERVER_CLIENTS: usize = 4;
+
+/// The second scale-out workload: the full request path of the persistent
+/// simulation server. N persistent TCP clients each fire one request per
+/// benchmark design (mixed designs, compiled engine, design-key requests)
+/// at a *warm* server — the steady state the ROADMAP's server mode is
+/// for: every request is JSON decode + cache hit + engine instantiation +
+/// run + JSON encode, with zero parse/elaborate/compile on the hot path.
+fn server_throughput(h: &mut Harness) {
+    use llhd_server::json::Json;
+    use llhd_server::{Client, Server, ServerConfig};
+
+    if !h.wants("server/throughput") {
         return;
     }
-    let built: Vec<_> = all_designs()
-        .into_iter()
-        .map(|design| {
-            let module = design.build().expect("design must build");
-            let config =
-                SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
-            (design, module, config)
-        })
+    let running = Server::spawn_tcp(ServerConfig::default(), "127.0.0.1:0")
+        .expect("bind an ephemeral port");
+    // Warm the server: ship every design's source once, keep the keys.
+    let mut warm = Client::connect(running.addr()).expect("connect");
+    let mut requests = Vec::new();
+    for design in all_designs() {
+        let module = design.build().expect("design must build");
+        let response = warm
+            .request(&Json::obj([
+                ("type", Json::str("sim")),
+                ("source", Json::str(llhd::assembly::write_module(&module))),
+                ("top", Json::str(design.top)),
+                ("engine", Json::str("compile")),
+                ("until_ns", Json::uint(design.sim_time_ns(SIMULATION_CYCLES))),
+            ]))
+            .expect("warm request");
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "warmup failed: {}",
+            response
+        );
+        let key = response
+            .get("result")
+            .and_then(|r| r.get("design"))
+            .and_then(Json::as_str)
+            .expect("design key")
+            .to_string();
+        requests.push(Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str(key)),
+            ("top", Json::str(design.top)),
+            ("engine", Json::str("compile")),
+            ("until_ns", Json::uint(design.sim_time_ns(SIMULATION_CYCLES))),
+        ]));
+    }
+    // Persistent connections, one per client, reused across iterations —
+    // a server benchmark that re-connects per request would measure TCP
+    // setup, not the simulation path.
+    let clients: Vec<std::sync::Mutex<Client>> = (0..SERVER_CLIENTS)
+        .map(|_| std::sync::Mutex::new(Client::connect(running.addr()).expect("connect")))
         .collect();
-    let jobs: Vec<BatchJob> = built
-        .iter()
-        .map(|(design, module, config)| BatchJob {
-            module,
-            top: design.top,
-            engine: EngineKind::Compile,
-            config: config.clone(),
-        })
-        .collect();
-    let cache = DesignCache::new();
     h.bench_throughput(
-        "batch/all-designs",
-        SIMULATION_CYCLES * jobs.len() as u64,
+        "server/throughput",
+        SIMULATION_CYCLES * (SERVER_CLIENTS * requests.len()) as u64,
         || {
-            let results = SimSession::run_batch(&jobs, Some(&cache));
-            for result in &results {
-                result.as_ref().unwrap();
-            }
-            results
+            std::thread::scope(|scope| {
+                for (i, slot) in clients.iter().enumerate() {
+                    let requests = &requests;
+                    scope.spawn(move || {
+                        let mut client = slot.lock().unwrap();
+                        // Stagger the design order per client so the mix
+                        // stays mixed even when requests interleave.
+                        for k in 0..requests.len() {
+                            let request = &requests[(k + i) % requests.len()];
+                            let response = client.request(request).expect("request");
+                            assert_eq!(
+                                response.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "server error: {}",
+                                response
+                            );
+                        }
+                    });
+                }
+            });
         },
     );
+    drop(clients);
+    let mut closer = Client::connect(running.addr()).expect("connect");
+    let ack = closer
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .expect("shutdown");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    running.join().expect("server exits cleanly");
 }
 
 /// The Table 4 serialization suite: text emission/parsing and bitcode

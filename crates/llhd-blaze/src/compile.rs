@@ -63,7 +63,32 @@ impl ArgRange {
 
 /// Compile-time knobs for the blaze lowering pipeline, exposed for the
 /// ablation benchmarks (and anyone who wants the PR-2-era generic
-/// dispatch back).
+/// dispatch back). The knobs may only change speed, never behaviour —
+/// the differential tests assert byte-identical traces across every
+/// combination.
+///
+/// ```
+/// use llhd_blaze::{compile_design_with, BlazeOptions};
+/// use llhd_sim::{elaborate, SimConfig};
+/// use std::sync::Arc;
+///
+/// let module = llhd::assembly::parse_module(
+///     "entity @top () -> () {
+///         %zero = const i8 0
+///         %q = sig i8 %zero
+///     }",
+/// )
+/// .unwrap();
+/// let design = Arc::new(elaborate(&module, "top").unwrap());
+/// // Generic dispatch only: no fusion, no per-instance specialization.
+/// let compiled = compile_design_with(
+///     &module,
+///     Arc::clone(&design),
+///     BlazeOptions { fuse: false, specialize: false },
+/// )
+/// .unwrap();
+/// assert_eq!(compiled.options, BlazeOptions { fuse: false, specialize: false });
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BlazeOptions {
     /// Superinstruction fusion: pre-decoded fast-path variants plus the
@@ -298,6 +323,47 @@ pub struct CompiledDesign {
     pub allow_drive_drop: bool,
     /// The lowering knobs this design was compiled with.
     pub options: BlazeOptions,
+}
+
+impl CompiledDesign {
+    /// A rough retained-size estimate in bytes: op streams, operand pools,
+    /// and specialized instance code, by struct size — intentionally cheap
+    /// rather than allocator-exact. Feeds the `DesignCache` observability
+    /// counters through the backend's `artifact_bytes` hook.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let units: usize = self
+            .units
+            .values()
+            .map(|u| {
+                u.name.len()
+                    + u.ops.len() * size_of::<Op>()
+                    + u.block_ranges.len() * size_of::<(u32, u32)>()
+                    + u.arg_pool.len() * size_of::<u32>()
+                    + u.signal_slot_of_value.len() * size_of::<u32>()
+                    + u.const_regs.len() * size_of::<(u32, ConstValue)>()
+                    + u.lowered.as_ref().map_or(0, |l| {
+                        l.ops.len() * size_of::<crate::superop::SuperOp>()
+                            + l.pool.len() * size_of::<u32>()
+                            + (l.consts.len() + l.init_regs.len()) * size_of::<ConstValue>()
+                    })
+            })
+            .sum();
+        let instances: usize = self
+            .instances
+            .iter()
+            .map(|i| {
+                size_of::<CompiledInstance>()
+                    + i.name.len()
+                    + i.signal_table.len() * size_of::<usize>()
+                    + i.code.as_ref().map_or(0, |c| {
+                        c.ops.len() * size_of::<crate::superop::SuperOp>()
+                            + c.pool.len() * size_of::<u32>()
+                    })
+            })
+            .sum();
+        units + instances
+    }
 }
 
 /// Compile all units of a module and bind the elaborated instances, with

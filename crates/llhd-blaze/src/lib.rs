@@ -36,6 +36,25 @@ use std::sync::Arc;
 /// so [`llhd_sim::api::EngineKind::Compile`] (and `Auto` on large designs)
 /// resolves to the blaze engine. Idempotent and cheap — call it once at
 /// startup, or go through [`session`], which calls it for you.
+///
+/// ```
+/// use llhd_sim::api::{compile_backend, EngineKind, SimSession};
+///
+/// llhd_blaze::register();
+/// assert_eq!(compile_backend().map(|b| b.name), Some("blaze"));
+/// let module = llhd::assembly::parse_module(
+///     "entity @top () -> () {
+///         %zero = const i8 0
+///         %q = sig i8 %zero
+///     }",
+/// )
+/// .unwrap();
+/// let session = SimSession::builder(&module, "top")
+///     .engine(EngineKind::Compile)
+///     .build()
+///     .unwrap();
+/// assert_eq!(session.engine_name(), "blaze");
+/// ```
 pub fn register() {
     api::register_compile_backend(CompileBackend {
         name: "blaze",
@@ -52,12 +71,40 @@ pub fn register() {
                 })?;
             Ok(Box::new(BlazeSimulator::new(compiled, config.clone())) as Box<dyn Engine>)
         },
+        artifact_bytes: |artifact| {
+            artifact
+                .downcast_ref::<CompiledDesign>()
+                .map(CompiledDesign::approx_bytes)
+                .unwrap_or(0)
+        },
     });
 }
 
 /// Start configuring a [`SimSession`] with the blaze backend registered:
 /// the one-stop entry point for consumers that want both engines
 /// available behind [`llhd_sim::api::EngineKind`].
+///
+/// ```
+/// let module = llhd::assembly::parse_module(
+///     "proc @pulse () -> (i1$ %q) {
+///     entry:
+///         %on = const i1 1
+///         %t = const time 2ns
+///         drv i1$ %q, %on after %t
+///         halt
+///     }",
+/// )
+/// .unwrap();
+/// // Engine selection defaults to Auto: small modules run on the
+/// // interpreter, large ones on the registered blaze backend.
+/// let result = llhd_blaze::session(&module, "pulse")
+///     .until_nanos(10)
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(result.trace.changes_of("q").count(), 1);
+/// ```
 pub fn session<'m>(module: &'m Module, top: &'m str) -> SessionBuilder<'m> {
     register();
     SimSession::builder(module, top)

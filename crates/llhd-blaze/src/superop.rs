@@ -1,6 +1,6 @@
 //! Superinstruction lowering and per-instance specialization.
 //!
-//! The generic [`Op`](crate::compile::Op) stream keeps one record per IR
+//! The generic [`Op`] stream keeps one record per IR
 //! instruction and resolves everything through per-instance tables at run
 //! time. This module adds the two lowering stages that turn it into the
 //! form the hot dispatch loop actually executes:
@@ -16,7 +16,7 @@
 //!    materializing the array ([`SuperOp::Sel`]), and compute+drive
 //!    ([`SuperOp::BinDrv`]). Fusion only fires when the intermediate
 //!    register has exactly one reader, so nothing observable changes.
-//!    Lowering also runs the unit-level constant analysis ([`fold_unit`]):
+//!    Lowering also runs the unit-level constant analysis (`fold_unit`):
 //!    pure ops whose inputs are all constants are folded across the whole
 //!    unit — their results land in the unit's initial register file
 //!    ([`LoweredUnit::init_regs`]) and the ops are marked dropped. The

@@ -170,6 +170,7 @@ fn batch_runner_matches_individual_sessions() {
             top: design.top,
             engine: EngineKind::Compile,
             config: config.clone(),
+            cache_key: None,
         })
         .collect();
     let cache = DesignCache::new();
@@ -196,6 +197,64 @@ fn batch_runner_matches_individual_sessions() {
     // served from the cache for the solo re-runs above.
     assert_eq!(cache.compile_misses(), jobs.len());
     assert_eq!(cache.compile_hits(), jobs.len());
+}
+
+/// LRU eviction under a severely bounded cache must never disturb
+/// in-flight sessions: a capacity-1 cache under a concurrent mixed-design
+/// batch evicts designs *while other jobs still run on them* (they hold
+/// their own `Arc`s), and every trace must still be byte-identical to an
+/// uncached solo run.
+#[test]
+fn eviction_mid_batch_leaves_traces_unchanged() {
+    llhd_blaze::register();
+    let built: Vec<_> = all_designs()
+        .into_iter()
+        .take(6)
+        .map(|design| {
+            let module = design.build().unwrap();
+            let config = SimConfig::until_nanos(design.sim_time_ns(5))
+                .with_trace_filter(&[design.probe_signal]);
+            (design, module, config)
+        })
+        .collect();
+    // Each design appears twice, interleaved, so cache entries are both
+    // evicted and re-filled while the first wave is still simulating.
+    let jobs: Vec<BatchJob> = (0..2)
+        .flat_map(|_| {
+            built.iter().map(|(design, module, config)| BatchJob {
+                module,
+                top: design.top,
+                engine: EngineKind::Compile,
+                config: config.clone(),
+                cache_key: None,
+            })
+        })
+        .collect();
+    let cache = DesignCache::with_capacity(1);
+    let results = SimSession::run_batch(&jobs, Some(&cache));
+    assert!(
+        cache.evictions() > 0,
+        "a capacity-1 cache under {} mixed jobs must evict",
+        jobs.len()
+    );
+    assert!(cache.len() <= built.len(), "cache kept every design live");
+    for (i, result) in results.iter().enumerate() {
+        let (design, module, config) = &built[i % built.len()];
+        let batch_result = result.as_ref().unwrap();
+        let solo = SimSession::builder(module, design.top)
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            solo.trace.events(),
+            batch_result.trace.events(),
+            "{}: trace disturbed by mid-batch eviction",
+            design.name
+        );
+    }
 }
 
 /// `EngineKind::Auto` picks the compiled engine for real (large) designs

@@ -1,0 +1,94 @@
+//! The `llhd-server` binary: a persistent simulation server speaking the
+//! line-delimited JSON protocol of `docs/PROTOCOL.md` over stdio (the
+//! default) or TCP.
+//!
+//! ```text
+//! llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]
+//!
+//!   --stdio                requests on stdin, responses on stdout (default)
+//!   --tcp ADDR             listen on ADDR (e.g. 127.0.0.1:7171; port 0 = ephemeral)
+//!   --capacity N           cache at most N designs, LRU-evicted (default: unbounded)
+//!   --stats-interval SECS  log a stats line to stderr every SECS seconds
+//!                          (default 30; 0 disables)
+//! ```
+
+use llhd_server::{Server, ServerConfig};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tcp: Option<String> = None;
+    let mut capacity: Option<usize> = None;
+    let mut stats_secs: u64 = 30;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => {}
+            "--tcp" => match argv.get(i + 1) {
+                Some(addr) => {
+                    tcp = Some(addr.clone());
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--capacity" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    capacity = Some(n);
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--stats-interval" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(secs) => {
+                    stats_secs = secs;
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("llhd-server: unknown argument {:?}", other);
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let config = ServerConfig {
+        cache_capacity: capacity,
+        stats_interval: match stats_secs {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        },
+    };
+    let server = Server::new(config);
+    let result = match tcp {
+        Some(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                // The ephemeral-port form (`:0`) is only useful if the
+                // chosen port is announced.
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("llhd-server: listening on {}", local),
+                    Err(_) => eprintln!("llhd-server: listening on {}", addr),
+                }
+                server.serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("llhd-server: cannot bind {}: {}", addr, e);
+                std::process::exit(1);
+            }
+        },
+        None => server.serve_stdio(),
+    };
+    if let Err(e) = result {
+        eprintln!("llhd-server: {}", e);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,602 @@
+//! The wire protocol: request parsing and response construction.
+//!
+//! One request per line, one response per line, compact JSON — the full
+//! specification (schemas, error shapes, the versioning rule) lives in
+//! `docs/PROTOCOL.md` at the repository root; this module is its
+//! implementation. Protocol version: [`PROTOCOL_VERSION`].
+
+use crate::json::Json;
+use llhd_sim::api::{self, CacheStats, EngineKind};
+use llhd_sim::{SimConfig, SimResult};
+
+/// The protocol version this server speaks. Responses always carry it as
+/// `"v"`; requests may carry `"v"` and are rejected when it does not
+/// match. The versioning rule: *adding* optional request fields or
+/// response fields is not a version bump (receivers ignore unknown
+/// fields); any change that alters the meaning of an existing field, or
+/// removes one, bumps this number.
+pub const PROTOCOL_VERSION: i128 = 1;
+
+/// How a simulation request wants its trace delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// No trace: only the run statistics come back (the default).
+    #[default]
+    Off,
+    /// The full value-change trace, rendered as a VCD document in the
+    /// response's `trace_vcd` field.
+    Vcd,
+}
+
+/// One simulation job: a design reference plus engine/run/trace
+/// configuration. Appears standalone (`sim`) or repeated (`batch`).
+#[derive(Clone, Debug)]
+pub struct SimJobSpec {
+    /// Inline LLHD assembly source, if the design is being submitted.
+    pub source: Option<String>,
+    /// A design key from an earlier response, if the design should be
+    /// resident already.
+    pub design: Option<String>,
+    /// The top-level unit to elaborate.
+    pub top: String,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Simulation end time in nanoseconds (`None`: the engine default).
+    pub until_ns: Option<u128>,
+    /// Trace delivery.
+    pub trace: TraceMode,
+    /// Restrict the trace to signals whose hierarchical name ends with
+    /// one of these suffixes.
+    pub trace_signals: Option<Vec<String>>,
+    /// Override the delta-cycle guard.
+    pub max_deltas_per_instant: Option<u32>,
+    /// Override the per-activation step guard.
+    pub max_steps_per_activation: Option<usize>,
+}
+
+impl SimJobSpec {
+    /// The [`SimConfig`] this spec describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = match self.until_ns {
+            Some(ns) => SimConfig::until_nanos(ns),
+            None => SimConfig::default(),
+        };
+        // The parser guarantees `trace_signals` only appears with `Vcd`,
+        // so recording happens exactly when the response delivers it.
+        config.trace = self.trace == TraceMode::Vcd;
+        if let Some(filter) = &self.trace_signals {
+            config.trace_filter = Some(filter.clone());
+        }
+        if let Some(n) = self.max_deltas_per_instant {
+            config.max_deltas_per_instant = n;
+        }
+        if let Some(n) = self.max_steps_per_activation {
+            config.max_steps_per_activation = n;
+        }
+        config
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One simulation job.
+    Sim(SimJobSpec),
+    /// Several jobs, executed concurrently, answered in order.
+    Batch(Vec<SimJobSpec>),
+    /// Cache/server observability counters.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, then exit.
+    Shutdown,
+}
+
+/// The error kinds of the protocol (the `error.kind` field).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// The JSON did not form a valid request.
+    Protocol,
+    /// The inline LLHD assembly did not parse.
+    Source,
+    /// Elaboration of the design failed.
+    Elaborate,
+    /// Ahead-of-time compilation failed.
+    Compile,
+    /// The simulation hit a runtime error.
+    Runtime,
+    /// No compile backend is registered.
+    Backend,
+    /// A `peek`/`poke`-style signal reference did not resolve.
+    UnknownSignal,
+    /// The referenced design key is not resident (evicted or never seen).
+    UnknownDesign,
+    /// The server is shutting down and takes no new work.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Source => "source",
+            ErrorKind::Elaborate => "elaborate",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::Backend => "backend",
+            ErrorKind::UnknownSignal => "unknown_signal",
+            ErrorKind::UnknownDesign => "unknown_design",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A protocol-level failure: what becomes an `"ok":false` response.
+#[derive(Clone, Debug)]
+pub struct ProtoError {
+    /// Which kind of failure.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Build an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ProtoError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<api::Error> for ProtoError {
+    fn from(e: api::Error) -> Self {
+        let kind = match &e {
+            api::Error::Elaborate(_) => ErrorKind::Elaborate,
+            api::Error::Compile(_) => ErrorKind::Compile,
+            api::Error::Runtime(_) => ErrorKind::Runtime,
+            api::Error::BackendUnavailable(_) => ErrorKind::Backend,
+            api::Error::UnknownSignal(_) => ErrorKind::UnknownSignal,
+        };
+        ProtoError::new(kind, e.to_string())
+    }
+}
+
+fn parse_engine(value: &Json) -> Result<EngineKind, ProtoError> {
+    match value.as_str() {
+        Some("auto") => Ok(EngineKind::Auto),
+        Some("interpret") => Ok(EngineKind::Interpret),
+        Some("compile") => Ok(EngineKind::Compile),
+        _ => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!(
+                "invalid \"engine\" {} (expected \"auto\", \"interpret\", or \"compile\")",
+                value
+            ),
+        )),
+    }
+}
+
+fn parse_trace(value: &Json) -> Result<TraceMode, ProtoError> {
+    match value.as_str() {
+        Some("off") => Ok(TraceMode::Off),
+        Some("vcd") => Ok(TraceMode::Vcd),
+        _ => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!("invalid \"trace\" {} (expected \"off\" or \"vcd\")", value),
+        )),
+    }
+}
+
+fn field_uint(obj: &Json, key: &str, max: u128) -> Result<Option<u128>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(i)) if *i >= 0 && *i as u128 <= max => Ok(Some(*i as u128)),
+        Some(Json::Int(i)) if *i >= 0 => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!("\"{}\" must be at most {}, got {}", key, max, i),
+        )),
+        Some(other) => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!("\"{}\" must be a non-negative integer, got {}", key, other),
+        )),
+    }
+}
+
+/// The largest accepted `until_ns`: ~584 years of simulated time. Femto-
+/// second conversion (×10⁶) stays far below `u128::MAX`, so the engine's
+/// time arithmetic cannot overflow on wire-supplied values.
+const MAX_UNTIL_NS: u128 = u64::MAX as u128;
+
+fn field_str(obj: &Json, key: &str) -> Result<Option<String>, ProtoError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!("\"{}\" must be a string, got {}", key, other),
+        )),
+    }
+}
+
+fn parse_job(obj: &Json) -> Result<SimJobSpec, ProtoError> {
+    let source = field_str(obj, "source")?;
+    let design = field_str(obj, "design")?;
+    if source.is_none() && design.is_none() {
+        return Err(ProtoError::new(
+            ErrorKind::Protocol,
+            "a sim job needs either \"source\" (inline LLHD assembly) or \"design\" (a cached key)",
+        ));
+    }
+    let top = field_str(obj, "top")?.ok_or_else(|| {
+        ProtoError::new(ErrorKind::Protocol, "a sim job needs \"top\" (the unit to elaborate)")
+    })?;
+    let engine = match obj.get("engine") {
+        None | Some(Json::Null) => EngineKind::Auto,
+        Some(value) => parse_engine(value)?,
+    };
+    let explicit_trace = match obj.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(parse_trace(value)?),
+    };
+    let trace_signals = match obj.get("trace_signals") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                names.push(
+                    item.as_str()
+                        .ok_or_else(|| {
+                            ProtoError::new(
+                                ErrorKind::Protocol,
+                                "\"trace_signals\" must be an array of strings",
+                            )
+                        })?
+                        .to_string(),
+                );
+            }
+            Some(names)
+        }
+        Some(_) => {
+            return Err(ProtoError::new(
+                ErrorKind::Protocol,
+                "\"trace_signals\" must be an array of strings",
+            ))
+        }
+    };
+    // Asking for specific signals is asking for the trace: the filter
+    // implies VCD delivery. Recording a trace the response would then
+    // discard (explicit "off" + a filter) is a contradiction, not a
+    // default to guess at.
+    let trace = match (explicit_trace, &trace_signals) {
+        (Some(TraceMode::Off), Some(_)) => {
+            return Err(ProtoError::new(
+                ErrorKind::Protocol,
+                "\"trace_signals\" requires \"trace\":\"vcd\" (or omit \"trace\")",
+            ))
+        }
+        (None, Some(_)) => TraceMode::Vcd,
+        (mode, _) => mode.unwrap_or(TraceMode::Off),
+    };
+    Ok(SimJobSpec {
+        source,
+        design,
+        top,
+        engine,
+        until_ns: field_uint(obj, "until_ns", MAX_UNTIL_NS)?,
+        trace,
+        trace_signals,
+        // The bounds make the narrowing casts lossless.
+        max_deltas_per_instant: field_uint(obj, "max_deltas_per_instant", u32::MAX as u128)?
+            .map(|n| n as u32),
+        max_steps_per_activation: field_uint(
+            obj,
+            "max_steps_per_activation",
+            usize::MAX as u128,
+        )?
+        .map(|n| n as usize),
+    })
+}
+
+impl Request {
+    /// Parse a request object (already JSON-parsed).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Protocol`] describing what is malformed; unknown
+    /// *fields* are ignored (the forward-compatibility rule), unknown
+    /// *types* and version mismatches are errors.
+    pub fn parse(value: &Json) -> Result<Request, ProtoError> {
+        if !matches!(value, Json::Obj(_)) {
+            return Err(ProtoError::new(
+                ErrorKind::Protocol,
+                "a request must be a JSON object",
+            ));
+        }
+        match value.get("v") {
+            None | Some(Json::Int(PROTOCOL_VERSION)) => {}
+            Some(other) => {
+                return Err(ProtoError::new(
+                    ErrorKind::Protocol,
+                    format!("protocol version {} not supported (this server speaks v{})",
+                        other, PROTOCOL_VERSION),
+                ))
+            }
+        }
+        let kind = value.get("type").and_then(Json::as_str).ok_or_else(|| {
+            ProtoError::new(ErrorKind::Protocol, "a request needs a string \"type\" field")
+        })?;
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "sim" => Ok(Request::Sim(parse_job(value)?)),
+            "batch" => {
+                let jobs = value
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorKind::Protocol,
+                            "a batch request needs a \"jobs\" array",
+                        )
+                    })?;
+                if jobs.is_empty() {
+                    return Err(ProtoError::new(
+                        ErrorKind::Protocol,
+                        "a batch request needs at least one job",
+                    ));
+                }
+                jobs.iter().map(parse_job).collect::<Result<Vec<_>, _>>().map(Request::Batch)
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::new(
+                ErrorKind::Protocol,
+                format!(
+                    "unknown request type {:?} (expected ping, sim, batch, stats, or shutdown)",
+                    other
+                ),
+            )),
+        }
+    }
+}
+
+/// The client-supplied request id, echoed verbatim into the response (any
+/// JSON value; absent stays absent).
+pub fn request_id(value: &Json) -> Option<Json> {
+    value.get("id").cloned()
+}
+
+fn envelope(id: Option<Json>, ok: bool) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("v".to_string(), Json::Int(PROTOCOL_VERSION)),
+        ("ok".to_string(), Json::Bool(ok)),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id));
+    }
+    fields
+}
+
+/// A successful response carrying `result`.
+pub fn ok_response(id: Option<Json>, result: Json) -> Json {
+    let mut fields = envelope(id, true);
+    fields.push(("result".to_string(), result));
+    Json::Obj(fields)
+}
+
+/// A failure response carrying the error's kind and message.
+pub fn error_response(id: Option<Json>, error: &ProtoError) -> Json {
+    let mut fields = envelope(id, false);
+    fields.push((
+        "error".to_string(),
+        Json::obj([
+            ("kind", Json::str(error.kind.wire_name())),
+            ("message", Json::str(error.message.clone())),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+/// The engine names of the wire (`EngineKind` without `Auto`, which a
+/// session always resolves away).
+fn engine_wire_name(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Interpret => "interpret",
+        EngineKind::Compile => "compile",
+        EngineKind::Auto => "auto",
+    }
+}
+
+/// Render one completed simulation into its response `result` payload.
+pub fn sim_result_json(
+    design_key: &str,
+    top: &str,
+    engine: EngineKind,
+    spec_trace: TraceMode,
+    result: &SimResult,
+) -> Json {
+    let mut fields = vec![
+        ("design".to_string(), Json::str(design_key)),
+        ("top".to_string(), Json::str(top)),
+        ("engine".to_string(), Json::str(engine_wire_name(engine))),
+        ("end_time_fs".to_string(), Json::uint(result.end_time.as_femtos())),
+        ("signal_changes".to_string(), Json::uint(result.signal_changes as u128)),
+        ("activations".to_string(), Json::uint(result.activations as u128)),
+        ("halted_processes".to_string(), Json::uint(result.halted_processes as u128)),
+        (
+            "assertions_checked".to_string(),
+            Json::uint(result.assertions_checked as u128),
+        ),
+        (
+            "assertion_failures".to_string(),
+            Json::uint(result.assertion_failures as u128),
+        ),
+    ];
+    if spec_trace == TraceMode::Vcd {
+        fields.push(("trace_vcd".to_string(), Json::str(result.trace.to_vcd("1fs"))));
+    }
+    Json::Obj(fields)
+}
+
+/// Render a cache-stats snapshot (plus server-level counters) into the
+/// `stats` response payload.
+pub fn stats_json(stats: &CacheStats, resident_modules: usize, uptime_secs: u64, requests: usize) -> Json {
+    Json::obj([
+        ("uptime_secs", Json::uint(uptime_secs as u128)),
+        ("requests", Json::uint(requests as u128)),
+        ("resident_modules", Json::uint(resident_modules as u128)),
+        (
+            "cache",
+            Json::obj([
+                ("elaborate_hits", Json::uint(stats.elaborate_hits as u128)),
+                ("elaborate_misses", Json::uint(stats.elaborate_misses as u128)),
+                ("compile_hits", Json::uint(stats.compile_hits as u128)),
+                ("compile_misses", Json::uint(stats.compile_misses as u128)),
+                ("evictions", Json::uint(stats.evictions as u128)),
+                ("entries", Json::uint(stats.entries as u128)),
+                (
+                    "capacity",
+                    stats.capacity.map(|c| Json::uint(c as u128)).unwrap_or(Json::Null),
+                ),
+                ("approx_bytes", Json::uint(stats.approx_bytes as u128)),
+                (
+                    "designs",
+                    Json::Arr(
+                        stats
+                            .designs
+                            .iter()
+                            .map(|d| {
+                                Json::obj([
+                                    ("design", Json::str(format!("{:032x}", d.fingerprint))),
+                                    ("top", Json::str(d.top.clone())),
+                                    ("runs", Json::uint(d.runs as u128)),
+                                    ("approx_bytes", Json::uint(d.approx_bytes as u128)),
+                                    ("compiled", Json::Bool(d.compiled)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, ProtoError> {
+        Request::parse(&Json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn parses_the_request_types() {
+        assert!(matches!(parse(r#"{"type":"ping"}"#), Ok(Request::Ping)));
+        assert!(matches!(parse(r#"{"type":"stats"}"#), Ok(Request::Stats)));
+        assert!(matches!(parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown)));
+        let sim = parse(r#"{"type":"sim","source":"proc @p...","top":"p","engine":"compile","until_ns":50,"trace":"vcd"}"#).unwrap();
+        match sim {
+            Request::Sim(job) => {
+                assert_eq!(job.top, "p");
+                assert_eq!(job.engine, EngineKind::Compile);
+                assert_eq!(job.until_ns, Some(50));
+                assert_eq!(job.trace, TraceMode::Vcd);
+                let config = job.sim_config();
+                assert!(config.trace);
+                assert_eq!(config.max_time, llhd::value::TimeValue::from_nanos(50));
+            }
+            other => panic!("not a sim request: {:?}", other),
+        }
+        let batch = parse(
+            r#"{"type":"batch","jobs":[{"design":"00ff","top":"a"},{"design":"00ff","top":"b"}]}"#,
+        )
+        .unwrap();
+        match batch {
+            Request::Batch(jobs) => assert_eq!(jobs.len(), 2),
+            other => panic!("not a batch request: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for (text, needle) in [
+            (r#"[1,2]"#, "must be a JSON object"),
+            (r#"{}"#, "\"type\""),
+            (r#"{"type":"nope"}"#, "unknown request type"),
+            (r#"{"type":"sim","top":"p"}"#, "\"source\""),
+            (r#"{"type":"sim","source":"x"}"#, "\"top\""),
+            (r#"{"type":"sim","source":"x","top":"p","engine":"jit"}"#, "\"engine\""),
+            (r#"{"type":"sim","source":"x","top":"p","until_ns":-4}"#, "non-negative"),
+            // Out-of-range values are rejected, not silently truncated:
+            // 2^32 would wrap a u32 delta guard to 0, and an until_ns
+            // past 2^64 would overflow the femtosecond conversion.
+            (
+                r#"{"type":"sim","source":"x","top":"p","max_deltas_per_instant":4294967296}"#,
+                "at most",
+            ),
+            (
+                r#"{"type":"sim","source":"x","top":"p","until_ns":99999999999999999999999}"#,
+                "at most",
+            ),
+            (r#"{"type":"sim","source":"x","top":"p","trace":"all"}"#, "\"trace\""),
+            (r#"{"type":"batch"}"#, "\"jobs\""),
+            (r#"{"type":"batch","jobs":[]}"#, "at least one"),
+            (r#"{"v":2,"type":"ping"}"#, "version"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{}", text);
+            assert!(err.message.contains(needle), "{}: {}", text, err.message);
+        }
+    }
+
+    #[test]
+    fn trace_signals_imply_vcd_delivery() {
+        // A filter without an explicit mode delivers the (filtered) VCD.
+        let implied = parse(
+            r#"{"type":"sim","source":"x","top":"p","trace_signals":["led"]}"#,
+        )
+        .unwrap();
+        match implied {
+            Request::Sim(job) => {
+                assert_eq!(job.trace, TraceMode::Vcd);
+                let config = job.sim_config();
+                assert!(config.trace);
+                assert_eq!(config.trace_filter, Some(vec!["led".to_string()]));
+            }
+            other => panic!("not a sim request: {:?}", other),
+        }
+        // An explicit "off" alongside a filter is contradictory: the
+        // trace would be recorded but never delivered.
+        let err = parse(
+            r#"{"type":"sim","source":"x","top":"p","trace":"off","trace_signals":["led"]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Protocol);
+        assert!(err.message.contains("trace_signals"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        assert!(matches!(
+            parse(r#"{"type":"ping","future_field":123}"#),
+            Ok(Request::Ping)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_the_envelope() {
+        let ok = ok_response(Some(Json::Int(7)), Json::obj([("pong", Json::Bool(true))]));
+        assert_eq!(ok.to_string(), r#"{"v":1,"ok":true,"id":7,"result":{"pong":true}}"#);
+        let err = error_response(None, &ProtoError::new(ErrorKind::Parse, "bad"));
+        assert_eq!(
+            err.to_string(),
+            r#"{"v":1,"ok":false,"error":{"kind":"parse","message":"bad"}}"#
+        );
+    }
+}

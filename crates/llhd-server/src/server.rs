@@ -1,0 +1,771 @@
+//! The server runtime: shared state, the dispatcher that fans requests
+//! across [`SimSession::run_batch`], connection handling over TCP and
+//! stdio, and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  TCP clients ──► connection threads ─┐
+//!                                      ├─► request queue ─► dispatcher ─► SimSession::run_batch
+//!  stdio client ─► connection loop  ───┘        ▲                              │
+//!                                               └── replies (mpsc) ◄───────────┘
+//!                                    shared: DesignCache + module registry
+//! ```
+//!
+//! Each connection is read line by line; simulation jobs are pushed onto
+//! one shared queue and the dispatcher drains it in *micro-batches*: all
+//! jobs pending at that moment become one [`SimSession::run_batch`] call
+//! (one worker thread per core), executing against the server's one
+//! [`DesignCache`]. Concurrent requests for the same design therefore
+//! elaborate and compile exactly once (the cache's per-key locking), and
+//! repeat requests are served from the warmed cache — an engine over a
+//! cached compiled design costs a reference-count bump plus a register
+//! file clone.
+//!
+//! Shutdown is graceful by construction: the `shutdown` flag and the job
+//! queue share one lock, so every job either (a) was enqueued before
+//! shutdown began and will be executed and answered, or (b) is rejected
+//! with an error of kind `shutdown`. The dispatcher exits only once the
+//! flag is set *and* the queue is empty.
+
+use crate::json::Json;
+use crate::protocol::{
+    error_response, ok_response, request_id, sim_result_json, stats_json, ErrorKind, ProtoError,
+    Request, SimJobSpec,
+};
+use llhd::assembly::parse_module;
+use llhd::ir::Module;
+use llhd_sim::api::{BatchJob, DesignCache, EngineKind, SimSession};
+use llhd_sim::{SimConfig, SimResult};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reject lines longer than this (64 MiB): a missing newline must not
+/// buffer unbounded garbage. The largest benchmark design's assembly is
+/// three orders of magnitude smaller.
+const MAX_LINE_BYTES: usize = 64 << 20;
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag (TCP only; stdio cannot portably time out).
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server construction options.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Bound the [`DesignCache`] (and the module registry) to this many
+    /// designs, LRU-evicted beyond it. `None`: unbounded.
+    pub cache_capacity: Option<usize>,
+    /// Emit a stats log line to stderr at this interval. `None`: silent.
+    pub stats_interval: Option<Duration>,
+}
+
+/// One queued simulation job plus its reply channel.
+struct PendingJob {
+    module: Arc<Module>,
+    /// The module's cache fingerprint, known from the registry — passed
+    /// through to `run_batch` so the hot path never re-encodes the module.
+    key: u128,
+    top: String,
+    engine: EngineKind,
+    config: SimConfig,
+    reply: mpsc::Sender<Result<SimResult, llhd_sim::api::Error>>,
+}
+
+/// The job queue; `shutting_down` shares this lock so enqueue-vs-shutdown
+/// is race-free (see the module docs).
+#[derive(Default)]
+struct Queue {
+    jobs: Vec<PendingJob>,
+    shutting_down: bool,
+}
+
+/// Parsed modules resident on the server, keyed by content fingerprint,
+/// so `design`-keyed requests can re-run (and even re-elaborate after a
+/// cache eviction) without resending source. Bounded like the cache.
+#[derive(Default)]
+struct Registry {
+    modules: HashMap<u128, (Arc<Module>, u64)>,
+    tick: u64,
+    capacity: Option<usize>,
+}
+
+impl Registry {
+    fn insert(&mut self, key: u128, module: Arc<Module>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.modules.insert(key, (module, tick));
+        // Same capacity convention as `DesignCache`: `None`/`Some(0)` is
+        // unbounded — the registry and the cache must agree on which
+        // designs stay resident.
+        let capacity = match self.capacity {
+            Some(capacity) if capacity > 0 => capacity,
+            _ => return,
+        };
+        while self.modules.len() > capacity {
+            let coldest = self
+                .modules
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(&key, _)| key);
+            match coldest {
+                Some(key) => {
+                    self.modules.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn get(&mut self, key: u128) -> Option<Arc<Module>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.modules.get_mut(&key).map(|(module, used)| {
+            *used = tick;
+            Arc::clone(module)
+        })
+    }
+
+    fn remove(&mut self, key: u128) {
+        self.modules.remove(&key);
+    }
+}
+
+/// Shared state of one running server: the design cache, the module
+/// registry, the job queue, and the counters behind the `stats` endpoint.
+pub struct ServerState {
+    cache: DesignCache,
+    registry: Mutex<Registry>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    /// Mirror of `Queue::shutting_down` for lock-free reads on hot paths.
+    shutdown_flag: AtomicBool,
+    /// Where a shutdown must connect to unblock the TCP accept loop.
+    wake_addr: Mutex<Option<SocketAddr>>,
+    started: Instant,
+    /// Simulation jobs accepted (batch jobs count individually).
+    requests: AtomicUsize,
+}
+
+impl ServerState {
+    fn new(config: &ServerConfig) -> Self {
+        let cache = DesignCache::new();
+        cache.set_capacity(config.cache_capacity);
+        ServerState {
+            cache,
+            registry: Mutex::new(Registry {
+                capacity: config.cache_capacity,
+                ..Registry::default()
+            }),
+            queue: Mutex::default(),
+            queue_cv: Condvar::new(),
+            shutdown_flag: AtomicBool::new(false),
+            wake_addr: Mutex::new(None),
+            started: Instant::now(),
+            requests: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared design cache (exposed for tests and benchmarks).
+    pub fn cache(&self) -> &DesignCache {
+        &self.cache
+    }
+
+    /// Whether shutdown has begun.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Relaxed)
+    }
+
+    /// Begin graceful shutdown: stop taking new jobs, let the dispatcher
+    /// drain the queue, and unblock the accept loop.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut queue = self.queue.lock().unwrap();
+            queue.shutting_down = true;
+            self.shutdown_flag.store(true, Ordering::Relaxed);
+            self.queue_cv.notify_all();
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let addr = *self.wake_addr.lock().unwrap();
+        if let Some(addr) = addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+
+    /// Enqueue jobs for the dispatcher as one group (one lock acquisition,
+    /// so they land in the same micro-batch). Refused once shutdown has
+    /// begun — the refusal and the dispatcher's drain share the queue
+    /// lock, so no job can slip into the gap and hang unanswered.
+    fn submit(&self, jobs: Vec<PendingJob>) -> Result<(), ProtoError> {
+        let mut queue = self.queue.lock().unwrap();
+        if queue.shutting_down {
+            return Err(ProtoError::new(
+                ErrorKind::Shutdown,
+                "server is shutting down; no new simulations are accepted",
+            ));
+        }
+        queue.jobs.extend(jobs);
+        self.queue_cv.notify_all();
+        Ok(())
+    }
+
+    /// Resolve a job's design reference to a resident module + key:
+    /// inline source is parsed and registered, a key must be resident.
+    fn resolve_module(&self, spec: &SimJobSpec) -> Result<(Arc<Module>, u128), ProtoError> {
+        if let Some(source) = &spec.source {
+            let module = Arc::new(parse_module(source).map_err(|e| {
+                ProtoError::new(ErrorKind::Source, format!("invalid LLHD assembly: {}", e))
+            })?);
+            let key = DesignCache::fingerprint(&module);
+            self.registry.lock().unwrap().insert(key, Arc::clone(&module));
+            return Ok((module, key));
+        }
+        let text = spec.design.as_deref().expect("parser requires source or design");
+        let key = u128::from_str_radix(text, 16).map_err(|_| {
+            ProtoError::new(
+                ErrorKind::Protocol,
+                format!("\"design\" must be a hex key, got {:?}", text),
+            )
+        })?;
+        match self.registry.lock().unwrap().get(key) {
+            Some(module) => Ok((module, key)),
+            None => Err(ProtoError::new(
+                ErrorKind::UnknownDesign,
+                format!("design {:032x} is not resident (evicted or never submitted); resend its source", key),
+            )),
+        }
+    }
+
+    /// Execute one group of jobs (a `sim` request is a group of one) and
+    /// render each job's response payload.
+    fn run_jobs(&self, specs: &[SimJobSpec]) -> Result<Vec<Result<Json, ProtoError>>, ProtoError> {
+        let mut pending = Vec::with_capacity(specs.len());
+        let mut meta = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (module, key) = match self.resolve_module(spec) {
+                Ok(resolved) => resolved,
+                Err(e) => {
+                    // A bad design reference fails only its own job; in a
+                    // batch the other jobs still run.
+                    meta.push(Err(e));
+                    continue;
+                }
+            };
+            let (tx, rx) = mpsc::channel();
+            meta.push(Ok((key, rx)));
+            pending.push(PendingJob {
+                module,
+                key,
+                top: spec.top.clone(),
+                engine: spec.engine,
+                config: spec.sim_config(),
+                reply: tx,
+            });
+        }
+        let submitted = pending.len();
+        self.submit(pending)?;
+        self.requests.fetch_add(submitted, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(specs.len());
+        for (spec, entry) in specs.iter().zip(meta) {
+            out.push(match entry {
+                Err(e) => Err(e),
+                Ok((key, rx)) => match rx.recv() {
+                    Ok(Ok(result)) => Ok(sim_result_json(
+                        &format!("{:032x}", key),
+                        &spec.top,
+                        spec.engine,
+                        spec.trace,
+                        &result,
+                    )),
+                    Ok(Err(e)) => {
+                        // A freshly submitted source that fails to
+                        // elaborate must not stay resident: it would
+                        // occupy registry capacity (evicting designs the
+                        // cache still serves) for a key nobody can use.
+                        if spec.source.is_some()
+                            && matches!(e, llhd_sim::api::Error::Elaborate(_))
+                        {
+                            self.registry.lock().unwrap().remove(key);
+                        }
+                        Err(e.into())
+                    }
+                    Err(_) => Err(ProtoError::new(
+                        ErrorKind::Shutdown,
+                        "server shut down before the job completed",
+                    )),
+                },
+            });
+        }
+        Ok(out)
+    }
+
+    /// Handle one request line, returning the response and whether the
+    /// connection should close afterwards (shutdown acknowledgements).
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        let value = match Json::parse(line) {
+            Ok(value) => value,
+            Err(message) => {
+                return (
+                    error_response(None, &ProtoError::new(ErrorKind::Parse, message)),
+                    false,
+                )
+            }
+        };
+        let id = request_id(&value);
+        let request = match Request::parse(&value) {
+            Ok(request) => request,
+            Err(e) => return (error_response(id, &e), false),
+        };
+        match request {
+            Request::Ping => (
+                ok_response(id, Json::obj([("pong", Json::Bool(true))])),
+                false,
+            ),
+            Request::Stats => {
+                let resident = self.registry.lock().unwrap().modules.len();
+                let uptime = self.started.elapsed().as_secs();
+                let requests = self.requests.load(Ordering::Relaxed);
+                (
+                    ok_response(
+                        id,
+                        stats_json(&self.cache.stats(), resident, uptime, requests),
+                    ),
+                    false,
+                )
+            }
+            Request::Shutdown => {
+                self.begin_shutdown();
+                (
+                    ok_response(id, Json::obj([("shutting_down", Json::Bool(true))])),
+                    true,
+                )
+            }
+            Request::Sim(spec) => match self.run_jobs(std::slice::from_ref(&spec)) {
+                Ok(mut results) => match results.remove(0) {
+                    Ok(result) => (ok_response(id, result), false),
+                    Err(e) => (error_response(id, &e), false),
+                },
+                Err(e) => (error_response(id, &e), false),
+            },
+            Request::Batch(specs) => match self.run_jobs(&specs) {
+                Ok(results) => {
+                    let rendered: Vec<Json> = results
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(result) => Json::obj([
+                                ("ok", Json::Bool(true)),
+                                ("result", result),
+                            ]),
+                            Err(e) => Json::obj([
+                                ("ok", Json::Bool(false)),
+                                (
+                                    "error",
+                                    Json::obj([
+                                        ("kind", Json::str(e.kind.wire_name())),
+                                        ("message", Json::str(e.message)),
+                                    ]),
+                                ),
+                            ]),
+                        })
+                        .collect();
+                    (
+                        ok_response(id, Json::obj([("results", Json::Arr(rendered))])),
+                        false,
+                    )
+                }
+                Err(e) => (error_response(id, &e), false),
+            },
+        }
+    }
+
+    /// One human-readable observability line (the periodic server log).
+    pub fn stats_line(&self) -> String {
+        let stats = self.cache.stats();
+        format!(
+            "llhd-server: up {}s, {} jobs, cache {}{} designs (~{} KiB), elaborate {}/{} hit/miss, compile {}/{}, {} evictions",
+            self.started.elapsed().as_secs(),
+            self.requests.load(Ordering::Relaxed),
+            stats.entries,
+            stats
+                .capacity
+                .map(|c| format!("/{}", c))
+                .unwrap_or_default(),
+            stats.approx_bytes / 1024,
+            stats.elaborate_hits,
+            stats.elaborate_misses,
+            stats.compile_hits,
+            stats.compile_misses,
+            stats.evictions,
+        )
+    }
+}
+
+/// The dispatcher: drains the queue in micro-batches and runs each batch
+/// on its own thread through [`SimSession::run_batch`] with the shared
+/// cache. All jobs pending at drain time execute concurrently (one
+/// worker per core inside the batch), and because batches themselves run
+/// detached from the drain loop, a long-running batch never blocks newer
+/// short requests behind it (no head-of-line blocking across batches).
+/// In-flight batch count is bounded by the number of connections — each
+/// connection has at most one outstanding request.
+fn dispatch_loop(state: Arc<ServerState>) {
+    let mut batches: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let batch = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if !queue.jobs.is_empty() {
+                    break Some(std::mem::take(&mut queue.jobs));
+                }
+                if queue.shutting_down {
+                    break None;
+                }
+                queue = state.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let batch = match batch {
+            Some(batch) => batch,
+            None => break,
+        };
+        batches.retain(|handle| !handle.is_finished());
+        let batch_state = Arc::clone(&state);
+        batches.push(std::thread::spawn(move || {
+            run_micro_batch(&batch_state, batch)
+        }));
+    }
+    // Graceful drain: every accepted job is answered before the
+    // dispatcher (and with it the server) exits.
+    for handle in batches {
+        let _ = handle.join();
+    }
+}
+
+/// Execute one micro-batch and deliver the replies.
+fn run_micro_batch(state: &ServerState, batch: Vec<PendingJob>) {
+    let jobs: Vec<BatchJob> = batch
+        .iter()
+        .map(|job| BatchJob {
+            module: &job.module,
+            top: &job.top,
+            engine: job.engine,
+            config: job.config.clone(),
+            cache_key: Some(job.key),
+        })
+        .collect();
+    let results = SimSession::run_batch(&jobs, Some(&state.cache));
+    for (job, result) in batch.iter().zip(results) {
+        // A dropped receiver (client went away mid-run) is fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Incremental line reader that tolerates read timeouts (propagated to
+/// the caller as `WouldBlock`/`TimedOut`, with all buffered bytes kept).
+struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline, so each chunk is
+    /// scanned once — a near-64-MiB line must not cost a fresh full-buffer
+    /// scan per 8 KiB read.
+    scanned: usize,
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            eof: false,
+        }
+    }
+
+    /// The next `\n`-terminated line (terminator stripped), `None` at EOF.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(offset) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let pos = self.scanned + offset;
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                self.scanned = 0;
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.buf.len();
+            if self.eof {
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                let line = std::mem::take(&mut self.buf);
+                self.scanned = 0;
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request line exceeds the 64 MiB limit",
+                ));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serve one connection: read request lines, write response lines. Reads
+/// that time out re-check the shutdown flag, so idle TCP connections
+/// unblock during shutdown.
+fn handle_connection(
+    state: &ServerState,
+    reader: impl Read,
+    mut writer: impl Write,
+) -> io::Result<()> {
+    let mut lines = LineReader::new(reader);
+    loop {
+        let line = match lines.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.shutting_down() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close) = state.handle_line(&line);
+        writeln!(writer, "{}", response)?;
+        writer.flush()?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// A persistent simulation server. Construct with [`Server::new`], then
+/// run it over [stdio](Server::serve_stdio) or [TCP](Server::serve_tcp)
+/// (or in the background with [`Server::spawn_tcp`]).
+pub struct Server {
+    state: Arc<ServerState>,
+    stats_interval: Option<Duration>,
+}
+
+impl Server {
+    /// Create a server (and register the blaze compile backend, so
+    /// `"engine":"compile"` and the `auto` heuristic work).
+    pub fn new(config: ServerConfig) -> Server {
+        llhd_blaze::register();
+        Server {
+            state: Arc::new(ServerState::new(&config)),
+            stats_interval: config.stats_interval,
+        }
+    }
+
+    /// The shared state (cache counters etc.), usable while the server
+    /// runs on another thread.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    fn spawn_dispatcher(&self) -> JoinHandle<()> {
+        let state = self.state();
+        std::thread::spawn(move || dispatch_loop(state))
+    }
+
+    fn spawn_stats_logger(&self) -> Option<JoinHandle<()>> {
+        let interval = self.stats_interval?;
+        let state = self.state();
+        Some(std::thread::spawn(move || {
+            let mut since_log = Duration::ZERO;
+            while !state.shutting_down() {
+                std::thread::sleep(READ_TICK);
+                since_log += READ_TICK;
+                if since_log >= interval {
+                    since_log = Duration::ZERO;
+                    eprintln!("{}", state.stats_line());
+                }
+            }
+        }))
+    }
+
+    /// Serve a single session over stdin/stdout (responses on stdout, the
+    /// periodic stats line on stderr). Returns after EOF or a `shutdown`
+    /// request, once in-flight work has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the stdio streams.
+    pub fn serve_stdio(self) -> io::Result<()> {
+        let dispatcher = self.spawn_dispatcher();
+        let logger = self.spawn_stats_logger();
+        let result = handle_connection(&self.state, io::stdin().lock(), io::stdout().lock());
+        self.state.begin_shutdown();
+        let _ = dispatcher.join();
+        if let Some(logger) = logger {
+            let _ = logger.join();
+        }
+        result
+    }
+
+    /// Serve TCP connections on `listener`, one thread per connection,
+    /// until a `shutdown` request arrives; drains in-flight work before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures.
+    pub fn serve_tcp(self, listener: TcpListener) -> io::Result<()> {
+        *self.state.wake_addr.lock().unwrap() = Some(listener.local_addr()?);
+        let dispatcher = self.spawn_dispatcher();
+        let logger = self.spawn_stats_logger();
+        let mut connections = Vec::new();
+        for stream in listener.incoming() {
+            if self.state.shutting_down() {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.state.begin_shutdown();
+                    let _ = dispatcher.join();
+                    return Err(e);
+                }
+            };
+            stream.set_read_timeout(Some(READ_TICK))?;
+            // One-line request/response round trips: Nagle's algorithm
+            // would add artificial latency to every response.
+            let _ = stream.set_nodelay(true);
+            let state = self.state();
+            connections.push(std::thread::spawn(move || {
+                let _ = handle_connection(&state, &stream, &stream);
+            }));
+        }
+        // Drain: connections first (they may still be waiting on replies,
+        // which need the dispatcher alive), then the dispatcher.
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.state.queue_cv.notify_all();
+        let _ = dispatcher.join();
+        if let Some(logger) = logger {
+            let _ = logger.join();
+        }
+        Ok(())
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// it on a background thread. The handle exposes the bound address,
+    /// the shared state, and a join for the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_tcp(config: ServerConfig, addr: &str) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let server = Server::new(config);
+        let state = server.state();
+        let thread = std::thread::spawn(move || server.serve_tcp(listener));
+        Ok(RunningServer {
+            addr: local,
+            state,
+            thread,
+        })
+    }
+}
+
+/// A server running on a background thread (see [`Server::spawn_tcp`]).
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared server state (cache counters etc.).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Wait for the serving thread to finish (it finishes after a
+    /// `shutdown` request has drained).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serving thread's I/O error, if any.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().unwrap_or_else(|_| {
+            Err(io::Error::other("server thread panicked"))
+        })
+    }
+}
+
+/// A minimal blocking client for the wire protocol: one request out, one
+/// response in. Used by the tests, the benchmark, and
+/// `examples/server_client.rs`; real clients in any language follow the
+/// same shape (`docs/PROTOCOL.md`).
+pub struct Client {
+    writer: TcpStream,
+    lines: LineReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are single small lines; don't let Nagle batch them.
+        let _ = writer.set_nodelay(true);
+        let reader = writer.try_clone()?;
+        Ok(Client {
+            writer,
+            lines: LineReader::new(reader),
+        })
+    }
+
+    /// Send one request (serialized compactly onto one line) and block
+    /// for the one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` if the response is not JSON.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        writeln!(self.writer, "{}", request)?;
+        self.writer.flush()?;
+        match self.lines.next_line()? {
+            Some(line) => Json::parse(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+}

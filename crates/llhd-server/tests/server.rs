@@ -1,0 +1,485 @@
+//! Integration tests of the persistent simulation server: protocol round
+//! trips over real TCP, cache sharing across concurrent clients,
+//! malformed-input robustness, bounded-cache behaviour, and graceful
+//! shutdown draining in-flight work.
+
+use llhd_server::json::Json;
+use llhd_server::{Client, Server, ServerConfig};
+use llhd_sim::api::{EngineKind, SimSession};
+use llhd_sim::SimConfig;
+use std::time::Duration;
+
+const BLINK: &str = r#"
+proc @blink () -> (i1$ %led) {
+entry:
+    %on = const i1 1
+    %off = const i1 0
+    %delay = const time 5ns
+    drv i1$ %led, %on after %delay
+    wait %next for %delay
+next:
+    drv i1$ %led, %off after %delay
+    wait %entry for %delay
+}
+"#;
+
+fn spawn(config: ServerConfig) -> llhd_server::RunningServer {
+    Server::spawn_tcp(config, "127.0.0.1:0").expect("bind an ephemeral port")
+}
+
+fn sim_request(fields: Vec<(&'static str, Json)>) -> Json {
+    let mut all = vec![("type", Json::str("sim"))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+fn shutdown(client: &mut Client) {
+    let ack = client
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+}
+
+/// Pull a counter out of a `stats` response.
+fn cache_counter(stats: &Json, name: &str) -> i128 {
+    stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("stats response lacks cache.{}: {}", name, stats))
+}
+
+#[test]
+fn sim_round_trip_reuses_the_design_key() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+
+    // First request ships the source; the response returns the design key
+    // and the run statistics of an in-process session.
+    let first = client
+        .request(&sim_request(vec![
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+            ("id", Json::Int(1)),
+        ]))
+        .unwrap();
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{}", first);
+    assert_eq!(first.get("id"), Some(&Json::Int(1)));
+    let result = first.get("result").unwrap();
+    let key = result.get("design").and_then(Json::as_str).unwrap().to_string();
+    let reference = {
+        let module = llhd::assembly::parse_module(BLINK).unwrap();
+        SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .config(SimConfig::until_nanos(100))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    assert_eq!(
+        result.get("end_time_fs").and_then(Json::as_int).unwrap() as u128,
+        reference.end_time.as_femtos()
+    );
+    assert_eq!(
+        result.get("signal_changes").and_then(Json::as_int).unwrap() as usize,
+        reference.signal_changes
+    );
+
+    // Second request reuses the key — no source on the wire — and asks for
+    // the VCD, which must match the in-process trace byte for byte.
+    let second = client
+        .request(&sim_request(vec![
+            ("design", Json::str(key)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+            ("trace", Json::str("vcd")),
+        ]))
+        .unwrap();
+    assert_eq!(second.get("ok"), Some(&Json::Bool(true)), "{}", second);
+    let vcd = second
+        .get("result")
+        .and_then(|r| r.get("trace_vcd"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert_eq!(vcd, reference.trace.to_vcd("1fs"));
+
+    // The repeat run was served from the warmed cache.
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    assert_eq!(cache_counter(&stats, "elaborate_hits"), 1);
+    assert_eq!(cache_counter(&stats, "elaborate_misses"), 1);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn a_real_design_round_trips_through_the_compiled_engine() {
+    // One of the paper's benchmark designs, shipped as assembly text (what
+    // a real client would send), run on the compiled engine.
+    let design = llhd_designs::all_designs()
+        .into_iter()
+        .find(|d| d.name == "RR Arbiter")
+        .expect("benchmark design exists");
+    let module = design.build().unwrap();
+    let source = llhd::assembly::write_module(&module);
+    let until = design.sim_time_ns(20);
+
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let response = client
+        .request(&sim_request(vec![
+            ("source", Json::str(source)),
+            ("top", Json::str(design.top)),
+            ("engine", Json::str("compile")),
+            ("until_ns", Json::uint(until)),
+        ]))
+        .unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+
+    llhd_blaze::register();
+    let reference = SimSession::builder(&module, design.top)
+        .engine(EngineKind::Compile)
+        .config(SimConfig::until_nanos(until).without_trace())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let result = response.get("result").unwrap();
+    assert_eq!(
+        result.get("signal_changes").and_then(Json::as_int).unwrap() as usize,
+        reference.signal_changes
+    );
+    assert_eq!(result.get("engine").and_then(Json::as_str), Some("compile"));
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_on_one_design_compile_once() {
+    let running = spawn(ServerConfig::default());
+    let addr = running.addr();
+    // Four clients race the same design through the compiled engine; the
+    // cache's per-key locking must make exactly one of them compile.
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let response = client
+                    .request(&sim_request(vec![
+                        ("source", Json::str(BLINK)),
+                        ("top", Json::str("blink")),
+                        ("engine", Json::str("compile")),
+                        ("until_ns", Json::Int(50 + i)),
+                    ]))
+                    .unwrap();
+                assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    assert_eq!(cache_counter(&stats, "compile_misses"), 1, "{}", stats);
+    assert_eq!(cache_counter(&stats, "compile_hits"), 3, "{}", stats);
+    assert_eq!(cache_counter(&stats, "entries"), 1);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn batch_requests_fan_out_and_answer_in_order() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let jobs: Vec<Json> = (1..=4)
+        .map(|i| {
+            Json::obj([
+                ("source", Json::str(BLINK)),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(10 * i)),
+            ])
+        })
+        .collect();
+    let response = client
+        .request(&Json::obj([
+            ("type", Json::str("batch")),
+            ("jobs", Json::Arr(jobs)),
+        ]))
+        .unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+    let results = response
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    for (i, entry) in results.iter().enumerate() {
+        assert_eq!(entry.get("ok"), Some(&Json::Bool(true)));
+        let end = entry
+            .get("result")
+            .and_then(|r| r.get("end_time_fs"))
+            .and_then(Json::as_int)
+            .unwrap();
+        assert_eq!(end as u128, 10 * (i as u128 + 1) * 1_000_000, "job {} out of order", i);
+    }
+    // One design, four jobs: one elaboration, three hits.
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    assert_eq!(cache_counter(&stats, "elaborate_misses"), 1);
+    assert_eq!(cache_counter(&stats, "elaborate_hits"), 3);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn malformed_requests_are_answered_not_fatal() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let cases: Vec<(Json, &str)> = vec![
+        // Not a request object at all (valid JSON, wrong shape).
+        (Json::Arr(vec![Json::Int(1)]), "protocol"),
+        // Unknown type.
+        (Json::obj([("type", Json::str("frobnicate"))]), "protocol"),
+        // Sim without a design reference.
+        (
+            Json::obj([("type", Json::str("sim")), ("top", Json::str("x"))]),
+            "protocol",
+        ),
+        // Invalid LLHD assembly.
+        (
+            sim_request(vec![
+                ("source", Json::str("proc @broken (")),
+                ("top", Json::str("broken")),
+            ]),
+            "source",
+        ),
+        // Valid source, nonexistent top unit.
+        (
+            sim_request(vec![
+                ("source", Json::str(BLINK)),
+                ("top", Json::str("nonexistent")),
+            ]),
+            "elaborate",
+        ),
+        // A design key that was never submitted.
+        (
+            sim_request(vec![
+                ("design", Json::str("deadbeef")),
+                ("top", Json::str("x")),
+            ]),
+            "unknown_design",
+        ),
+        // A design key that is not even hex.
+        (
+            sim_request(vec![
+                ("design", Json::str("not-hex!")),
+                ("top", Json::str("x")),
+            ]),
+            "protocol",
+        ),
+    ];
+    for (request, kind) in cases {
+        let response = client.request(&request).unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+        assert_eq!(
+            response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some(kind),
+            "{}",
+            response
+        );
+    }
+    // Raw garbage that is not JSON at all: the server answers with a parse
+    // error on the same connection. (Client::request serializes valid
+    // JSON, so speak the socket directly.)
+    use std::io::{BufRead, BufReader, Write};
+    let mut raw = std::net::TcpStream::connect(running.addr()).unwrap();
+    writeln!(raw, "this is not json").unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap()).read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("parse")
+    );
+    // The server survived all of it: a normal request still works.
+    let pong = client.request(&Json::obj([("type", Json::str("ping"))])).unwrap();
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn bounded_server_cache_evicts_and_reports() {
+    let running = spawn(ServerConfig {
+        cache_capacity: Some(2),
+        stats_interval: None,
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let mut keys = Vec::new();
+    for delay in ["3ns", "7ns", "11ns"] {
+        let source = BLINK.replace("5ns", delay);
+        let response = client
+            .request(&sim_request(vec![
+                ("source", Json::str(source)),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(50)),
+            ]))
+            .unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+        keys.push(
+            response
+                .get("result")
+                .and_then(|r| r.get("design"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    assert_eq!(cache_counter(&stats, "entries"), 2, "{}", stats);
+    assert_eq!(cache_counter(&stats, "evictions"), 1);
+    assert_eq!(cache_counter(&stats, "capacity"), 2);
+    // The evicted (least recently used) design's key is gone from the
+    // registry too: referring to it demands a resend of the source.
+    let evicted = client
+        .request(&sim_request(vec![
+            ("design", Json::str(keys[0].clone())),
+            ("top", Json::str("blink")),
+        ]))
+        .unwrap();
+    assert_eq!(
+        evicted.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("unknown_design"),
+        "{}",
+        evicted
+    );
+    // The hot design is still resident and served from the cache.
+    let hot = client
+        .request(&sim_request(vec![
+            ("design", Json::str(keys[2].clone())),
+            ("top", Json::str("blink")),
+            ("until_ns", Json::Int(50)),
+        ]))
+        .unwrap();
+    assert_eq!(hot.get("ok"), Some(&Json::Bool(true)), "{}", hot);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let running = spawn(ServerConfig::default());
+    let addr = running.addr();
+    // A deliberately long simulation (a million 5 ns wakeups) on one
+    // connection...
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .request(&sim_request(vec![
+                ("source", Json::str(BLINK)),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(5_000_000)),
+            ]))
+            .unwrap()
+    });
+    // ...while a second connection asks for shutdown mid-run.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut other = Client::connect(addr).unwrap();
+    let ack = other.request(&Json::obj([("type", Json::str("shutdown"))])).unwrap();
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    // The in-flight run is drained, not dropped: the first client still
+    // receives its complete result.
+    let response = worker.join().unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+    let end_fs = response
+        .get("result")
+        .and_then(|r| r.get("end_time_fs"))
+        .and_then(Json::as_int)
+        .unwrap() as u128;
+    assert!(
+        end_fs >= 4_999_000u128 * 1_000_000,
+        "run was cut short at {} fs",
+        end_fs
+    );
+    // And the server process winds down cleanly.
+    running.join().unwrap();
+}
+
+#[test]
+fn a_long_request_does_not_block_a_short_one() {
+    let running = spawn(ServerConfig::default());
+    let addr = running.addr();
+    // Client A: a long simulation (a million 5 ns wakeups, comfortably
+    // hundreds of milliseconds).
+    let long = std::thread::spawn(move || {
+        let started = std::time::Instant::now();
+        let mut client = Client::connect(addr).unwrap();
+        let response = client
+            .request(&sim_request(vec![
+                ("source", Json::str(BLINK)),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(5_000_000)),
+            ]))
+            .unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+        started.elapsed()
+    });
+    // Client B: a tiny simulation submitted while A is in flight must be
+    // answered long before A completes — the dispatcher must not
+    // head-of-line-block short requests behind a running batch.
+    std::thread::sleep(Duration::from_millis(30));
+    let started = std::time::Instant::now();
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .request(&sim_request(vec![
+            ("source", Json::str(BLINK.replace("5ns", "9ns"))),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(50)),
+        ]))
+        .unwrap();
+    let short_elapsed = started.elapsed();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+    let long_elapsed = long.join().unwrap();
+    assert!(
+        short_elapsed < long_elapsed,
+        "short request ({:?}) waited for the long one ({:?})",
+        short_elapsed,
+        long_elapsed
+    );
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+#[test]
+fn requests_after_shutdown_are_refused_not_hung() {
+    // Exercised at the state level (no sockets): once shutdown has begun,
+    // a sim request must fail fast with the `shutdown` error kind rather
+    // than queue behind a dispatcher that will never run it.
+    let server = Server::new(ServerConfig::default());
+    let state = server.state();
+    state.begin_shutdown();
+    let (response, _) = state.handle_line(
+        &sim_request(vec![
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+        ])
+        .to_string(),
+    );
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("shutdown"),
+        "{}",
+        response
+    );
+}

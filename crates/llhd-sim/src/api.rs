@@ -134,6 +134,35 @@ impl From<SimError> for Error {
 /// of steps produces the same trace, byte for byte, as a single
 /// uninterrupted run — both engines share the scheduling core in
 /// [`crate::sched`], which is what makes this guarantee cheap.
+///
+/// Most callers never touch this trait directly — [`SimSession`] wraps it
+/// — but generic drivers can hold any engine behind `Box<dyn Engine>`:
+///
+/// ```
+/// use llhd_sim::api::Engine;
+/// use llhd_sim::{elaborate, SimConfig, Simulator};
+/// use std::sync::Arc;
+///
+/// let module = llhd::assembly::parse_module(
+///     "proc @pulse () -> (i1$ %q) {
+///     entry:
+///         %on = const i1 1
+///         %t = const time 2ns
+///         drv i1$ %q, %on after %t
+///         halt
+///     }",
+/// )
+/// .unwrap();
+/// let design = Arc::new(elaborate(&module, "pulse").unwrap());
+/// let mut engine: Box<dyn Engine> = Box::new(Simulator::new(
+///     &module,
+///     design,
+///     SimConfig::until_nanos(10),
+/// ));
+/// engine.initialize().unwrap();
+/// while engine.step().unwrap() {}
+/// assert_eq!(engine.finish().signal_changes, 1);
+/// ```
 pub trait Engine {
     /// A short name for diagnostics ("interp", "blaze").
     fn engine_name(&self) -> &'static str;
@@ -191,6 +220,12 @@ pub type CompileFn = fn(&Module, Arc<ElaboratedDesign>) -> Result<CompiledArtifa
 /// The `instantiate` hook of a [`CompileBackend`].
 pub type InstantiateFn = fn(&CompiledArtifact, &SimConfig) -> Result<Box<dyn Engine>, Error>;
 
+/// The `artifact_bytes` hook of a [`CompileBackend`]: a rough retained-size
+/// estimate of a compiled artifact, feeding the [`DesignCache`]'s
+/// bytes-ish observability counter. Exactness is not required — return 0
+/// if the backend cannot estimate.
+pub type ArtifactBytesFn = fn(&CompiledArtifact) -> usize;
+
 /// A pluggable ahead-of-time compilation backend. The compiled engine
 /// lives in `llhd-blaze` (which depends on this crate), so the dependency
 /// is inverted: blaze registers this vtable via
@@ -203,6 +238,8 @@ pub struct CompileBackend {
     pub compile: CompileFn,
     /// Instantiate a fresh engine over a (possibly cached) artifact.
     pub instantiate: InstantiateFn,
+    /// Estimate an artifact's retained size in bytes (for cache stats).
+    pub artifact_bytes: ArtifactBytesFn,
 }
 
 static COMPILE_BACKEND: OnceLock<CompileBackend> = OnceLock::new();
@@ -261,7 +298,43 @@ fn module_insts(module: &Module) -> usize {
 /// themselves never accumulate in memory. What a sink retains is its own
 /// business: [`ChangeCounter`] keeps counters only, [`VcdSink`] keeps the
 /// *formatted text* (write it to a file yourself if the document outgrows
-/// memory), and a custom sink can stream to any destination.
+/// memory), and a custom sink can stream to any destination:
+///
+/// ```
+/// use llhd_sim::api::{SimSession, TraceSink};
+/// use llhd_sim::design::SignalId;
+/// use llhd::value::{ConstValue, TimeValue};
+///
+/// /// Records only the time of the last change it sees.
+/// #[derive(Default)]
+/// struct LastChange(Option<u128>);
+///
+/// impl TraceSink for LastChange {
+///     fn event(&mut self, time: &TimeValue, _: SignalId, _: &str, _: &ConstValue) {
+///         self.0 = Some(time.as_femtos());
+///     }
+/// }
+///
+/// let module = llhd::assembly::parse_module(
+///     "proc @pulse () -> (i1$ %q) {
+///     entry:
+///         %on = const i1 1
+///         %t = const time 2ns
+///         drv i1$ %q, %on after %t
+///         halt
+///     }",
+/// )
+/// .unwrap();
+/// let mut last = LastChange::default();
+/// SimSession::builder(&module, "pulse")
+///     .until_nanos(10)
+///     .sink(&mut last)
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(last.0, Some(2_000_000)); // 2 ns, in femtoseconds
+/// ```
 pub trait TraceSink {
     /// Called once before any event, with the elaborated signal table
     /// (indexed by resolved [`SignalId`]).
@@ -476,6 +549,97 @@ struct CacheEntry {
 /// One lockable cache slot per `(fingerprint, top)` key.
 type SharedCacheEntry = Arc<Mutex<CacheEntry>>;
 
+/// Map-level bookkeeping for one cached design. Lives *outside* the
+/// per-entry lock so the eviction scan and [`DesignCache::stats`] never
+/// have to take entry locks that may be held across an elaboration or
+/// compilation.
+struct CacheSlot {
+    entry: SharedCacheEntry,
+    /// Logical timestamp of the most recent lookup (LRU order).
+    last_used: u64,
+    /// Number of lookups that resolved to this design (each lookup is one
+    /// prospective simulation run).
+    runs: usize,
+    /// Rough retained size, updated after each fill (see
+    /// [`approx_elaborated_bytes`] for what "rough" means).
+    approx_bytes: usize,
+    /// Whether a compiled artifact has been stored.
+    compiled: bool,
+}
+
+/// The map behind the cache: slots plus the logical clock that orders
+/// them for eviction.
+#[derive(Default)]
+struct CacheMap {
+    slots: HashMap<(u128, String), CacheSlot>,
+    tick: u64,
+}
+
+/// A rough retained-size estimate for an elaborated design: struct sizes
+/// plus string/value payloads, intentionally cheap rather than exact (no
+/// deep traversal of types). Good enough to spot a cache holding tens of
+/// megabytes; not an allocator-grade measurement.
+fn approx_elaborated_bytes(design: &ElaboratedDesign) -> usize {
+    let signals: usize = design
+        .signals
+        .iter()
+        .map(|s| {
+            std::mem::size_of::<SignalInfo>() + s.name.len() + s.init.ty().bit_size().div_ceil(8)
+        })
+        .sum();
+    let instances: usize = design
+        .instances
+        .iter()
+        .map(|i| {
+            std::mem::size_of_val(i) + i.name.len() + i.signal_map.len() * 4 * std::mem::size_of::<usize>()
+        })
+        .sum();
+    // The alias table is one usize per signal.
+    signals + instances + design.signals.len() * std::mem::size_of::<usize>()
+}
+
+/// Per-design cache statistics, part of [`CacheStats`].
+#[derive(Clone, Debug)]
+pub struct DesignStats {
+    /// The design's content hash ([`DesignCache::fingerprint`]).
+    pub fingerprint: u128,
+    /// The top-level unit the design was elaborated for.
+    pub top: String,
+    /// Number of lookups served for this design (hits + the filling miss).
+    pub runs: usize,
+    /// Rough retained bytes for this design's artifacts.
+    pub approx_bytes: usize,
+    /// Whether a compiled artifact is cached alongside the elaboration.
+    pub compiled: bool,
+}
+
+/// A point-in-time snapshot of a [`DesignCache`]'s observability surface:
+/// hit/miss/eviction counters, live-entry count, a bytes-ish retained-size
+/// estimate, and per-design run counts (sorted most-used first). This is
+/// what a long-running server logs periodically and serves from its
+/// `stats` endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that reused a cached elaboration.
+    pub elaborate_hits: usize,
+    /// Lookups that had to elaborate.
+    pub elaborate_misses: usize,
+    /// Lookups that reused a compiled artifact.
+    pub compile_hits: usize,
+    /// Lookups that had to compile.
+    pub compile_misses: usize,
+    /// Designs evicted to keep the cache within its capacity.
+    pub evictions: usize,
+    /// Designs currently cached.
+    pub entries: usize,
+    /// Maximum number of cached designs (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Rough retained bytes across all live entries.
+    pub approx_bytes: usize,
+    /// Per-design statistics, sorted by `runs` descending.
+    pub designs: Vec<DesignStats>,
+}
+
 /// Memoizes elaborated and ahead-of-time-compiled designs, keyed by
 /// `(module content hash, top unit)`.
 ///
@@ -490,17 +654,94 @@ type SharedCacheEntry = Arc<Mutex<CacheEntry>>;
 /// hits), while different designs proceed in parallel.
 #[derive(Default)]
 pub struct DesignCache {
-    entries: Mutex<HashMap<(u128, String), SharedCacheEntry>>,
+    entries: Mutex<CacheMap>,
+    /// Maximum number of live designs; 0 = unbounded.
+    capacity: AtomicUsize,
     elaborate_hits: AtomicUsize,
     elaborate_misses: AtomicUsize,
     compile_hits: AtomicUsize,
     compile_misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl DesignCache {
-    /// Create an empty cache.
+    /// Create an unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a cache that holds at most `capacity` designs, evicting the
+    /// least recently used one beyond that.
+    ///
+    /// Eviction only drops the cache's *reference* to a design's artifacts:
+    /// sessions already running on an evicted design keep their own
+    /// [`Arc`]s and are unaffected. A design some lookup currently holds —
+    /// from the moment `entry()` hands out its slot until the fill
+    /// completes — is never evicted, so the live count can transiently
+    /// exceed the capacity by the number of concurrent lookups.
+    ///
+    /// ```
+    /// use llhd_sim::api::DesignCache;
+    /// let cache = DesignCache::with_capacity(8);
+    /// assert_eq!(cache.capacity(), Some(8));
+    /// ```
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.set_capacity(Some(capacity));
+        cache
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Change the capacity. Shrinking evicts least-recently-used designs
+    /// immediately; `None` (or `Some(0)`, which means "unbounded" too)
+    /// lifts the bound without dropping anything.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.capacity
+            .store(capacity.unwrap_or(0), Ordering::Relaxed);
+        if capacity.unwrap_or(0) > 0 {
+            self.evict_over_capacity(&mut self.entries.lock().unwrap(), None);
+        }
+    }
+
+    /// Evict least-recently-used designs until the map is within capacity,
+    /// skipping `keep` (the key being served right now) and any slot a
+    /// lookup currently holds. "Held" is judged by the slot's `Arc` count,
+    /// not its lock: `entry()` hands the `Arc` out under the map lock, so
+    /// a count above one means some thread is between receiving the slot
+    /// and finishing its fill — evicting it then would orphan the fill
+    /// (the artifacts and stats would land in a detached entry and the
+    /// next lookup would redo the work). Called with the map lock held.
+    fn evict_over_capacity(&self, map: &mut CacheMap, keep: Option<&(u128, String)>) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return;
+        }
+        while map.slots.len() > capacity {
+            let victim = map
+                .slots
+                .iter()
+                .filter(|&(key, slot)| {
+                    keep != Some(key) && Arc::strong_count(&slot.entry) == 1
+                })
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone());
+            match victim {
+                Some(key) => {
+                    map.slots.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything else is mid-fill: leave the overshoot in
+                // place rather than spin; the next lookup retries.
+                None => break,
+            }
+        }
     }
 
     /// The content hash used as the cache key for `module`. This encodes
@@ -511,16 +752,39 @@ impl DesignCache {
         fnv1a_128(&llhd::bitcode::encode_module(module))
     }
 
-    /// The per-key entry, creating it if needed. The outer map lock is
-    /// held only for this probe; the returned entry carries its own lock.
+    /// The per-key entry, creating it if needed, bumping its LRU stamp and
+    /// run count, and evicting over-capacity cold designs. The outer map
+    /// lock is held only for this probe; the returned entry carries its
+    /// own lock.
     fn entry(&self, fingerprint: u128, top: &str) -> SharedCacheEntry {
-        Arc::clone(
-            self.entries
-                .lock()
-                .unwrap()
-                .entry((fingerprint, top.to_string()))
-                .or_default(),
-        )
+        let mut map = self.entries.lock().unwrap();
+        map.tick += 1;
+        let tick = map.tick;
+        let key = (fingerprint, top.to_string());
+        let slot = map.slots.entry(key.clone()).or_insert_with(|| CacheSlot {
+            entry: SharedCacheEntry::default(),
+            last_used: 0,
+            runs: 0,
+            approx_bytes: 0,
+            compiled: false,
+        });
+        slot.last_used = tick;
+        slot.runs += 1;
+        let entry = Arc::clone(&slot.entry);
+        self.evict_over_capacity(&mut map, Some(&key));
+        entry
+    }
+
+    /// Record a completed fill's size estimate at the map level (no entry
+    /// lock needed for stats or eviction decisions afterwards). The slot
+    /// may have been evicted while the fill ran; that is fine — the caller
+    /// still holds its own `Arc` and the estimate dies with the slot.
+    fn note_fill(&self, fingerprint: u128, top: &str, approx_bytes: usize, compiled: bool) {
+        let mut map = self.entries.lock().unwrap();
+        if let Some(slot) = map.slots.get_mut(&(fingerprint, top.to_string())) {
+            slot.approx_bytes = slot.approx_bytes.max(approx_bytes);
+            slot.compiled |= compiled;
+        }
     }
 
     /// The elaborated design for `(module, top)`, elaborating on a miss.
@@ -559,6 +823,8 @@ impl DesignCache {
             }
         };
         entry.elaborated = Some(Arc::clone(&design));
+        drop(entry);
+        self.note_fill(fingerprint, top, approx_elaborated_bytes(&design), false);
         Ok(design)
     }
 
@@ -566,15 +832,16 @@ impl DesignCache {
     /// elaborations/compilations must not leak placeholder entries into
     /// `len()` or grow the map in a long-running server.
     fn discard_if_empty(&self, fingerprint: u128, top: &str) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut map = self.entries.lock().unwrap();
         let key = (fingerprint, top.to_string());
-        let empty = entries.get(&key).is_some_and(|slot| {
-            slot.try_lock()
+        let empty = map.slots.get(&key).is_some_and(|slot| {
+            slot.entry
+                .try_lock()
                 .map(|entry| entry.elaborated.is_none() && entry.compiled.is_none())
                 .unwrap_or(false)
         });
         if empty {
-            entries.remove(&key);
+            map.slots.remove(&key);
         }
     }
 
@@ -639,8 +906,18 @@ impl DesignCache {
         // and interpreter sessions.
         entry.elaborated = Some(Arc::clone(&design));
         self.compile_misses.fetch_add(1, Ordering::Relaxed);
-        let artifact = (backend.compile)(module, Arc::clone(&design))?;
+        let artifact = match (backend.compile)(module, Arc::clone(&design)) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                drop(entry);
+                self.note_fill(fingerprint, top, approx_elaborated_bytes(&design), false);
+                return Err(e);
+            }
+        };
         entry.compiled = Some(Arc::clone(&artifact));
+        drop(entry);
+        let bytes = approx_elaborated_bytes(&design) + (backend.artifact_bytes)(&artifact);
+        self.note_fill(fingerprint, top, bytes, true);
         Ok((design, artifact))
     }
 
@@ -664,9 +941,14 @@ impl DesignCache {
         self.compile_misses.load(Ordering::Relaxed)
     }
 
+    /// Designs evicted so far to keep the cache within its capacity.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// The number of cached designs.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.lock().unwrap().slots.len()
     }
 
     /// Whether the cache is empty.
@@ -674,9 +956,69 @@ impl DesignCache {
         self.len() == 0
     }
 
-    /// Drop all cached designs (counters are kept).
+    /// Drop all cached designs (counters are kept; in-flight sessions keep
+    /// their own `Arc`s and are unaffected, like eviction).
     pub fn clear(&self) {
-        self.entries.lock().unwrap().clear();
+        self.entries.lock().unwrap().slots.clear();
+    }
+
+    /// Snapshot the observability surface: counters, live entries, the
+    /// bytes-ish retained-size estimate, and per-design run counts (sorted
+    /// most-used first).
+    ///
+    /// ```
+    /// use llhd::assembly::parse_module;
+    /// use llhd_sim::api::{DesignCache, SimSession};
+    ///
+    /// let module = parse_module(
+    ///     "proc @p () -> (i1$ %q) {
+    ///     entry:
+    ///         %v = const i1 1
+    ///         %t = const time 1ns
+    ///         drv i1$ %q, %v after %t
+    ///         halt
+    ///     }",
+    /// )
+    /// .unwrap();
+    /// let cache = DesignCache::with_capacity(4);
+    /// for _ in 0..3 {
+    ///     SimSession::builder(&module, "p").cache(&cache).build().unwrap();
+    /// }
+    /// let stats = cache.stats();
+    /// assert_eq!((stats.elaborate_misses, stats.elaborate_hits), (1, 2));
+    /// assert_eq!(stats.designs[0].runs, 3);
+    /// assert!(stats.approx_bytes > 0);
+    /// ```
+    pub fn stats(&self) -> CacheStats {
+        let map = self.entries.lock().unwrap();
+        let mut designs: Vec<DesignStats> = map
+            .slots
+            .iter()
+            .map(|((fingerprint, top), slot)| DesignStats {
+                fingerprint: *fingerprint,
+                top: top.clone(),
+                runs: slot.runs,
+                approx_bytes: slot.approx_bytes,
+                compiled: slot.compiled,
+            })
+            .collect();
+        designs.sort_by(|a, b| {
+            b.runs
+                .cmp(&a.runs)
+                .then_with(|| a.top.cmp(&b.top))
+                .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+        });
+        CacheStats {
+            elaborate_hits: self.elaborate_hits(),
+            elaborate_misses: self.elaborate_misses(),
+            compile_hits: self.compile_hits(),
+            compile_misses: self.compile_misses(),
+            evictions: self.evictions(),
+            entries: map.slots.len(),
+            capacity: self.capacity(),
+            approx_bytes: designs.iter().map(|d| d.approx_bytes).sum(),
+            designs,
+        }
     }
 }
 
@@ -686,6 +1028,42 @@ impl DesignCache {
 
 /// Configures and builds a [`SimSession`]. Created by
 /// [`SimSession::builder`].
+///
+/// The builder owns every pre-run decision: engine selection, run
+/// limits, trace configuration, caching. Methods chain:
+///
+/// ```
+/// use llhd_sim::api::{ChangeCounter, DesignCache, EngineKind, SimSession};
+///
+/// let module = llhd::assembly::parse_module(
+///     "proc @blink () -> (i1$ %led) {
+///     entry:
+///         %on = const i1 1
+///         %off = const i1 0
+///         %delay = const time 5ns
+///         drv i1$ %led, %on after %delay
+///         wait %next for %delay
+///     next:
+///         drv i1$ %led, %off after %delay
+///         wait %entry for %delay
+///     }",
+/// )
+/// .unwrap();
+/// let cache = DesignCache::new();
+/// let mut changes = ChangeCounter::new();
+/// let result = SimSession::builder(&module, "blink")
+///     .engine(EngineKind::Interpret)   // default: EngineKind::Auto
+///     .until_nanos(50)                 // run limit
+///     .trace_filter(&["led"])          // record only matching signals
+///     .cache(&cache)                   // reuse elaboration across runs
+///     .sink(&mut changes)              // stream events during the run
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(changes.total(), result.trace.len());
+/// assert_eq!(cache.elaborate_misses(), 1);
+/// ```
 pub struct SessionBuilder<'m> {
     module: &'m Module,
     top: &'m str,
@@ -909,6 +1287,35 @@ impl<'m> SessionBuilder<'m> {
 /// collect the result with [`SimSession::finish`]. Stepping is
 /// deterministic: any chunking reproduces the uninterrupted trace byte
 /// for byte.
+///
+/// ```
+/// use llhd_sim::api::{EngineKind, SimSession};
+/// use llhd::value::ConstValue;
+///
+/// let module = llhd::assembly::parse_module(
+///     "entity @follower (i8$ %a) -> (i8$ %q) {
+///         %ap = prb i8$ %a
+///         %delay = const time 1ns
+///         drv i8$ %q, %ap after %delay
+///     }
+///     entity @top () -> () {
+///         %zero = const i8 0
+///         %a = sig i8 %zero
+///         %q = sig i8 %zero
+///         inst @follower (%a) -> (%q)
+///     }",
+/// )
+/// .unwrap();
+/// let mut session = SimSession::builder(&module, "top")
+///     .engine(EngineKind::Interpret)
+///     .until_nanos(10)
+///     .build()
+///     .unwrap();
+/// session.initialize().unwrap();
+/// session.poke("a", ConstValue::int(8, 42)).unwrap();   // external drive
+/// while session.step().unwrap() {}                      // one cycle at a time
+/// assert_eq!(session.peek("q").unwrap(), ConstValue::int(8, 42));
+/// ```
 pub struct SimSession<'m> {
     engine: Box<dyn Engine + 'm>,
     design: Arc<ElaboratedDesign>,
@@ -1112,6 +1519,31 @@ impl<'m> SimSession<'m> {
     /// core (bounded by the job count), returning the per-job results in
     /// order. Jobs are independent sessions; pass a shared [`DesignCache`]
     /// to elaborate/compile each distinct design once for the whole batch.
+    ///
+    /// ```
+    /// use llhd_sim::api::{BatchJob, DesignCache, SimSession};
+    /// use llhd_sim::SimConfig;
+    ///
+    /// let module = llhd::assembly::parse_module(
+    ///     "proc @pulse () -> (i1$ %q) {
+    ///     entry:
+    ///         %on = const i1 1
+    ///         %t = const time 2ns
+    ///         drv i1$ %q, %on after %t
+    ///         halt
+    ///     }",
+    /// )
+    /// .unwrap();
+    /// // Four runs of one design, different end times, one elaboration.
+    /// let jobs: Vec<BatchJob> = (1..=4)
+    ///     .map(|i| BatchJob::new(&module, "pulse", SimConfig::until_nanos(10 * i)))
+    ///     .collect();
+    /// let cache = DesignCache::new();
+    /// let results = SimSession::run_batch(&jobs, Some(&cache));
+    /// assert!(results.iter().all(|r| r.is_ok()));
+    /// assert_eq!(cache.elaborate_misses(), 1);
+    /// assert_eq!(cache.elaborate_hits(), 3);
+    /// ```
     pub fn run_batch(
         jobs: &[BatchJob<'_>],
         cache: Option<&DesignCache>,
@@ -1123,16 +1555,18 @@ impl<'m> SimSession<'m> {
             .max(1);
         // Fingerprint each distinct module once for the whole batch (jobs
         // routinely share one module), so cached workers don't re-encode
-        // it per job.
+        // it per job. Jobs carrying a precomputed [`BatchJob::cache_key`]
+        // skip even that one encode — the steady state of the server's
+        // dispatcher, which knows every resident design's key already.
         let keys: Vec<Option<u128>> = if cache.is_some() {
             let mut memo: HashMap<*const Module, u128> = HashMap::new();
             jobs.iter()
                 .map(|job| {
-                    Some(
+                    Some(job.cache_key.unwrap_or_else(|| {
                         *memo
                             .entry(std::ptr::from_ref(job.module))
-                            .or_insert_with(|| DesignCache::fingerprint(job.module)),
-                    )
+                            .or_insert_with(|| DesignCache::fingerprint(job.module))
+                    }))
                 })
                 .collect()
         } else {
@@ -1182,6 +1616,12 @@ pub struct BatchJob<'a> {
     pub engine: EngineKind,
     /// Run configuration for this job.
     pub config: SimConfig,
+    /// A precomputed [`DesignCache::fingerprint`] of `module`, if the
+    /// caller already knows it: the batch then skips re-encoding the
+    /// module for its cache key. Same contract as
+    /// [`SessionBuilder::cache_key`] — a stale key silently maps to a
+    /// different cache entry. Ignored when the batch runs uncached.
+    pub cache_key: Option<u128>,
 }
 
 impl<'a> BatchJob<'a> {
@@ -1192,6 +1632,7 @@ impl<'a> BatchJob<'a> {
             top,
             engine: EngineKind::Auto,
             config,
+            cache_key: None,
         }
     }
 }
@@ -1440,6 +1881,120 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    /// A module per distinct delay value, so each is a distinct cache key.
+    fn blink_with_delay(ns: usize) -> Module {
+        parse_module(BLINK.replace("5ns", &format!("{}ns", ns)).as_str()).unwrap()
+    }
+
+    #[test]
+    fn bounded_cache_stays_within_capacity_and_evicts_lru() {
+        let cache = DesignCache::with_capacity(3);
+        assert_eq!(cache.capacity(), Some(3));
+        // Many distinct designs through a small cache: the live set stays
+        // bounded no matter how many designs flow through (the regression
+        // this guards: the cache used to only grow).
+        for i in 1..=10 {
+            let module = blink_with_delay(i);
+            SimSession::builder(&module, "blink")
+                .engine(EngineKind::Interpret)
+                .cache(&cache)
+                .build()
+                .unwrap();
+            assert!(cache.len() <= 3, "cache grew past its capacity");
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 7);
+        assert_eq!(cache.elaborate_misses(), 10);
+        // The most recently used designs survived: looking them up again
+        // hits; the coldest design was evicted and must re-elaborate.
+        let hot = blink_with_delay(10);
+        SimSession::builder(&hot, "blink").cache(&cache).build().unwrap();
+        assert_eq!(cache.elaborate_hits(), 1);
+        let cold = blink_with_delay(1);
+        SimSession::builder(&cold, "blink").cache(&cache).build().unwrap();
+        assert_eq!(cache.elaborate_misses(), 11, "evicted design must miss");
+        // Recency, not insertion order, decides the victim: keep touching
+        // one design while inserting others and it must survive.
+        let pinned = blink_with_delay(100);
+        SimSession::builder(&pinned, "blink").cache(&cache).build().unwrap();
+        for i in 20..=25 {
+            let module = blink_with_delay(i);
+            SimSession::builder(&module, "blink")
+                .engine(EngineKind::Interpret)
+                .cache(&cache)
+                .build()
+                .unwrap();
+            SimSession::builder(&pinned, "blink").cache(&cache).build().unwrap();
+        }
+        let hits_before = cache.elaborate_hits();
+        SimSession::builder(&pinned, "blink").cache(&cache).build().unwrap();
+        assert_eq!(cache.elaborate_hits(), hits_before + 1, "pinned design was evicted");
+    }
+
+    #[test]
+    fn eviction_does_not_disturb_in_flight_sessions() {
+        let module = parse_module(BLINK).unwrap();
+        let uncached = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let cache = DesignCache::with_capacity(1);
+        let mut session = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .cache(&cache)
+            .build()
+            .unwrap();
+        // Step partway, then evict the design out from under the session
+        // (both by capacity pressure and by an outright clear): the session
+        // holds its own `Arc` and must finish identically.
+        for _ in 0..5 {
+            session.step().unwrap();
+        }
+        let other = blink_with_delay(9);
+        SimSession::builder(&other, "blink").cache(&cache).build().unwrap();
+        assert_eq!(cache.evictions(), 1);
+        cache.clear();
+        while session.step().unwrap() {}
+        let evicted = session.finish().unwrap();
+        assert_eq!(uncached.trace.events(), evicted.trace.events());
+        assert_eq!(uncached.end_time, evicted.end_time);
+    }
+
+    #[test]
+    fn cache_stats_snapshot_reports_the_surface() {
+        let cache = DesignCache::with_capacity(8);
+        let a = blink_with_delay(3);
+        let b = blink_with_delay(4);
+        for _ in 0..3 {
+            SimSession::builder(&a, "blink").cache(&cache).build().unwrap();
+        }
+        SimSession::builder(&b, "blink").cache(&cache).build().unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, Some(8));
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.elaborate_misses, 2);
+        assert_eq!(stats.elaborate_hits, 2);
+        assert!(stats.approx_bytes > 0, "filled entries must report bytes");
+        // Per-design runs, most-used first.
+        assert_eq!(stats.designs.len(), 2);
+        assert_eq!(stats.designs[0].runs, 3);
+        assert_eq!(stats.designs[1].runs, 1);
+        assert!(!stats.designs[0].compiled);
+        // Shrinking the capacity evicts immediately, least recently used
+        // first (touch the hot design so recency and run count agree).
+        SimSession::builder(&a, "blink").cache(&cache).build().unwrap();
+        cache.set_capacity(Some(1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        let survivor = cache.stats();
+        assert_eq!(survivor.designs[0].runs, 4, "LRU kept the hot design");
+    }
+
     #[test]
     fn batch_runner_matches_individual_runs() {
         let module = parse_module(BLINK).unwrap();
@@ -1450,6 +2005,7 @@ mod tests {
                     top: "blink",
                     engine: EngineKind::Interpret,
                     config: SimConfig::until_nanos(10 * i),
+                    cache_key: None,
                 }
             })
             .collect();

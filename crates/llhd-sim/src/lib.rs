@@ -36,9 +36,9 @@
 //! assert!(result.trace.changes_of("led").count() >= 18);
 //! ```
 //!
-//! Underneath, [`elaborate`](design::elaborate) flattens a
-//! [`Module`](llhd::ir::Module) into signals + unit instances, and a
-//! [`Simulator`](engine::Simulator) interprets it.
+//! Underneath, [`design::elaborate`] flattens a [`llhd::ir::Module`]
+//! into signals + unit instances, and an [`engine::Simulator`]
+//! interprets it.
 
 pub mod api;
 pub mod design;

@@ -1,0 +1,111 @@
+//! Server mode, end to end: spawn the persistent simulation server on an
+//! ephemeral TCP port, then act as a client speaking the line-delimited
+//! JSON protocol of `docs/PROTOCOL.md` — submit a design, re-run it by
+//! its key (served from the warmed `DesignCache`, no re-parse or
+//! re-compile), inspect the cache counters, and shut down gracefully.
+//!
+//! Run with `cargo run --example server_client`. Against an external
+//! server (`cargo run -p llhd-server -- --tcp 127.0.0.1:7171`), the same
+//! requests apply — only the transport setup differs.
+
+use llhd_server::json::Json;
+use llhd_server::{Client, Server, ServerConfig};
+
+const BLINK: &str = r#"
+proc @blink () -> (i1$ %led) {
+entry:
+    %on = const i1 1
+    %off = const i1 0
+    %delay = const time 5ns
+    drv i1$ %led, %on after %delay
+    wait %next for %delay
+next:
+    drv i1$ %led, %off after %delay
+    wait %entry for %delay
+}
+"#;
+
+fn main() {
+    // A bounded server: at most 16 designs stay cached, LRU beyond that.
+    let running = Server::spawn_tcp(
+        ServerConfig {
+            cache_capacity: Some(16),
+            stats_interval: None,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind an ephemeral port");
+    println!("server listening on {}", running.addr());
+    let mut client = Client::connect(running.addr()).expect("connect");
+
+    // 1. Submit the design source; the response names it by content key.
+    let first = client
+        .request(&Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+            ("id", Json::Int(1)),
+        ]))
+        .expect("sim request");
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{}", first);
+    let result = first.get("result").expect("result");
+    let key = result
+        .get("design")
+        .and_then(Json::as_str)
+        .expect("design key")
+        .to_string();
+    println!(
+        "first run:  design {}…, {} signal changes, end at {} fs",
+        &key[..8],
+        result.get("signal_changes").and_then(Json::as_int).unwrap(),
+        result.get("end_time_fs").and_then(Json::as_int).unwrap(),
+    );
+
+    // 2. Re-run by key — no source on the wire, served from the warm
+    //    cache — and ask for the trace as a VCD document.
+    let second = client
+        .request(&Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(60)),
+            ("trace", Json::str("vcd")),
+            ("id", Json::Int(2)),
+        ]))
+        .expect("keyed request");
+    assert_eq!(second.get("ok"), Some(&Json::Bool(true)), "{}", second);
+    let vcd = second
+        .get("result")
+        .and_then(|r| r.get("trace_vcd"))
+        .and_then(Json::as_str)
+        .expect("vcd");
+    println!(
+        "second run: served by key, VCD of {} lines begins {:?}",
+        vcd.lines().count(),
+        vcd.lines().next().unwrap_or(""),
+    );
+
+    // 3. The observability surface: the repeat run hit the cache.
+    let stats = client
+        .request(&Json::obj([("type", Json::str("stats"))]))
+        .expect("stats request");
+    let cache = stats.get("result").and_then(|r| r.get("cache")).expect("cache stats");
+    println!(
+        "stats:      {} cached design(s), elaborate {} hit / {} miss",
+        cache.get("entries").and_then(Json::as_int).unwrap(),
+        cache.get("elaborate_hits").and_then(Json::as_int).unwrap(),
+        cache.get("elaborate_misses").and_then(Json::as_int).unwrap(),
+    );
+    assert_eq!(cache.get("elaborate_hits").and_then(Json::as_int), Some(1));
+
+    // 4. Graceful shutdown: in-flight work drains, then the server exits.
+    let ack = client
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .expect("shutdown request");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    running.join().expect("clean server exit");
+    println!("server shut down cleanly");
+}
