@@ -135,6 +135,95 @@ pub fn simulation_suite(h: &mut Harness) {
         );
     }
     server_throughput(h);
+    session_step_peek(h);
+    checkpoint_roundtrip(h);
+}
+
+/// A free-running fixture for the interactive-session benchmark: one
+/// process toggling one signal forever (within the configured horizon).
+const SESSION_FIXTURE: &str = r#"
+proc @blink () -> (i1$ %led) {
+entry:
+    %on = const i1 1
+    %off = const i1 0
+    %delay = const time 5ns
+    drv i1$ %led, %on after %delay
+    wait %next for %delay
+next:
+    drv i1$ %led, %off after %delay
+    wait %entry for %delay
+}
+"#;
+
+/// Simulated headroom for the session fixture, far beyond what any
+/// measurement loop consumes, so `step` never runs the event queue dry
+/// mid-benchmark (a drained session would degrade into no-op steps and
+/// poison the baseline).
+const SESSION_HEADROOM_NS: u128 = 1_000_000_000_000;
+
+/// Step/peek pairs per iteration of `session/step-peek`.
+const SESSION_PAIRS: u64 = 64;
+
+/// The interactive hot path of a stateful server session: advance the
+/// engine one scheduler step, then read a signal back by hierarchical
+/// name — the `session.step` + `session.peek` round trip minus the
+/// protocol layer, on the compiled engine.
+fn session_step_peek(h: &mut Harness) {
+    if !h.wants("session/step-peek") {
+        return;
+    }
+    let module = parse_module(SESSION_FIXTURE).expect("fixture parses");
+    let mut session = SimSession::builder(&module, "blink")
+        .engine(EngineKind::Compile)
+        .config(SimConfig::until_nanos(SESSION_HEADROOM_NS).without_trace())
+        .build()
+        .unwrap();
+    h.bench_throughput("session/step-peek", SESSION_PAIRS, || {
+        let mut last = None;
+        for _ in 0..SESSION_PAIRS {
+            session.step().unwrap();
+            last = Some(session.peek("blink.led").unwrap());
+        }
+        last
+    });
+}
+
+/// A full engine checkpoint/restore round trip on the largest benchmark
+/// design (compiled engine, mid-run state): serialize the live engine to
+/// an [`llhd_sim::api::EngineState`] and restore it into a second
+/// session. Throughput is reported in checkpoint bytes per second.
+fn checkpoint_roundtrip(h: &mut Harness) {
+    if !h.wants("checkpoint-roundtrip") {
+        return;
+    }
+    let design = all_designs()
+        .into_iter()
+        .max_by_key(|d| d.build().map(|m| write_module(&m).len()).unwrap_or(0))
+        .unwrap();
+    let module = design.build().unwrap();
+    let config = SimConfig::until_nanos(design.sim_time_ns(SIMULATION_CYCLES)).without_trace();
+    let build = || {
+        SimSession::builder(&module, design.top)
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .build()
+            .unwrap()
+    };
+    let mut live = build();
+    // Step to a mid-run cut so the checkpoint carries a realistic event
+    // queue and register state, not the empty post-initialize snapshot.
+    for _ in 0..100 {
+        if !live.step().unwrap() {
+            break;
+        }
+    }
+    let mut target = build();
+    let bytes = live.checkpoint().unwrap().as_bytes().len() as u64;
+    h.bench_throughput("checkpoint-roundtrip", bytes, || {
+        let state = live.checkpoint().unwrap();
+        target.restore(&state).unwrap();
+        state
+    });
 }
 
 /// Concurrent clients per iteration of the `server/throughput` benchmark.

@@ -364,6 +364,38 @@ impl CompiledDesign {
             .sum();
         units + instances
     }
+
+    /// Per-unit compilation statistics — base op counts, superinstruction
+    /// counts after lowering, and how many instances run specialized code.
+    /// Feeds the introspection surface through the backend's
+    /// `artifact_stats` hook; sorted by unit name for a stable listing.
+    pub fn unit_stats(&self) -> Vec<llhd_sim::api::UnitArtifactStats> {
+        let mut stats: Vec<_> = self
+            .units
+            .iter()
+            .map(|(&id, unit)| {
+                let (instances, specialized) = self
+                    .instances
+                    .iter()
+                    .filter(|i| i.unit == id)
+                    .fold((0, 0), |(n, s), i| (n + 1, s + i.code.is_some() as usize));
+                llhd_sim::api::UnitArtifactStats {
+                    name: unit.name.clone(),
+                    kind: match unit.kind {
+                        UnitKind::Process => "process",
+                        UnitKind::Entity => "entity",
+                        UnitKind::Function => "function",
+                    },
+                    base_ops: unit.ops.len(),
+                    superops: unit.lowered.as_ref().map_or(0, |l| l.ops.len()),
+                    instances,
+                    specialized_instances: specialized,
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
 }
 
 /// Compile all units of a module and bind the elaborated instances, with

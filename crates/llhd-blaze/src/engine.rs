@@ -15,8 +15,10 @@ use llhd::eval::{
     eval_cast, eval_ext_field, eval_ext_slice, eval_ins_field, eval_ins_slice, eval_mux,
     eval_pure, eval_unary,
 };
+use llhd::bitcode::{decode_const_value, encode_const_value, read_varint, write_varint};
 use llhd::ir::{Opcode, RegMode, UnitId, UnitKind};
 use llhd::value::{ConstValue, TimeValue};
+use llhd_sim::api::EngineState;
 use llhd_sim::design::{InstanceKind, SignalId};
 use llhd_sim::sched::SchedCore;
 use llhd_sim::{SimConfig, SimError, SimResult, Trace};
@@ -255,6 +257,166 @@ impl BlazeSimulator {
 
     fn take_trace(&mut self) -> Trace {
         self.core.take_trace()
+    }
+
+    /// Serialize the simulator's complete execution state: the shared
+    /// scheduler core plus every instance's control state, register file,
+    /// memory cells, and `reg` histories. See
+    /// [`Engine::checkpoint`](llhd_sim::api::Engine::checkpoint) for the
+    /// resume guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on a poisoned engine.
+    pub fn checkpoint(&self) -> Result<EngineState, SimError> {
+        if let Some(e) = &self.poisoned {
+            return Err(SimError::Runtime(format!(
+                "cannot checkpoint a poisoned engine: {}",
+                e
+            )));
+        }
+        let design = &self.compiled.design;
+        Ok(EngineState::encode(
+            "blaze",
+            design.num_signals(),
+            design.num_instances(),
+            |out| {
+                self.core.snapshot(out);
+                out.push(self.initialized as u8);
+                write_varint(out, self.assertions_checked as u128);
+                write_varint(out, self.assertion_failures as u128);
+                write_varint(out, self.activations as u128);
+                for st in &self.states {
+                    match &st.status {
+                        Status::Ready => out.push(0),
+                        Status::Suspended { resume } => {
+                            out.push(1);
+                            write_varint(out, *resume as u128);
+                        }
+                        Status::Halted => out.push(2),
+                    }
+                    write_varint(out, st.regs.len() as u128);
+                    for reg in &st.regs {
+                        encode_const_value(out, reg);
+                    }
+                    write_varint(out, st.mems.len() as u128);
+                    for mem in &st.mems {
+                        encode_const_value(out, mem);
+                    }
+                    write_varint(out, st.states.len() as u128);
+                    for prev in &st.states {
+                        match prev {
+                            Some(v) => {
+                                out.push(1);
+                                encode_const_value(out, v);
+                            }
+                            None => out.push(0),
+                        }
+                    }
+                }
+            },
+        ))
+    }
+
+    /// Restore a checkpoint taken by another blaze simulator over the
+    /// same design into this (freshly constructed) simulator. See
+    /// [`Engine::restore`](llhd_sim::api::Engine::restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on an engine/design mismatch or
+    /// corrupt bytes.
+    pub fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
+        fn truncated() -> SimError {
+            SimError::Runtime("truncated engine checkpoint".to_string())
+        }
+        fn read_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, SimError> {
+            Ok(read_varint(bytes, pos).ok_or_else(truncated)? as usize)
+        }
+        fn read_byte(bytes: &[u8], pos: &mut usize) -> Result<u8, SimError> {
+            let b = *bytes.get(*pos).ok_or_else(truncated)?;
+            *pos += 1;
+            Ok(b)
+        }
+        fn read_const(bytes: &[u8], pos: &mut usize) -> Result<ConstValue, SimError> {
+            decode_const_value(bytes, pos)
+                .map_err(|e| SimError::Runtime(format!("corrupt engine checkpoint: {}", e)))
+        }
+        let design = &self.compiled.design;
+        let bytes = state.as_bytes();
+        let mut pos = state.validate("blaze", design.num_signals(), design.num_instances())?;
+        let pos = &mut pos;
+        self.core.restore_snapshot(bytes, pos)?;
+        self.initialized = read_byte(bytes, pos)? != 0;
+        self.poisoned = None;
+        self.assertions_checked = read_usize(bytes, pos)?;
+        self.assertion_failures = read_usize(bytes, pos)?;
+        self.activations = read_usize(bytes, pos)?;
+        for st in &mut self.states {
+            st.status = match read_byte(bytes, pos)? {
+                0 => Status::Ready,
+                1 => {
+                    let resume = read_usize(bytes, pos)?;
+                    // Both dispatch modes resume at a block index;
+                    // bound-check against whichever stream this instance
+                    // executes.
+                    let limit = match &st.code {
+                        Some(code) => code.block_ranges.len(),
+                        None => st.unit.block_ranges.len(),
+                    };
+                    if resume >= limit {
+                        return Err(SimError::Runtime(
+                            "corrupt engine checkpoint: resume target out of range".to_string(),
+                        ));
+                    }
+                    Status::Suspended { resume }
+                }
+                2 => Status::Halted,
+                other => {
+                    return Err(SimError::Runtime(format!(
+                        "corrupt engine checkpoint: unknown instance status {}",
+                        other
+                    )))
+                }
+            };
+            let num_regs = read_usize(bytes, pos)?;
+            if num_regs != st.regs.len() {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: register count mismatch".to_string(),
+                ));
+            }
+            for reg in st.regs.iter_mut() {
+                *reg = read_const(bytes, pos)?;
+            }
+            let num_mems = read_usize(bytes, pos)?;
+            if num_mems != st.mems.len() {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: memory count mismatch".to_string(),
+                ));
+            }
+            for mem in st.mems.iter_mut() {
+                *mem = read_const(bytes, pos)?;
+            }
+            let num_states = read_usize(bytes, pos)?;
+            if num_states != st.states.len() {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: reg history count mismatch".to_string(),
+                ));
+            }
+            for prev in st.states.iter_mut() {
+                *prev = match read_byte(bytes, pos)? {
+                    0 => None,
+                    1 => Some(read_const(bytes, pos)?),
+                    other => {
+                        return Err(SimError::Runtime(format!(
+                            "corrupt engine checkpoint: unknown reg history tag {}",
+                            other
+                        )))
+                    }
+                };
+            }
+        }
+        Ok(())
     }
 
     fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
@@ -980,6 +1142,12 @@ impl llhd_sim::api::Engine for BlazeSimulator {
     fn finish(&mut self) -> SimResult {
         BlazeSimulator::finish(self)
     }
+    fn checkpoint(&self) -> Result<EngineState, SimError> {
+        BlazeSimulator::checkpoint(self)
+    }
+    fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
+        BlazeSimulator::restore(self, state)
+    }
 }
 
 #[cfg(test)]
@@ -1044,6 +1212,65 @@ mod tests {
         assert_eq!(reference.signal_changes, blaze.signal_changes);
         let last = blaze.trace.changes_of("out").last().unwrap().clone();
         assert_eq!(last.value, ConstValue::int(8, 50));
+    }
+
+    /// Checkpoint mid-run, discard the session, restore into a fresh
+    /// compiled engine, and resume: the final trace must be byte-identical
+    /// to an uninterrupted run. Processes carry variables and a resume
+    /// block across the boundary, which exercises the per-instance state.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_compiled_run() {
+        let module = parse_module(
+            r#"
+            proc @counter (i1$ %clk) -> (i8$ %out) {
+            entry:
+                %zero = const i8 0
+                %i = var i8 %zero
+                br %loop
+            loop:
+                %cur = ld i8* %i
+                %one = const i8 1
+                %next = add i8 %cur, %one
+                st i8* %i, %next
+                %delay = const time 1ns
+                drv i8$ %out, %next after %delay
+                wait %loop for %delay
+            }
+            "#,
+        )
+        .unwrap();
+        let config = SimConfig::until_nanos(50);
+        let full = simulate(&module, "counter", &config).unwrap();
+        let mut first = session(&module, "counter")
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .build()
+            .unwrap();
+        for _ in 0..7 {
+            first.step().unwrap();
+        }
+        let state = first.checkpoint().unwrap();
+        assert_eq!(state.engine_name().unwrap(), "blaze");
+        drop(first);
+        let mut resumed = session(&module, "counter")
+            .engine(EngineKind::Compile)
+            .config(config.clone())
+            .build()
+            .unwrap();
+        resumed.restore(&state).unwrap();
+        while resumed.step().unwrap() {}
+        let result = resumed.finish().unwrap();
+        assert_eq!(full.trace.events(), result.trace.events());
+        assert_eq!(full.end_time, result.end_time);
+        assert_eq!(full.signal_changes, result.signal_changes);
+        assert_eq!(full.activations, result.activations);
+        // A blaze checkpoint must not restore into the interpreter.
+        let mut interp = SimSession::builder(&module, "counter")
+            .engine(EngineKind::Interpret)
+            .config(config.clone())
+            .build()
+            .unwrap();
+        assert!(interp.restore(&state).is_err());
     }
 
     /// A failed step poisons the engine under the *specialized* dispatch

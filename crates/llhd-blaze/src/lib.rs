@@ -77,6 +77,12 @@ pub fn register() {
                 .map(CompiledDesign::approx_bytes)
                 .unwrap_or(0)
         },
+        artifact_stats: |artifact| {
+            artifact
+                .downcast_ref::<CompiledDesign>()
+                .map(CompiledDesign::unit_stats)
+                .unwrap_or_default()
+        },
     });
 }
 

@@ -4,12 +4,15 @@
 //!
 //! ```text
 //! llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]
+//!             [--session-cap N] [--session-idle SECS]
 //!
 //!   --stdio                requests on stdin, responses on stdout (default)
 //!   --tcp ADDR             listen on ADDR (e.g. 127.0.0.1:7171; port 0 = ephemeral)
 //!   --capacity N           cache at most N designs, LRU-evicted (default: unbounded)
 //!   --stats-interval SECS  log a stats line to stderr every SECS seconds
 //!                          (default 30; 0 disables)
+//!   --session-cap N        allow at most N open interactive sessions (default 64)
+//!   --session-idle SECS    destroy sessions idle for SECS seconds (default 600)
 //! ```
 
 use llhd_server::{Server, ServerConfig};
@@ -18,7 +21,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]"
+        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS] [--session-cap N] [--session-idle SECS]"
     );
     std::process::exit(2);
 }
@@ -28,6 +31,8 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut capacity: Option<usize> = None;
     let mut stats_secs: u64 = 30;
+    let mut session_cap: Option<usize> = None;
+    let mut session_idle: Option<u64> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -53,6 +58,20 @@ fn main() {
                 }
                 None => usage(),
             },
+            "--session-cap" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    session_cap = Some(n);
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--session-idle" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(secs) => {
+                    session_idle = Some(secs);
+                    i += 1;
+                }
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("llhd-server: unknown argument {:?}", other);
@@ -67,6 +86,8 @@ fn main() {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         },
+        session_cap,
+        session_idle_timeout: session_idle.map(Duration::from_secs),
     };
     let server = Server::new(config);
     let result = match tcp {

@@ -77,6 +77,20 @@ impl SimJobSpec {
     }
 }
 
+/// A structural query against a session's elaborated design (the
+/// `session.query` request's `"query"` field).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// The flattened instance hierarchy.
+    Hierarchy,
+    /// Which instances drive the named signal.
+    Drivers(String),
+    /// Which instances observe the named signal.
+    Watchers(String),
+    /// Per-unit compilation statistics (compiled sessions only).
+    UnitStats,
+}
+
 /// A parsed request.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -90,6 +104,56 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
+    /// Open a stateful interactive session over a design.
+    SessionCreate(SimJobSpec),
+    /// Advance a session by up to `steps` scheduler cycles.
+    SessionStep {
+        /// The session id from `session.create`/`session.restore`.
+        session: String,
+        /// How many cycles to advance (at least 1).
+        steps: usize,
+    },
+    /// Read a signal's current value.
+    SessionPeek {
+        /// The session id.
+        session: String,
+        /// The hierarchical signal name.
+        signal: String,
+    },
+    /// Drive a signal from outside the design.
+    SessionPoke {
+        /// The session id.
+        session: String,
+        /// The hierarchical signal name.
+        signal: String,
+        /// The value (an integer; the signal's width applies).
+        value: u128,
+    },
+    /// Run a structural query against the session's design.
+    SessionQuery {
+        /// The session id.
+        session: String,
+        /// What to ask.
+        query: QueryKind,
+    },
+    /// Serialize the session's full engine state.
+    SessionCheckpoint {
+        /// The session id.
+        session: String,
+    },
+    /// Open a *new* session and resume it from a checkpoint.
+    SessionRestore {
+        /// The design/engine configuration (same fields as
+        /// `session.create`; must match the checkpointed run).
+        spec: SimJobSpec,
+        /// The hex-encoded checkpoint from `session.checkpoint`.
+        state_hex: String,
+    },
+    /// End a session, returning its final run statistics (and trace).
+    SessionDestroy {
+        /// The session id.
+        session: String,
+    },
 }
 
 /// The error kinds of the protocol (the `error.kind` field).
@@ -113,6 +177,11 @@ pub enum ErrorKind {
     UnknownSignal,
     /// The referenced design key is not resident (evicted or never seen).
     UnknownDesign,
+    /// The referenced session id does not exist (expired, destroyed, or
+    /// never created).
+    UnknownSession,
+    /// The server's interactive-session cap is reached.
+    SessionLimit,
     /// The server is shutting down and takes no new work.
     Shutdown,
 }
@@ -130,6 +199,8 @@ impl ErrorKind {
             ErrorKind::Backend => "backend",
             ErrorKind::UnknownSignal => "unknown_signal",
             ErrorKind::UnknownDesign => "unknown_design",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::SessionLimit => "session_limit",
             ErrorKind::Shutdown => "shutdown",
         }
     }
@@ -303,6 +374,46 @@ fn parse_job(obj: &Json) -> Result<SimJobSpec, ProtoError> {
     })
 }
 
+/// The required `"session"` field of the session request family.
+fn field_session(obj: &Json) -> Result<String, ProtoError> {
+    field_str(obj, "session")?.ok_or_else(|| {
+        ProtoError::new(
+            ErrorKind::Protocol,
+            "a session request needs \"session\" (the id from session.create)",
+        )
+    })
+}
+
+/// The required `"signal"` field of `session.peek`/`session.poke`.
+fn field_signal(obj: &Json) -> Result<String, ProtoError> {
+    field_str(obj, "signal")?.ok_or_else(|| {
+        ProtoError::new(
+            ErrorKind::Protocol,
+            "this request needs \"signal\" (a hierarchical signal name)",
+        )
+    })
+}
+
+fn parse_query(obj: &Json) -> Result<QueryKind, ProtoError> {
+    match obj.get("query").and_then(Json::as_str) {
+        Some("hierarchy") => Ok(QueryKind::Hierarchy),
+        Some("drivers") => Ok(QueryKind::Drivers(field_signal(obj)?)),
+        Some("watchers") => Ok(QueryKind::Watchers(field_signal(obj)?)),
+        Some("unit_stats") => Ok(QueryKind::UnitStats),
+        Some(other) => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!(
+                "unknown \"query\" {:?} (expected hierarchy, drivers, watchers, or unit_stats)",
+                other
+            ),
+        )),
+        None => Err(ProtoError::new(
+            ErrorKind::Protocol,
+            "a session.query request needs a string \"query\" field",
+        )),
+    }
+}
+
 impl Request {
     /// Parse a request object (already JSON-parsed).
     ///
@@ -354,15 +465,100 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "session.create" => Ok(Request::SessionCreate(parse_job(value)?)),
+            "session.step" => Ok(Request::SessionStep {
+                session: field_session(value)?,
+                steps: match field_uint(value, "steps", usize::MAX as u128)? {
+                    None => 1,
+                    Some(0) => {
+                        return Err(ProtoError::new(
+                            ErrorKind::Protocol,
+                            "\"steps\" must be at least 1",
+                        ))
+                    }
+                    Some(n) => n as usize,
+                },
+            }),
+            "session.peek" => Ok(Request::SessionPeek {
+                session: field_session(value)?,
+                signal: field_signal(value)?,
+            }),
+            "session.poke" => Ok(Request::SessionPoke {
+                session: field_session(value)?,
+                signal: field_signal(value)?,
+                value: field_uint(value, "value", u128::MAX)?.ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorKind::Protocol,
+                        "a session.poke request needs \"value\" (a non-negative integer)",
+                    )
+                })?,
+            }),
+            "session.query" => Ok(Request::SessionQuery {
+                session: field_session(value)?,
+                query: parse_query(value)?,
+            }),
+            "session.checkpoint" => Ok(Request::SessionCheckpoint {
+                session: field_session(value)?,
+            }),
+            "session.restore" => Ok(Request::SessionRestore {
+                spec: parse_job(value)?,
+                state_hex: field_str(value, "state")?.ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorKind::Protocol,
+                        "a session.restore request needs \"state\" (the hex checkpoint from session.checkpoint)",
+                    )
+                })?,
+            }),
+            "session.destroy" => Ok(Request::SessionDestroy {
+                session: field_session(value)?,
+            }),
             other => Err(ProtoError::new(
                 ErrorKind::Protocol,
                 format!(
-                    "unknown request type {:?} (expected ping, sim, batch, stats, or shutdown)",
+                    "unknown request type {:?} (expected ping, sim, batch, stats, shutdown, or the session.* family)",
                     other
                 ),
             )),
         }
     }
+}
+
+/// Hex-encode checkpoint bytes for the wire (`session.checkpoint`'s
+/// `state` field). Hex keeps the protocol dependency-free and the line
+/// JSON-safe; checkpoints are small (dense signal state, not the design).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a `session.restore` request's hex `state` field.
+///
+/// # Errors
+///
+/// [`ErrorKind::Protocol`] on odd length or non-hex characters.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, ProtoError> {
+    if !text.len().is_multiple_of(2) {
+        return Err(ProtoError::new(
+            ErrorKind::Protocol,
+            "\"state\" must be an even-length hex string",
+        ));
+    }
+    let digits: Result<Vec<u8>, ProtoError> = text
+        .chars()
+        .map(|c| {
+            c.to_digit(16).map(|d| d as u8).ok_or_else(|| {
+                ProtoError::new(
+                    ErrorKind::Protocol,
+                    format!("\"state\" contains a non-hex character {:?}", c),
+                )
+            })
+        })
+        .collect();
+    Ok(digits?.chunks(2).map(|pair| (pair[0] << 4) | pair[1]).collect())
 }
 
 /// The client-supplied request id, echoed verbatim into the response (any
@@ -579,6 +775,88 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.kind, ErrorKind::Protocol);
         assert!(err.message.contains("trace_signals"), "{}", err.message);
+    }
+
+    #[test]
+    fn parses_the_session_request_family() {
+        let create = parse(r#"{"type":"session.create","source":"proc @p...","top":"p","engine":"interpret","until_ns":100}"#).unwrap();
+        assert!(matches!(create, Request::SessionCreate(_)));
+        match parse(r#"{"type":"session.step","session":"s1","steps":5}"#).unwrap() {
+            Request::SessionStep { session, steps } => {
+                assert_eq!(session, "s1");
+                assert_eq!(steps, 5);
+            }
+            other => panic!("not a step request: {:?}", other),
+        }
+        // "steps" defaults to 1.
+        assert!(matches!(
+            parse(r#"{"type":"session.step","session":"s1"}"#).unwrap(),
+            Request::SessionStep { steps: 1, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"type":"session.peek","session":"s1","signal":"top.led"}"#).unwrap(),
+            Request::SessionPeek { .. }
+        ));
+        match parse(r#"{"type":"session.poke","session":"s1","signal":"top.a","value":42}"#)
+            .unwrap()
+        {
+            Request::SessionPoke { value, .. } => assert_eq!(value, 42),
+            other => panic!("not a poke request: {:?}", other),
+        }
+        match parse(r#"{"type":"session.query","session":"s1","query":"drivers","signal":"top.a"}"#).unwrap() {
+            Request::SessionQuery { query, .. } => {
+                assert_eq!(query, QueryKind::Drivers("top.a".to_string()));
+            }
+            other => panic!("not a query request: {:?}", other),
+        }
+        assert!(matches!(
+            parse(r#"{"type":"session.query","session":"s1","query":"hierarchy"}"#).unwrap(),
+            Request::SessionQuery { query: QueryKind::Hierarchy, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"type":"session.checkpoint","session":"s1"}"#).unwrap(),
+            Request::SessionCheckpoint { .. }
+        ));
+        match parse(r#"{"type":"session.restore","source":"x","top":"p","state":"4c48"}"#)
+            .unwrap()
+        {
+            Request::SessionRestore { state_hex, .. } => assert_eq!(state_hex, "4c48"),
+            other => panic!("not a restore request: {:?}", other),
+        }
+        assert!(matches!(
+            parse(r#"{"type":"session.destroy","session":"s1"}"#).unwrap(),
+            Request::SessionDestroy { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_session_requests_are_protocol_errors() {
+        for (text, needle) in [
+            (r#"{"type":"session.step"}"#, "\"session\""),
+            (r#"{"type":"session.step","session":"s1","steps":0}"#, "at least 1"),
+            (r#"{"type":"session.peek","session":"s1"}"#, "\"signal\""),
+            (r#"{"type":"session.poke","session":"s1","signal":"a"}"#, "\"value\""),
+            (r#"{"type":"session.query","session":"s1"}"#, "\"query\""),
+            (r#"{"type":"session.query","session":"s1","query":"nope"}"#, "unknown \"query\""),
+            (r#"{"type":"session.query","session":"s1","query":"drivers"}"#, "\"signal\""),
+            (r#"{"type":"session.restore","source":"x","top":"p"}"#, "\"state\""),
+            (r#"{"type":"session.create","top":"p"}"#, "\"source\""),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{}", text);
+            assert!(err.message.contains(needle), "{}: {}", text, err.message);
+        }
+    }
+
+    #[test]
+    fn hex_codec_roundtrips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
     }
 
     #[test]

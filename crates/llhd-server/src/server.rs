@@ -30,13 +30,15 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    error_response, ok_response, request_id, sim_result_json, stats_json, ErrorKind, ProtoError,
-    Request, SimJobSpec,
+    error_response, hex_decode, hex_encode, ok_response, request_id, sim_result_json, stats_json,
+    ErrorKind, ProtoError, QueryKind, Request, SimJobSpec,
 };
 use llhd::assembly::parse_module;
 use llhd::ir::Module;
-use llhd_sim::api::{BatchJob, DesignCache, EngineKind, SimSession};
-use llhd_sim::{SimConfig, SimResult};
+use llhd::value::ConstValue;
+use llhd_sim::api::{BatchJob, DesignCache, EngineKind, EngineState, SimSession};
+use llhd_sim::design::{InstanceId, InstanceKind};
+use llhd_sim::{DesignQuery, SimConfig, SimResult};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -54,6 +56,14 @@ const MAX_LINE_BYTES: usize = 64 << 20;
 /// shutdown flag (TCP only; stdio cannot portably time out).
 const READ_TICK: Duration = Duration::from_millis(100);
 
+/// The default cap on concurrently open interactive sessions.
+const DEFAULT_SESSION_CAP: usize = 64;
+
+/// The default per-session idle timeout: a session that receives no
+/// command for this long is destroyed (its engine state is dropped; a
+/// client that checkpointed can restore).
+const DEFAULT_SESSION_IDLE: Duration = Duration::from_secs(600);
+
 /// Server construction options.
 #[derive(Clone, Debug, Default)]
 pub struct ServerConfig {
@@ -62,6 +72,13 @@ pub struct ServerConfig {
     pub cache_capacity: Option<usize>,
     /// Emit a stats log line to stderr at this interval. `None`: silent.
     pub stats_interval: Option<Duration>,
+    /// Cap on concurrently open interactive sessions. `None`: the
+    /// built-in default (64). Unlike `cache_capacity`, sessions hold a
+    /// live engine each, so there is always *some* cap.
+    pub session_cap: Option<usize>,
+    /// Destroy a session that receives no command for this long.
+    /// `None`: the built-in default (10 minutes).
+    pub session_idle_timeout: Option<Duration>,
 }
 
 /// One queued simulation job plus its reply channel.
@@ -135,6 +152,44 @@ impl Registry {
     }
 }
 
+/// One command to an interactive session's thread. Every command carries
+/// its own reply channel; the connection thread blocks on it, so each
+/// session processes its commands strictly in order.
+enum SessionCmd {
+    Step {
+        steps: usize,
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+    Peek {
+        signal: String,
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+    Poke {
+        signal: String,
+        value: u128,
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+    Query {
+        query: QueryKind,
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+    Checkpoint {
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+    Destroy {
+        reply: mpsc::Sender<Result<Json, ProtoError>>,
+    },
+}
+
+/// The open-session table: id → command channel. A session's thread owns
+/// its engine; dropping the sender here (idle timeout, destroy, server
+/// shutdown) makes the thread exit after draining queued commands.
+#[derive(Default)]
+struct Sessions {
+    map: HashMap<String, mpsc::Sender<SessionCmd>>,
+    counter: u64,
+}
+
 /// Shared state of one running server: the design cache, the module
 /// registry, the job queue, and the counters behind the `stats` endpoint.
 pub struct ServerState {
@@ -149,6 +204,12 @@ pub struct ServerState {
     started: Instant,
     /// Simulation jobs accepted (batch jobs count individually).
     requests: AtomicUsize,
+    /// Open interactive sessions.
+    sessions: Mutex<Sessions>,
+    /// Cap on concurrently open sessions.
+    session_cap: usize,
+    /// Idle timeout after which a session self-destroys.
+    session_idle: Duration,
 }
 
 impl ServerState {
@@ -167,6 +228,9 @@ impl ServerState {
             wake_addr: Mutex::new(None),
             started: Instant::now(),
             requests: AtomicUsize::new(0),
+            sessions: Mutex::default(),
+            session_cap: config.session_cap.unwrap_or(DEFAULT_SESSION_CAP),
+            session_idle: config.session_idle_timeout.unwrap_or(DEFAULT_SESSION_IDLE),
         }
     }
 
@@ -189,6 +253,9 @@ impl ServerState {
             self.shutdown_flag.store(true, Ordering::Relaxed);
             self.queue_cv.notify_all();
         }
+        // Dropping the command senders ends every session thread after it
+        // drains already-queued commands (those replies still arrive).
+        self.sessions.lock().unwrap().map.clear();
         // Unblock the accept loop with one throwaway connection.
         let addr = *self.wake_addr.lock().unwrap();
         if let Some(addr) = addr {
@@ -303,9 +370,86 @@ impl ServerState {
         Ok(out)
     }
 
+    /// Open a new interactive session (optionally restoring a checkpoint
+    /// into it) and return the `session.create`/`session.restore` payload.
+    fn create_session(
+        self: &Arc<Self>,
+        spec: SimJobSpec,
+        restore: Option<EngineState>,
+    ) -> Result<Json, ProtoError> {
+        if self.shutting_down() {
+            return Err(ProtoError::new(
+                ErrorKind::Shutdown,
+                "server is shutting down; no new sessions are accepted",
+            ));
+        }
+        let (module, key) = self.resolve_module(&spec)?;
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut sessions = self.sessions.lock().unwrap();
+            if sessions.map.len() >= self.session_cap {
+                return Err(ProtoError::new(
+                    ErrorKind::SessionLimit,
+                    format!(
+                        "session cap of {} reached; destroy a session first",
+                        self.session_cap
+                    ),
+                ));
+            }
+            sessions.counter += 1;
+            let id = format!("s{}", sessions.counter);
+            sessions.map.insert(id.clone(), tx);
+            id
+        };
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let state = Arc::clone(self);
+        let thread_id = id.clone();
+        std::thread::spawn(move || {
+            session_thread(state, thread_id, module, key, spec, restore, rx, ready_tx)
+        });
+        // The thread reports either the session payload or a build/restore
+        // failure (in which case it has already removed itself).
+        ready_rx.recv().unwrap_or_else(|_| {
+            Err(ProtoError::new(
+                ErrorKind::Runtime,
+                "session thread died during startup",
+            ))
+        })
+    }
+
+    /// Route one command to a session's thread and wait for the reply.
+    fn session_request(
+        &self,
+        id: &str,
+        make: impl FnOnce(mpsc::Sender<Result<Json, ProtoError>>) -> SessionCmd,
+    ) -> Result<Json, ProtoError> {
+        let unknown = || {
+            ProtoError::new(
+                ErrorKind::UnknownSession,
+                format!(
+                    "session {:?} does not exist (expired, destroyed, or never created)",
+                    id
+                ),
+            )
+        };
+        let tx = self
+            .sessions
+            .lock()
+            .unwrap()
+            .map
+            .get(id)
+            .cloned()
+            .ok_or_else(unknown)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // A send/recv failure means the session exited between the table
+        // lookup and the command (idle timeout or destroy won the race).
+        tx.send(make(reply_tx)).map_err(|_| unknown())?;
+        reply_rx.recv().unwrap_or_else(|_| Err(unknown()))
+    }
+
     /// Handle one request line, returning the response and whether the
     /// connection should close afterwards (shutdown acknowledgements).
-    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+    pub fn handle_line(self: &Arc<Self>, line: &str) -> (Json, bool) {
         let value = match Json::parse(line) {
             Ok(value) => value,
             Err(message) => {
@@ -351,6 +495,72 @@ impl ServerState {
                 },
                 Err(e) => (error_response(id, &e), false),
             },
+            Request::SessionCreate(spec) => {
+                (respond(id, self.create_session(spec, None)), false)
+            }
+            Request::SessionRestore { spec, state_hex } => {
+                let outcome = hex_decode(&state_hex)
+                    .and_then(|bytes| {
+                        EngineState::from_bytes(bytes).map_err(|e| {
+                            ProtoError::new(
+                                ErrorKind::Protocol,
+                                format!("invalid checkpoint: {}", e),
+                            )
+                        })
+                    })
+                    .and_then(|snapshot| self.create_session(spec, Some(snapshot)));
+                (respond(id, outcome), false)
+            }
+            Request::SessionStep { session, steps } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Step { steps, reply }),
+                ),
+                false,
+            ),
+            Request::SessionPeek { session, signal } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Peek { signal, reply }),
+                ),
+                false,
+            ),
+            Request::SessionPoke {
+                session,
+                signal,
+                value,
+            } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Poke {
+                        signal,
+                        value,
+                        reply,
+                    }),
+                ),
+                false,
+            ),
+            Request::SessionQuery { session, query } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Query { query, reply }),
+                ),
+                false,
+            ),
+            Request::SessionCheckpoint { session } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Checkpoint { reply }),
+                ),
+                false,
+            ),
+            Request::SessionDestroy { session } => (
+                respond(
+                    id,
+                    self.session_request(&session, |reply| SessionCmd::Destroy { reply }),
+                ),
+                false,
+            ),
             Request::Batch(specs) => match self.run_jobs(&specs) {
                 Ok(results) => {
                     let rendered: Vec<Json> = results
@@ -444,6 +654,269 @@ fn dispatch_loop(state: Arc<ServerState>) {
     }
 }
 
+/// Render a session-request outcome into its response line.
+fn respond(id: Option<Json>, outcome: Result<Json, ProtoError>) -> Json {
+    match outcome {
+        Ok(result) => ok_response(id, result),
+        Err(e) => error_response(id, &e),
+    }
+}
+
+/// The body of one interactive session: build the engine on this thread's
+/// stack (optionally restoring a checkpoint), report readiness, then
+/// serve commands until destroy, idle timeout, or server shutdown. The
+/// thread owns its `Arc<Module>`, so cache eviction never disturbs it.
+#[allow(clippy::too_many_arguments)]
+fn session_thread(
+    state: Arc<ServerState>,
+    id: String,
+    module: Arc<Module>,
+    key: u128,
+    spec: SimJobSpec,
+    restore: Option<EngineState>,
+    rx: mpsc::Receiver<SessionCmd>,
+    ready: mpsc::Sender<Result<Json, ProtoError>>,
+) {
+    let built = (|| -> Result<SimSession, ProtoError> {
+        let mut session = SimSession::builder(&module, &spec.top)
+            .engine(spec.engine)
+            .config(spec.sim_config())
+            .cache(&state.cache)
+            .cache_key(key)
+            .build()?;
+        if let Some(snapshot) = &restore {
+            session.restore(snapshot)?;
+        }
+        Ok(session)
+    })();
+    let mut session = match built {
+        Ok(session) => session,
+        Err(e) => {
+            state.sessions.lock().unwrap().map.remove(&id);
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let _ = ready.send(Ok(Json::obj([
+        ("session", Json::str(id.clone())),
+        ("design", Json::str(format!("{:032x}", key))),
+        ("engine", Json::str(session.engine_name())),
+        ("restored", Json::Bool(restore.is_some())),
+    ])));
+    // The connectivity index is built on first use: pure step/peek/poke
+    // sessions never pay for it.
+    let mut index: Option<DesignQuery> = None;
+    let destroy_reply = loop {
+        let cmd = match rx.recv_timeout(state.session_idle) {
+            Ok(cmd) => cmd,
+            // Idle timeout, or the server dropped the handle (shutdown).
+            Err(_) => break None,
+        };
+        match cmd {
+            SessionCmd::Destroy { reply } => break Some(reply),
+            SessionCmd::Step { steps, reply } => {
+                let _ = reply.send(step_session(&mut session, steps));
+            }
+            SessionCmd::Peek { signal, reply } => {
+                let _ = reply.send(peek_session(&session, &signal));
+            }
+            SessionCmd::Poke {
+                signal,
+                value,
+                reply,
+            } => {
+                let _ = reply.send(poke_session(&mut session, &signal, value));
+            }
+            SessionCmd::Query { query, reply } => {
+                let index = index
+                    .get_or_insert_with(|| DesignQuery::build(&module, session.design()));
+                let _ = reply.send(run_query(&session, index, &query));
+            }
+            SessionCmd::Checkpoint { reply } => {
+                let _ = reply.send(checkpoint_session(&session));
+            }
+        }
+    };
+    state.sessions.lock().unwrap().map.remove(&id);
+    if let Some(reply) = destroy_reply {
+        let kind = session.engine_kind();
+        let outcome = session
+            .finish()
+            .map_err(ProtoError::from)
+            .map(|result| {
+                sim_result_json(&format!("{:032x}", key), &spec.top, kind, spec.trace, &result)
+            });
+        let _ = reply.send(outcome);
+    }
+}
+
+/// `session.step`: advance up to `steps` scheduler cycles.
+fn step_session(session: &mut SimSession, steps: usize) -> Result<Json, ProtoError> {
+    let mut taken = 0usize;
+    let mut more = true;
+    while taken < steps && more {
+        more = session.step()?;
+        taken += 1;
+    }
+    Ok(Json::obj([
+        ("steps", Json::uint(taken as u128)),
+        ("done", Json::Bool(!more)),
+        ("time_fs", Json::uint(session.time().as_femtos())),
+    ]))
+}
+
+/// A signal value on the wire: always the printed form, plus the plain
+/// integer when the value is one.
+fn value_fields(value: &ConstValue) -> Vec<(String, Json)> {
+    let mut fields = vec![("value".to_string(), Json::str(value.to_string()))];
+    if let Some(n) = value.to_u64() {
+        fields.push(("value_int".to_string(), Json::uint(n as u128)));
+    }
+    fields
+}
+
+/// `session.peek`: read one signal.
+fn peek_session(session: &SimSession, signal: &str) -> Result<Json, ProtoError> {
+    let value = session.peek(signal)?;
+    let mut fields = vec![("signal".to_string(), Json::str(signal))];
+    fields.extend(value_fields(&value));
+    fields.push((
+        "time_fs".to_string(),
+        Json::uint(session.time().as_femtos()),
+    ));
+    Ok(Json::Obj(fields))
+}
+
+/// `session.poke`: drive one signal with an integer value of its width.
+fn poke_session(
+    session: &mut SimSession,
+    signal: &str,
+    value: u128,
+) -> Result<Json, ProtoError> {
+    let current = session.peek(signal)?;
+    let width = current.as_int().map(|i| i.width()).ok_or_else(|| {
+        ProtoError::new(
+            ErrorKind::Protocol,
+            format!(
+                "signal {:?} holds {} — only integer signals can be poked over the wire",
+                signal, current
+            ),
+        )
+    })?;
+    let fits = value <= u64::MAX as u128 && (width >= 64 || value < (1u128 << width));
+    if !fits {
+        return Err(ProtoError::new(
+            ErrorKind::Protocol,
+            format!("value {} does not fit signal {:?} (i{})", value, signal, width),
+        ));
+    }
+    session.poke(signal, ConstValue::int(width, value as u64))?;
+    Ok(Json::obj([
+        ("signal", Json::str(signal)),
+        ("poked", Json::Bool(true)),
+    ]))
+}
+
+/// `session.checkpoint`: serialize the full engine state for the wire.
+fn checkpoint_session(session: &SimSession) -> Result<Json, ProtoError> {
+    let snapshot = session.checkpoint()?;
+    let bytes = snapshot.as_bytes();
+    Ok(Json::obj([
+        ("engine", Json::str(session.engine_name())),
+        ("bytes", Json::uint(bytes.len() as u128)),
+        ("state", Json::str(hex_encode(bytes))),
+    ]))
+}
+
+/// `session.query`: structural queries against the elaborated design.
+fn run_query(
+    session: &SimSession,
+    index: &DesignQuery,
+    query: &QueryKind,
+) -> Result<Json, ProtoError> {
+    let instance_kind = |kind: InstanceKind| match kind {
+        InstanceKind::Process => "process",
+        InstanceKind::Entity => "entity",
+    };
+    let path_of = |iid: InstanceId| {
+        index
+            .hierarchy()
+            .iter()
+            .find(|node| node.instance == iid)
+            .map(|node| node.path.clone())
+            .unwrap_or_else(|| format!("#{}", iid.0))
+    };
+    match query {
+        QueryKind::Hierarchy => Ok(Json::obj([(
+            "hierarchy",
+            Json::Arr(
+                index
+                    .hierarchy()
+                    .iter()
+                    .map(|node| {
+                        Json::obj([
+                            ("instance", Json::uint(node.instance.0 as u128)),
+                            ("path", Json::str(node.path.clone())),
+                            ("kind", Json::str(instance_kind(node.kind))),
+                            ("unit", Json::str(node.unit.clone())),
+                            ("depth", Json::uint(node.depth as u128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])),
+        QueryKind::Drivers(signal) | QueryKind::Watchers(signal) => {
+            let sig = session.signal(signal)?;
+            let (field, instances) = match query {
+                QueryKind::Drivers(_) => ("drivers", index.drivers_of(sig)),
+                _ => ("watchers", index.watchers_of(sig)),
+            };
+            Ok(Json::obj([
+                ("signal", Json::str(signal.clone())),
+                (
+                    field,
+                    Json::Arr(
+                        instances
+                            .iter()
+                            .map(|&iid| {
+                                Json::obj([
+                                    ("instance", Json::uint(iid.0 as u128)),
+                                    ("path", Json::str(path_of(iid))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        QueryKind::UnitStats => Ok(Json::obj([
+            ("engine", Json::str(session.engine_name())),
+            (
+                "units",
+                Json::Arr(
+                    session
+                        .unit_stats()
+                        .iter()
+                        .map(|unit| {
+                            Json::obj([
+                                ("name", Json::str(unit.name.clone())),
+                                ("kind", Json::str(unit.kind)),
+                                ("base_ops", Json::uint(unit.base_ops as u128)),
+                                ("superops", Json::uint(unit.superops as u128)),
+                                ("instances", Json::uint(unit.instances as u128)),
+                                (
+                                    "specialized_instances",
+                                    Json::uint(unit.specialized_instances as u128),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])),
+    }
+}
+
 /// Execute one micro-batch and deliver the replies.
 fn run_micro_batch(state: &ServerState, batch: Vec<PendingJob>) {
     let jobs: Vec<BatchJob> = batch
@@ -528,7 +1001,7 @@ impl<R: Read> LineReader<R> {
 /// that time out re-check the shutdown flag, so idle TCP connections
 /// unblock during shutdown.
 fn handle_connection(
-    state: &ServerState,
+    state: &Arc<ServerState>,
     reader: impl Read,
     mut writer: impl Write,
 ) -> io::Result<()> {

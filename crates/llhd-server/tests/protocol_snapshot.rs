@@ -1,0 +1,371 @@
+//! The committed protocol contract: one exemplar of every request and
+//! response shape of protocol v1, round-tripped through a real server and
+//! compared byte-for-byte against `tests/snapshots/protocol_v1.txt`.
+//!
+//! Any wire-visible change — a renamed field, a reordered envelope, a new
+//! error kind in an existing flow — fails this test and forces a
+//! deliberate snapshot update (and, if the change is not purely additive,
+//! a `PROTOCOL_VERSION` bump per the rule in `docs/PROTOCOL.md`).
+//!
+//! To update after an intentional change:
+//!
+//! ```text
+//! LLHD_UPDATE_SNAPSHOTS=1 cargo test -p llhd-server --test protocol_snapshot
+//! ```
+
+use llhd_server::json::Json;
+use llhd_server::{Client, Server, ServerConfig};
+
+const SNAPSHOT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/snapshots/protocol_v1.txt"
+);
+
+/// A deterministic design: every response field derived from it (key,
+/// end time, change counts, VCD, checkpoint bytes) is stable.
+const BLINK: &str = r#"
+proc @blink () -> (i1$ %led) {
+entry:
+    %on = const i1 1
+    %off = const i1 0
+    %delay = const time 5ns
+    drv i1$ %led, %on after %delay
+    wait %next for %delay
+next:
+    drv i1$ %led, %off after %delay
+    wait %entry for %delay
+}
+"#;
+
+/// Wall-clock and build-dependent values have no place in a committed
+/// contract: zero them, keeping the *shape* under test.
+fn normalize(value: Json) -> Json {
+    match value {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(key, value)| match key.as_str() {
+                    "uptime_secs" | "approx_bytes" => (key, Json::Int(0)),
+                    _ => (key, normalize(value)),
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(normalize).collect()),
+        other => other,
+    }
+}
+
+/// Send one request, append `# label / > request / < response` to the
+/// transcript, and hand the (un-normalized) response back for chaining.
+fn exchange(client: &mut Client, transcript: &mut String, label: &str, request: Json) -> Json {
+    let response = client.request(&request).unwrap();
+    transcript.push_str(&format!(
+        "# {}\n> {}\n< {}\n",
+        label,
+        request,
+        normalize(response.clone())
+    ));
+    response
+}
+
+fn result_str(response: &Json, field: &str) -> String {
+    response
+        .get("result")
+        .and_then(|r| r.get(field))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no result.{} in {}", field, response))
+        .to_string()
+}
+
+#[test]
+fn protocol_v1_contract_has_not_drifted() {
+    let running = Server::spawn_tcp(ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(running.addr()).unwrap();
+    let mut transcript = String::new();
+    let t = &mut transcript;
+
+    // --- the stateless request family ---
+    exchange(
+        &mut client,
+        t,
+        "ping",
+        Json::obj([("type", Json::str("ping")), ("id", Json::Int(1))]),
+    );
+    let sim = exchange(
+        &mut client,
+        t,
+        "sim (inline source)",
+        Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+        ]),
+    );
+    let key = result_str(&sim, "design");
+    exchange(
+        &mut client,
+        t,
+        "sim (by key, with VCD trace)",
+        Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(20)),
+            ("trace", Json::str("vcd")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "batch (second job fails: unknown design)",
+        Json::obj([
+            ("type", Json::str("batch")),
+            (
+                "jobs",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("design", Json::str(key.clone())),
+                        ("top", Json::str("blink")),
+                        ("engine", Json::str("interpret")),
+                        ("until_ns", Json::Int(15)),
+                    ]),
+                    Json::obj([
+                        ("design", Json::str("00000000000000000000000000000000")),
+                        ("top", Json::str("blink")),
+                    ]),
+                ]),
+            ),
+        ]),
+    );
+    exchange(&mut client, t, "stats", Json::obj([("type", Json::str("stats"))]));
+
+    // --- the session request family ---
+    let created = exchange(
+        &mut client,
+        t,
+        "session.create",
+        Json::obj([
+            ("type", Json::str("session.create")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+        ]),
+    );
+    let session = result_str(&created, "session");
+    exchange(
+        &mut client,
+        t,
+        "session.step",
+        Json::obj([
+            ("type", Json::str("session.step")),
+            ("session", Json::str(session.clone())),
+            ("steps", Json::Int(5)),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.peek",
+        Json::obj([
+            ("type", Json::str("session.peek")),
+            ("session", Json::str(session.clone())),
+            ("signal", Json::str("blink.led")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.poke",
+        Json::obj([
+            ("type", Json::str("session.poke")),
+            ("session", Json::str(session.clone())),
+            ("signal", Json::str("blink.led")),
+            ("value", Json::Int(0)),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.query (hierarchy)",
+        Json::obj([
+            ("type", Json::str("session.query")),
+            ("session", Json::str(session.clone())),
+            ("query", Json::str("hierarchy")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.query (drivers)",
+        Json::obj([
+            ("type", Json::str("session.query")),
+            ("session", Json::str(session.clone())),
+            ("query", Json::str("drivers")),
+            ("signal", Json::str("blink.led")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.query (watchers)",
+        Json::obj([
+            ("type", Json::str("session.query")),
+            ("session", Json::str(session.clone())),
+            ("query", Json::str("watchers")),
+            ("signal", Json::str("blink.led")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "session.query (unit_stats; empty for an interpreted session)",
+        Json::obj([
+            ("type", Json::str("session.query")),
+            ("session", Json::str(session.clone())),
+            ("query", Json::str("unit_stats")),
+        ]),
+    );
+    let checkpoint = exchange(
+        &mut client,
+        t,
+        "session.checkpoint",
+        Json::obj([
+            ("type", Json::str("session.checkpoint")),
+            ("session", Json::str(session.clone())),
+        ]),
+    );
+    let state_hex = result_str(&checkpoint, "state");
+    exchange(
+        &mut client,
+        t,
+        "session.destroy",
+        Json::obj([
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(session.clone())),
+        ]),
+    );
+    let restored = exchange(
+        &mut client,
+        t,
+        "session.restore",
+        Json::obj([
+            ("type", Json::str("session.restore")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+            ("state", Json::str(state_hex)),
+        ]),
+    );
+    let resumed = result_str(&restored, "session");
+    exchange(
+        &mut client,
+        t,
+        "session.destroy (restored session)",
+        Json::obj([
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(resumed)),
+        ]),
+    );
+
+    // --- the error shapes ---
+    {
+        // A parse failure has no JSON to echo an id from.
+        use std::io::{BufRead, BufReader, Write};
+        let raw = "this is not json";
+        let mut stream = std::net::TcpStream::connect(running.addr()).unwrap();
+        writeln!(stream, "{}", raw).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let response = Json::parse(line.trim()).unwrap();
+        t.push_str(&format!("# error: parse\n> {}\n< {}\n", raw, response));
+    }
+    exchange(
+        &mut client,
+        t,
+        "error: protocol (unknown type)",
+        Json::obj([("type", Json::str("frobnicate"))]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "error: source",
+        Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str("proc @broken")),
+            ("top", Json::str("broken")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "error: unknown_design",
+        Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str("ffffffffffffffffffffffffffffffff")),
+            ("top", Json::str("blink")),
+        ]),
+    );
+    exchange(
+        &mut client,
+        t,
+        "error: unknown_session",
+        Json::obj([
+            ("type", Json::str("session.step")),
+            ("session", Json::str("s999")),
+        ]),
+    );
+    // One throwaway session purely to address an unknown-signal peek at.
+    let opened = client
+        .request(&Json::obj([
+            ("type", Json::str("session.create")),
+            ("design", Json::str(key)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+        ]))
+        .unwrap();
+    let throwaway = result_str(&opened, "session");
+    exchange(
+        &mut client,
+        t,
+        "error: unknown_signal",
+        Json::obj([
+            ("type", Json::str("session.peek")),
+            ("session", Json::str(throwaway)),
+            ("signal", Json::str("blink.nope")),
+        ]),
+    );
+    exchange(&mut client, t, "shutdown", Json::obj([("type", Json::str("shutdown"))]));
+    running.join().unwrap();
+    {
+        // Work submitted after shutdown is refused with the `shutdown`
+        // kind. Exercised at the state level (as in tests/server.rs) so
+        // the exemplar does not race the closing listener.
+        let server = Server::new(ServerConfig::default());
+        let state = server.state();
+        state.begin_shutdown();
+        let request = Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+        ]);
+        let (response, _) = state.handle_line(&request.to_string());
+        t.push_str(&format!("# error: shutdown\n> {}\n< {}\n", request, response));
+    }
+
+    if std::env::var_os("LLHD_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(SNAPSHOT_PATH, &transcript).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(SNAPSHOT_PATH).unwrap_or_default();
+    assert_eq!(
+        committed, transcript,
+        "\nthe wire protocol drifted from tests/snapshots/protocol_v1.txt.\n\
+         If the change is intentional (and additive, or PROTOCOL_VERSION was bumped),\n\
+         regenerate with: LLHD_UPDATE_SNAPSHOTS=1 cargo test -p llhd-server --test protocol_snapshot\n"
+    );
+}

@@ -318,7 +318,7 @@ fn malformed_requests_are_answered_not_fatal() {
 fn bounded_server_cache_evicts_and_reports() {
     let running = spawn(ServerConfig {
         cache_capacity: Some(2),
-        stats_interval: None,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(running.addr()).unwrap();
     let mut keys = Vec::new();
@@ -482,4 +482,429 @@ fn requests_after_shutdown_are_refused_not_hung() {
         "{}",
         response
     );
+}
+
+/// A counter process: enough distinct state (a live variable, a resume
+/// point, pending events) that a checkpoint has to carry real engine
+/// state. Compiles on blaze, so both engines run it.
+const COUNTER: &str = r#"
+proc @counter () -> (i8$ %out) {
+entry:
+    %zero = const i8 0
+    %i = var i8 %zero
+    br %loop
+loop:
+    %cur = ld i8* %i
+    %one = const i8 1
+    %next = add i8 %cur, %one
+    st i8* %i, %next
+    %delay = const time 1ns
+    drv i8$ %out, %next after %delay
+    wait %loop for %delay
+}
+"#;
+
+/// A two-level entity design for the structural queries.
+const FOLLOWER: &str = r#"
+entity @follower (i8$ %a) -> (i8$ %q) {
+    %ap = prb i8$ %a
+    %delay = const time 1ns
+    drv i8$ %q, %ap after %delay
+}
+entity @top () -> () {
+    %zero = const i8 0
+    %a = sig i8 %zero
+    %q = sig i8 %zero
+    inst @follower (%a) -> (%q)
+}
+"#;
+
+/// Send one request and require `"ok":true`, returning its `result`.
+fn ok_result(client: &mut Client, fields: Vec<(&'static str, Json)>) -> Json {
+    let response = client.request(&Json::obj(fields)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{}", response);
+    response.get("result").cloned().unwrap()
+}
+
+/// Send one request and require `"ok":false`, returning the error kind.
+fn error_kind(client: &mut Client, fields: Vec<(&'static str, Json)>) -> String {
+    let response = client.request(&Json::obj(fields)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+    response
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+fn session_id(result: &Json) -> String {
+    result.get("session").and_then(Json::as_str).unwrap().to_string()
+}
+
+/// The acceptance path of the session family, on both engines: create,
+/// step, checkpoint, *kill the session*, restore the checkpoint into a
+/// brand-new session, resume — and the resumed run's final trace must be
+/// byte-identical to an uninterrupted run of the same design.
+#[test]
+fn session_checkpoint_restore_resumes_byte_identical_over_tcp() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    for engine in ["interpret", "compile"] {
+        let create = |client: &mut Client| {
+            ok_result(
+                client,
+                vec![
+                    ("type", Json::str("session.create")),
+                    ("source", Json::str(COUNTER)),
+                    ("top", Json::str("counter")),
+                    ("engine", Json::str(engine)),
+                    ("until_ns", Json::Int(50)),
+                    ("trace", Json::str("vcd")),
+                ],
+            )
+        };
+        // The uninterrupted reference run.
+        let full = create(&mut client);
+        let full_id = session_id(&full);
+        let stepped = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.step")),
+                ("session", Json::str(full_id.clone())),
+                ("steps", Json::Int(10_000)),
+            ],
+        );
+        assert_eq!(stepped.get("done"), Some(&Json::Bool(true)), "{}", stepped);
+        let full_result = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.destroy")),
+                ("session", Json::str(full_id)),
+            ],
+        );
+
+        // Run five cycles, checkpoint, and kill the session outright.
+        let first = create(&mut client);
+        let first_id = session_id(&first);
+        assert_eq!(
+            first.get("engine").and_then(Json::as_str),
+            Some(if engine == "compile" { "blaze" } else { "interp" }),
+            "{}",
+            first
+        );
+        ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.step")),
+                ("session", Json::str(first_id.clone())),
+                ("steps", Json::Int(5)),
+            ],
+        );
+        let checkpoint = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.checkpoint")),
+                ("session", Json::str(first_id.clone())),
+            ],
+        );
+        let state_hex = checkpoint.get("state").and_then(Json::as_str).unwrap().to_string();
+        ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.destroy")),
+                ("session", Json::str(first_id.clone())),
+            ],
+        );
+        // The killed session is gone.
+        assert_eq!(
+            error_kind(
+                &mut client,
+                vec![
+                    ("type", Json::str("session.step")),
+                    ("session", Json::str(first_id)),
+                ],
+            ),
+            "unknown_session"
+        );
+
+        // Restore into a brand-new session and run out the clock.
+        let restored = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.restore")),
+                ("source", Json::str(COUNTER)),
+                ("top", Json::str("counter")),
+                ("engine", Json::str(engine)),
+                ("until_ns", Json::Int(50)),
+                ("trace", Json::str("vcd")),
+                ("state", Json::str(state_hex)),
+            ],
+        );
+        assert_eq!(restored.get("restored"), Some(&Json::Bool(true)), "{}", restored);
+        let resumed_id = session_id(&restored);
+        ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.step")),
+                ("session", Json::str(resumed_id.clone())),
+                ("steps", Json::Int(10_000)),
+            ],
+        );
+        let resumed_result = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.destroy")),
+                ("session", Json::str(resumed_id)),
+            ],
+        );
+
+        // Byte-identical resume: trace, end time, change count.
+        for field in ["trace_vcd", "end_time_fs", "signal_changes", "activations"] {
+            assert_eq!(
+                full_result.get(field),
+                resumed_result.get(field),
+                "{}: {} diverged after restore",
+                engine,
+                field
+            );
+        }
+        assert!(
+            full_result.get("trace_vcd").and_then(Json::as_str).unwrap().contains("$timescale"),
+            "the comparison must cover a real trace"
+        );
+    }
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// Structural queries over a session: hierarchy, who-drives, who-watches,
+/// and (on the compiled engine) per-unit superop statistics.
+#[test]
+fn session_queries_report_hierarchy_and_connectivity() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let created = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.create")),
+            ("source", Json::str(FOLLOWER)),
+            ("top", Json::str("top")),
+            ("engine", Json::str("compile")),
+            ("until_ns", Json::Int(10)),
+        ],
+    );
+    let id = session_id(&created);
+
+    let hierarchy = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.query")),
+            ("session", Json::str(id.clone())),
+            ("query", Json::str("hierarchy")),
+        ],
+    );
+    let nodes = hierarchy.get("hierarchy").and_then(Json::as_arr).unwrap();
+    assert!(!nodes.is_empty(), "{}", hierarchy);
+    let paths: Vec<&str> = nodes
+        .iter()
+        .map(|n| n.get("path").and_then(Json::as_str).unwrap())
+        .collect();
+    assert!(paths.contains(&"top"), "{:?}", paths);
+    assert!(paths.iter().any(|p| p.starts_with("top.")), "{:?}", paths);
+
+    let drivers = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.query")),
+            ("session", Json::str(id.clone())),
+            ("query", Json::str("drivers")),
+            ("signal", Json::str("top.q")),
+        ],
+    );
+    let driving: Vec<&str> = drivers
+        .get("drivers")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|d| d.get("path").and_then(Json::as_str).unwrap())
+        .collect();
+    assert!(
+        driving.iter().any(|p| p.starts_with("top.")),
+        "the follower instance must drive top.q: {:?}",
+        driving
+    );
+
+    let watchers = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.query")),
+            ("session", Json::str(id.clone())),
+            ("query", Json::str("watchers")),
+            ("signal", Json::str("top.a")),
+        ],
+    );
+    assert!(
+        !watchers.get("watchers").and_then(Json::as_arr).unwrap().is_empty(),
+        "{}",
+        watchers
+    );
+
+    let stats = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.query")),
+            ("session", Json::str(id.clone())),
+            ("query", Json::str("unit_stats")),
+        ],
+    );
+    let units = stats.get("units").and_then(Json::as_arr).unwrap();
+    assert!(!units.is_empty(), "compiled sessions report unit stats: {}", stats);
+    assert!(
+        units.iter().any(|u| {
+            u.get("superops").and_then(Json::as_int).unwrap_or(0) > 0
+        }),
+        "{}",
+        stats
+    );
+
+    // An unknown signal in a query is the unknown_signal error kind.
+    assert_eq!(
+        error_kind(
+            &mut client,
+            vec![
+                ("type", Json::str("session.query")),
+                ("session", Json::str(id.clone())),
+                ("query", Json::str("drivers")),
+                ("signal", Json::str("top.nope")),
+            ],
+        ),
+        "unknown_signal"
+    );
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(id)),
+        ],
+    );
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// Pokes drive the design mid-session, and peeks observe the effect.
+#[test]
+fn session_poke_feeds_the_running_design() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let created = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.create")),
+            ("source", Json::str(FOLLOWER)),
+            ("top", Json::str("top")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(20)),
+        ],
+    );
+    let id = session_id(&created);
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.poke")),
+            ("session", Json::str(id.clone())),
+            ("signal", Json::str("top.a")),
+            ("value", Json::Int(99)),
+        ],
+    );
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.step")),
+            ("session", Json::str(id.clone())),
+            ("steps", Json::Int(10_000)),
+        ],
+    );
+    let peeked = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.peek")),
+            ("session", Json::str(id.clone())),
+            ("signal", Json::str("top.q")),
+        ],
+    );
+    assert_eq!(peeked.get("value_int"), Some(&Json::Int(99)), "{}", peeked);
+    // A poke value that does not fit the signal's width is rejected.
+    assert_eq!(
+        error_kind(
+            &mut client,
+            vec![
+                ("type", Json::str("session.poke")),
+                ("session", Json::str(id.clone())),
+                ("signal", Json::str("top.a")),
+                ("value", Json::Int(256)),
+            ],
+        ),
+        "protocol"
+    );
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(id)),
+        ],
+    );
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// The session lifecycle guards: the cap refuses the N+1th session, a
+/// destroyed slot is reusable, and idle sessions expire on their own.
+#[test]
+fn session_cap_and_idle_timeout_bound_the_table() {
+    let running = spawn(ServerConfig {
+        session_cap: Some(1),
+        session_idle_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let create_fields = || {
+        vec![
+            ("type", Json::str("session.create")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+        ]
+    };
+    let first = ok_result(&mut client, create_fields());
+    let first_id = session_id(&first);
+    // The cap is 1: a second session is refused with its own error kind.
+    assert_eq!(error_kind(&mut client, create_fields()), "session_limit");
+    // Destroying frees the slot.
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(first_id)),
+        ],
+    );
+    let second = ok_result(&mut client, create_fields());
+    let second_id = session_id(&second);
+    // An untouched session expires after the idle timeout, freeing the
+    // slot without any client action.
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        error_kind(
+            &mut client,
+            vec![
+                ("type", Json::str("session.step")),
+                ("session", Json::str(second_id)),
+            ],
+        ),
+        "unknown_session"
+    );
+    ok_result(&mut client, create_fields());
+    shutdown(&mut client);
+    running.join().unwrap();
 }

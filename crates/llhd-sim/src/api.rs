@@ -180,6 +180,155 @@ pub trait Engine {
     fn drain_trace_into(&mut self, buf: &mut Vec<TraceEvent>);
     /// Assemble the result of the run so far (stats plus remaining trace).
     fn finish(&mut self) -> SimResult;
+    /// Serialize the engine's complete execution state — signal values,
+    /// event queue, per-instance state, counters, and undrained trace
+    /// events — into an [`EngineState`]. Continuing from a restored
+    /// checkpoint produces the identical remaining trace, byte for byte,
+    /// to never having checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a poisoned engine (a prior step failed; there is no
+    /// consistent state to capture).
+    fn checkpoint(&self) -> Result<EngineState, SimError>;
+    /// Replace this engine's execution state with a checkpoint taken from
+    /// an engine of the same kind over the same design. The receiving
+    /// engine should be freshly constructed with the same config; static
+    /// state (sensitivity, compiled code, trace filters) is rebuilt by
+    /// construction and only dynamic state is restored.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint belongs to a different engine kind or a
+    /// design of a different shape, or on corrupt bytes.
+    fn restore(&mut self, state: &EngineState) -> Result<(), SimError>;
+}
+
+// ---------------------------------------------------------------------------
+// Engine checkpoints
+// ---------------------------------------------------------------------------
+
+/// The magic bytes at the start of every serialized engine checkpoint.
+pub const ENGINE_STATE_MAGIC: &[u8; 4] = b"LHCK";
+/// The checkpoint format version produced by [`Engine::checkpoint`].
+pub const ENGINE_STATE_VERSION: u8 = 1;
+
+/// A serialized engine execution state, produced by [`Engine::checkpoint`]
+/// and consumed by [`Engine::restore`].
+///
+/// The payload is an opaque binary blob built on the bitcode primitives
+/// (varints and the constant codec of [`llhd::bitcode`]): a common header
+/// — magic, version, engine name, design shape — followed by the shared
+/// scheduler-core section and an engine-specific section. It is
+/// self-describing enough to be stored, sent over the wire (the server's
+/// `session.checkpoint` hex-encodes it), and validated on restore, but it
+/// is *not* a migration format: restore requires the same engine kind
+/// over the same design.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EngineState(Vec<u8>);
+
+impl EngineState {
+    /// Assemble a checkpoint: the common header identifying `engine` and
+    /// the design shape, then whatever `body` appends.
+    pub fn encode(
+        engine: &str,
+        num_signals: usize,
+        num_instances: usize,
+        body: impl FnOnce(&mut Vec<u8>),
+    ) -> EngineState {
+        use llhd::bitcode::write_varint;
+        let mut out = Vec::new();
+        out.extend_from_slice(ENGINE_STATE_MAGIC);
+        out.push(ENGINE_STATE_VERSION);
+        write_varint(&mut out, engine.len() as u128);
+        out.extend_from_slice(engine.as_bytes());
+        write_varint(&mut out, num_signals as u128);
+        write_varint(&mut out, num_instances as u128);
+        body(&mut out);
+        EngineState(out)
+    }
+
+    /// Wrap raw checkpoint bytes (e.g. received over the wire), validating
+    /// the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] when the bytes do not start with a
+    /// valid checkpoint header.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<EngineState, SimError> {
+        let state = EngineState(bytes);
+        state.header()?;
+        Ok(state)
+    }
+
+    /// The serialized bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The name of the engine that produced this checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on a corrupt header.
+    pub fn engine_name(&self) -> Result<&str, SimError> {
+        Ok(self.header()?.0)
+    }
+
+    fn header(&self) -> Result<(&str, usize, usize, usize), SimError> {
+        use llhd::bitcode::read_varint;
+        let bytes = &self.0;
+        let corrupt = || SimError::Runtime("corrupt engine checkpoint header".to_string());
+        if bytes.len() < 5 || &bytes[..4] != ENGINE_STATE_MAGIC {
+            return Err(SimError::Runtime(
+                "not an engine checkpoint (bad magic)".to_string(),
+            ));
+        }
+        if bytes[4] != ENGINE_STATE_VERSION {
+            return Err(SimError::Runtime(format!(
+                "unsupported engine checkpoint version {}",
+                bytes[4]
+            )));
+        }
+        let mut pos = 5;
+        let name_len = read_varint(bytes, &mut pos).ok_or_else(corrupt)? as usize;
+        let name_end = pos.checked_add(name_len).filter(|&e| e <= bytes.len()).ok_or_else(corrupt)?;
+        let name = std::str::from_utf8(&bytes[pos..name_end]).map_err(|_| corrupt())?;
+        pos = name_end;
+        let num_signals = read_varint(bytes, &mut pos).ok_or_else(corrupt)? as usize;
+        let num_instances = read_varint(bytes, &mut pos).ok_or_else(corrupt)? as usize;
+        Ok((name, num_signals, num_instances, pos))
+    }
+
+    /// Validate the header against the restoring engine and design and
+    /// return the offset of the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] when the engine name or the design
+    /// shape does not match.
+    pub fn validate(
+        &self,
+        engine: &str,
+        num_signals: usize,
+        num_instances: usize,
+    ) -> Result<usize, SimError> {
+        let (name, signals, instances, body) = self.header()?;
+        if name != engine {
+            return Err(SimError::Runtime(format!(
+                "checkpoint was taken by engine '{}', cannot restore into '{}'",
+                name, engine
+            )));
+        }
+        if signals != num_signals || instances != num_instances {
+            return Err(SimError::Runtime(format!(
+                "checkpoint is for a design with {} signals / {} instances, \
+                 this design has {} / {}",
+                signals, instances, num_signals, num_instances
+            )));
+        }
+        Ok(body)
+    }
 }
 
 impl<'a> Engine for Simulator<'a> {
@@ -207,6 +356,12 @@ impl<'a> Engine for Simulator<'a> {
     fn finish(&mut self) -> SimResult {
         Simulator::finish(self)
     }
+    fn checkpoint(&self) -> Result<EngineState, SimError> {
+        Simulator::checkpoint(self)
+    }
+    fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
+        Simulator::restore(self, state)
+    }
 }
 
 /// An engine-specific compiled design, type-erased so this crate does not
@@ -226,6 +381,33 @@ pub type InstantiateFn = fn(&CompiledArtifact, &SimConfig) -> Result<Box<dyn Eng
 /// if the backend cannot estimate.
 pub type ArtifactBytesFn = fn(&CompiledArtifact) -> usize;
 
+/// Per-unit statistics of a compiled artifact, reported through the
+/// backend's [`artifact_stats`](CompileBackend::artifact_stats) hook so
+/// introspection surfaces (the server's `session.query` stats request)
+/// can show what compilation actually did without depending on the
+/// backend crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitArtifactStats {
+    /// The unit name.
+    pub name: String,
+    /// `"process"`, `"entity"`, or `"function"`.
+    pub kind: &'static str,
+    /// Generic compiled operations (the base op stream).
+    pub base_ops: usize,
+    /// Superinstructions after lowering (0 when the unit is not lowered,
+    /// e.g. functions).
+    pub superops: usize,
+    /// Instances of this unit in the elaborated design.
+    pub instances: usize,
+    /// Instances that received per-instance specialized code.
+    pub specialized_instances: usize,
+}
+
+/// The `artifact_stats` hook of a [`CompileBackend`]: per-unit compilation
+/// statistics of an artifact. Return an empty vector if the backend keeps
+/// none.
+pub type ArtifactStatsFn = fn(&CompiledArtifact) -> Vec<UnitArtifactStats>;
+
 /// A pluggable ahead-of-time compilation backend. The compiled engine
 /// lives in `llhd-blaze` (which depends on this crate), so the dependency
 /// is inverted: blaze registers this vtable via
@@ -240,6 +422,8 @@ pub struct CompileBackend {
     pub instantiate: InstantiateFn,
     /// Estimate an artifact's retained size in bytes (for cache stats).
     pub artifact_bytes: ArtifactBytesFn,
+    /// Report per-unit compilation statistics of an artifact.
+    pub artifact_stats: ArtifactStatsFn,
 }
 
 static COMPILE_BACKEND: OnceLock<CompileBackend> = OnceLock::new();
@@ -1206,6 +1390,7 @@ impl<'m> SessionBuilder<'m> {
             "SessionBuilder::cache_key does not match the module's fingerprint"
         );
         let mut compiled = None;
+        let mut unit_stats = Vec::new();
         // Elaboration computed for a failed compile attempt, reused by
         // the interpreter fallback instead of elaborating twice.
         let mut elaborated = None;
@@ -1229,6 +1414,7 @@ impl<'m> SessionBuilder<'m> {
             match attempt {
                 Ok((design, artifact)) => {
                     let engine = (backend.instantiate)(&artifact, &self.config)?;
+                    unit_stats = (backend.artifact_stats)(&artifact);
                     compiled = Some((design, engine));
                 }
                 // `Auto` promises a *working* selection, not a bet on the
@@ -1275,6 +1461,7 @@ impl<'m> SessionBuilder<'m> {
             session_trace,
             drain_buf: Vec::new(),
             failed: None,
+            unit_stats,
         })
     }
 }
@@ -1327,6 +1514,9 @@ pub struct SimSession<'m> {
     /// The first `initialize`/`step` failure; `finish` replays it rather
     /// than assembling a half-applied result.
     failed: Option<Error>,
+    /// Per-unit compilation statistics from the backend's
+    /// `artifact_stats` hook (empty for interpreted sessions).
+    unit_stats: Vec<UnitArtifactStats>,
 }
 
 impl<'m> SimSession<'m> {
@@ -1357,6 +1547,13 @@ impl<'m> SimSession<'m> {
     /// The elaborated design the session simulates.
     pub fn design(&self) -> &ElaboratedDesign {
         &self.design
+    }
+
+    /// Per-unit compilation statistics (base ops, fused superops,
+    /// specialized instance counts) reported by the compile backend.
+    /// Empty for interpreted sessions or backends without the hook.
+    pub fn unit_stats(&self) -> &[UnitArtifactStats] {
+        &self.unit_stats
     }
 
     /// The current simulation time.
@@ -1458,6 +1655,36 @@ impl<'m> SimSession<'m> {
             )));
         }
         self.engine.poke(signal, value);
+        Ok(())
+    }
+
+    /// Serialize the engine's complete execution state. Continuing a
+    /// restored session produces the identical remaining trace to never
+    /// having checkpointed. The checkpoint covers the *engine-internal*
+    /// trace only: with sinks attached, events already streamed out are
+    /// the sinks' business and are not replayed on restore.
+    ///
+    /// # Errors
+    ///
+    /// Replays the session's recorded failure, or propagates the
+    /// engine's.
+    pub fn checkpoint(&self) -> Result<EngineState, Error> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        Ok(self.engine.checkpoint()?)
+    }
+
+    /// Restore a checkpoint taken by a session of the same engine kind
+    /// over the same design; this session should be freshly built with
+    /// the same config.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] on an engine/design mismatch or corrupt bytes.
+    pub fn restore(&mut self, state: &EngineState) -> Result<(), Error> {
+        self.engine.restore(state)?;
+        self.failed = None;
         Ok(())
     }
 
@@ -1695,6 +1922,99 @@ mod tests {
         assert_eq!(full.trace.events(), stepped.trace.events());
         assert_eq!(full.end_time, stepped.end_time);
         assert_eq!(full.signal_changes, stepped.signal_changes);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let module = parse_module(BLINK).unwrap();
+        let full = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Run a few cycles, checkpoint, drop the session entirely.
+        let mut first = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap();
+        for _ in 0..5 {
+            first.step().unwrap();
+        }
+        let state = first.checkpoint().unwrap();
+        assert_eq!(state.engine_name().unwrap(), "interp");
+        drop(first);
+        // Restore into a fresh session and continue to completion.
+        let mut resumed = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap();
+        resumed.restore(&state).unwrap();
+        while resumed.step().unwrap() {}
+        let result = resumed.finish().unwrap();
+        assert_eq!(full.trace.events(), result.trace.events());
+        assert_eq!(full.end_time, result.end_time);
+        assert_eq!(full.signal_changes, result.signal_changes);
+        assert_eq!(full.activations, result.activations);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_raw_bytes() {
+        let module = parse_module(BLINK).unwrap();
+        let mut session = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap();
+        session.step().unwrap();
+        let state = session.checkpoint().unwrap();
+        // The wire round-trip: raw bytes out, validated state back in.
+        let revived = EngineState::from_bytes(state.as_bytes().to_vec()).unwrap();
+        assert_eq!(state, revived);
+        assert!(EngineState::from_bytes(b"not a checkpoint".to_vec()).is_err());
+        let mut truncated = state.as_bytes().to_vec();
+        truncated.truncate(truncated.len() / 2);
+        // A truncated body parses its header but must fail to restore.
+        if let Ok(bad) = EngineState::from_bytes(truncated) {
+            let mut target = SimSession::builder(&module, "blink")
+                .engine(EngineKind::Interpret)
+                .until_nanos(100)
+                .build()
+                .unwrap();
+            assert!(target.restore(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_designs() {
+        let module = parse_module(BLINK).unwrap();
+        let other = parse_module(
+            r#"
+            entity @top () -> () {
+                %zero = const i8 0
+                %a = sig i8 %zero
+                %b = sig i8 %zero
+            }
+            "#,
+        )
+        .unwrap();
+        let mut session = SimSession::builder(&module, "blink")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap();
+        session.step().unwrap();
+        let state = session.checkpoint().unwrap();
+        let mut target = SimSession::builder(&other, "top")
+            .engine(EngineKind::Interpret)
+            .until_nanos(100)
+            .build()
+            .unwrap();
+        let err = target.restore(&state).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)), "{}", err);
     }
 
     #[test]

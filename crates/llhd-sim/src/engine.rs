@@ -15,9 +15,11 @@
 //! epoch for their whole life, entities bump it per evaluation to get
 //! fresh scratch without clearing).
 
+use crate::api::EngineState;
 use crate::design::{ElaborateError, ElaboratedDesign, InstanceKind, SignalId};
-use crate::sched::SchedCore;
+use crate::sched::{read_byte, read_const, read_usize, SchedCore};
 use crate::trace::Trace;
+use llhd::bitcode::{encode_const_value, write_varint};
 use llhd::eval::eval_pure;
 use llhd::ir::{Block, InstData, Module, Opcode, RegMode, UnitData, UnitId, UnitKind, Value};
 use llhd::value::{ConstValue, TimeValue};
@@ -417,6 +419,175 @@ impl<'a> Simulator<'a> {
     /// (streaming sinks pull these after every step).
     pub fn drain_trace_into(&mut self, buf: &mut Vec<crate::trace::TraceEvent>) {
         self.core.drain_trace_into(buf);
+    }
+
+    /// Serialize the simulator's complete execution state: the shared
+    /// scheduler core plus every instance's control state, live SSA
+    /// slots, process memory, and `reg` histories. See
+    /// [`Engine::checkpoint`](crate::api::Engine::checkpoint) for the
+    /// resume guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on a poisoned engine.
+    pub fn checkpoint(&self) -> Result<EngineState, SimError> {
+        if let Some(e) = &self.poisoned {
+            return Err(SimError::Runtime(format!(
+                "cannot checkpoint a poisoned engine: {}",
+                e
+            )));
+        }
+        Ok(EngineState::encode(
+            "interp",
+            self.design.num_signals(),
+            self.design.num_instances(),
+            |out| {
+                self.core.snapshot(out);
+                out.push(self.initialized as u8);
+                write_varint(out, self.assertions_checked as u128);
+                write_varint(out, self.assertion_failures as u128);
+                write_varint(out, self.activations as u128);
+                for st in &self.states {
+                    match &st.status {
+                        ProcStatus::Ready => out.push(0),
+                        ProcStatus::Suspended { resume } => {
+                            out.push(1);
+                            write_varint(out, resume.index() as u128);
+                        }
+                        ProcStatus::Halted => out.push(2),
+                    }
+                    write_varint(out, st.epoch as u128);
+                    // Only live slots (stamp == epoch) carry state; dead
+                    // ones are unreadable and skipped.
+                    write_varint(out, st.slots.len() as u128);
+                    let live = (0..st.slots.len()).filter(|&i| st.stamps[i] == st.epoch);
+                    write_varint(out, live.clone().count() as u128);
+                    for i in live {
+                        write_varint(out, i as u128);
+                        encode_const_value(out, &st.slots[i]);
+                    }
+                    let live_mem = (0..st.mem.len()).filter(|&i| st.mem_stamps[i] == st.epoch);
+                    write_varint(out, live_mem.clone().count() as u128);
+                    for i in live_mem {
+                        write_varint(out, i as u128);
+                        encode_const_value(out, &st.mem[i]);
+                    }
+                    write_varint(out, st.reg_prev.len() as u128);
+                    for prev in &st.reg_prev {
+                        match prev {
+                            Some(v) => {
+                                out.push(1);
+                                encode_const_value(out, v);
+                            }
+                            None => out.push(0),
+                        }
+                    }
+                }
+            },
+        ))
+    }
+
+    /// Restore a checkpoint taken by another interpreter over the same
+    /// design into this (freshly constructed) simulator. See
+    /// [`Engine::restore`](crate::api::Engine::restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on an engine/design mismatch or
+    /// corrupt bytes.
+    pub fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
+        let bytes = state.as_bytes();
+        let mut pos = state.validate(
+            "interp",
+            self.design.num_signals(),
+            self.design.num_instances(),
+        )?;
+        let pos = &mut pos;
+        self.core.restore_snapshot(bytes, pos)?;
+        self.initialized = read_byte(bytes, pos)? != 0;
+        self.poisoned = None;
+        self.assertions_checked = read_usize(bytes, pos)?;
+        self.assertion_failures = read_usize(bytes, pos)?;
+        self.activations = read_usize(bytes, pos)?;
+        let module = self.module;
+        for idx in 0..self.states.len() {
+            let status = match read_byte(bytes, pos)? {
+                0 => ProcStatus::Ready,
+                1 => {
+                    let resume = read_usize(bytes, pos)?;
+                    let unit = module.unit(self.design.instances[idx].unit);
+                    if !unit.blocks().iter().any(|b| b.index() == resume) {
+                        return Err(SimError::Runtime(
+                            "corrupt engine checkpoint: resume block out of range".to_string(),
+                        ));
+                    }
+                    ProcStatus::Suspended {
+                        resume: Block::from_index(resume),
+                    }
+                }
+                2 => ProcStatus::Halted,
+                other => {
+                    return Err(SimError::Runtime(format!(
+                        "corrupt engine checkpoint: unknown process status {}",
+                        other
+                    )))
+                }
+            };
+            let st = &mut self.states[idx];
+            st.status = status;
+            st.epoch = read_usize(bytes, pos)? as u32;
+            let num_slots = read_usize(bytes, pos)?;
+            if num_slots != st.slots.len() {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: slot count mismatch".to_string(),
+                ));
+            }
+            st.stamps.iter_mut().for_each(|s| *s = 0);
+            st.slots.iter_mut().for_each(|s| *s = ConstValue::Void);
+            let live = read_usize(bytes, pos)?;
+            for _ in 0..live {
+                let i = read_usize(bytes, pos)?;
+                if i >= num_slots {
+                    return Err(SimError::Runtime(
+                        "corrupt engine checkpoint: slot index out of range".to_string(),
+                    ));
+                }
+                st.slots[i] = read_const(bytes, pos)?;
+                st.stamps[i] = st.epoch;
+            }
+            st.mem_stamps.iter_mut().for_each(|s| *s = 0);
+            st.mem.iter_mut().for_each(|s| *s = ConstValue::Void);
+            let live_mem = read_usize(bytes, pos)?;
+            for _ in 0..live_mem {
+                let i = read_usize(bytes, pos)?;
+                if i >= st.mem.len() {
+                    return Err(SimError::Runtime(
+                        "corrupt engine checkpoint: memory index out of range".to_string(),
+                    ));
+                }
+                st.mem[i] = read_const(bytes, pos)?;
+                st.mem_stamps[i] = st.epoch;
+            }
+            let num_reg = read_usize(bytes, pos)?;
+            if num_reg != st.reg_prev.len() {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: reg history count mismatch".to_string(),
+                ));
+            }
+            for prev in st.reg_prev.iter_mut() {
+                *prev = match read_byte(bytes, pos)? {
+                    0 => None,
+                    1 => Some(read_const(bytes, pos)?),
+                    other => {
+                        return Err(SimError::Runtime(format!(
+                            "corrupt engine checkpoint: unknown reg history tag {}",
+                            other
+                        )))
+                    }
+                };
+            }
+        }
+        Ok(())
     }
 
     // ----- dense state access ----------------------------------------------

@@ -43,11 +43,13 @@
 pub mod api;
 pub mod design;
 pub mod engine;
+pub mod query;
 pub mod sched;
 pub mod trace;
 
-pub use api::{BatchJob, DesignCache, EngineKind, SimSession, TraceSink};
+pub use api::{BatchJob, DesignCache, EngineKind, EngineState, SimSession, TraceSink};
 pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
+pub use query::DesignQuery;
 pub use engine::{SimConfig, SimError, SimResult, Simulator};
 pub use sched::{EventQueue, SchedCore};
 pub use trace::{Trace, TraceEvent};

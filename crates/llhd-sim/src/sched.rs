@@ -38,11 +38,55 @@
 
 use crate::design::{SignalId, SignalInfo};
 use crate::engine::{SimConfig, SimError};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEvent};
+use llhd::bitcode::{decode_const_value, encode_const_value, read_varint, write_varint};
 use llhd::ir::{Module, Opcode};
 use llhd::value::{ConstValue, TimeValue};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+// ---------------------------------------------------------------------------
+// Snapshot primitives
+// ---------------------------------------------------------------------------
+//
+// The checkpoint format (see `api::EngineState`) reuses the bitcode
+// varint + constant codec; these helpers add the few shapes the scheduler
+// needs on top.
+
+pub(crate) fn write_time(out: &mut Vec<u8>, t: &TimeValue) {
+    write_varint(out, t.as_femtos());
+    write_varint(out, t.delta() as u128);
+    write_varint(out, t.epsilon() as u128);
+}
+
+pub(crate) fn read_time(bytes: &[u8], pos: &mut usize) -> Result<TimeValue, SimError> {
+    let femtos = read_u128(bytes, pos)?;
+    let delta = read_usize(bytes, pos)? as u32;
+    let epsilon = read_usize(bytes, pos)? as u32;
+    Ok(TimeValue::new(femtos, delta, epsilon))
+}
+
+pub(crate) fn read_u128(bytes: &[u8], pos: &mut usize) -> Result<u128, SimError> {
+    read_varint(bytes, pos)
+        .ok_or_else(|| SimError::Runtime("truncated engine checkpoint".to_string()))
+}
+
+pub(crate) fn read_usize(bytes: &[u8], pos: &mut usize) -> Result<usize, SimError> {
+    Ok(read_u128(bytes, pos)? as usize)
+}
+
+pub(crate) fn read_const(bytes: &[u8], pos: &mut usize) -> Result<ConstValue, SimError> {
+    decode_const_value(bytes, pos)
+        .map_err(|e| SimError::Runtime(format!("corrupt engine checkpoint: {}", e)))
+}
+
+pub(crate) fn read_byte(bytes: &[u8], pos: &mut usize) -> Result<u8, SimError> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| SimError::Runtime("truncated engine checkpoint".to_string()))?;
+    *pos += 1;
+    Ok(b)
+}
 
 /// The events scheduled for one simulation instant.
 ///
@@ -555,6 +599,207 @@ impl SchedCore {
         self.drives_buf = drives;
         self.wakes_buf = wakes;
         Ok(true)
+    }
+
+    /// The trace events recorded since the last drain, without consuming
+    /// them (checkpointing serializes these so a restored engine's final
+    /// trace is byte-identical to an uninterrupted run's).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.events()
+    }
+
+    /// Serialize the core's complete dynamic state — time, signal values,
+    /// pending counters, wait registrations, undrained trace events, and
+    /// the event queue — into `out`. Static state (sensitivity lists,
+    /// trace filters, limits) is *not* included: it is a pure function of
+    /// design + config and is rebuilt by engine construction, which is
+    /// why [`SchedCore::restore_snapshot`] requires a core built over the
+    /// same design with the same config.
+    pub fn snapshot(&self, out: &mut Vec<u8>) {
+        write_time(out, &self.time);
+        write_varint(out, self.values.len() as u128);
+        for value in &self.values {
+            encode_const_value(out, value);
+        }
+        for &pending in &self.pending {
+            write_varint(out, pending as u128);
+        }
+        for list in &self.watchers {
+            write_varint(out, list.len() as u128);
+            for &(inst, token) in list {
+                write_varint(out, inst as u128);
+                write_varint(out, token as u128);
+            }
+        }
+        write_varint(out, self.waiting.len() as u128);
+        for &waiting in &self.waiting {
+            out.push(waiting as u8);
+        }
+        for &token in &self.token {
+            write_varint(out, token as u128);
+        }
+        write_varint(out, self.signal_changes as u128);
+        write_varint(out, self.deltas_in_instant as u128);
+        write_varint(out, self.last_physical);
+        let events = self.trace.events();
+        write_varint(out, events.len() as u128);
+        for event in events {
+            write_time(out, &event.time);
+            write_varint(out, event.signal as u128);
+            encode_const_value(out, &event.value);
+        }
+        // The event queue: every pending instant as (placement, time, seq,
+        // drives, wakes), in sequence order. Placement (near ring vs.
+        // heap) is recorded because two buckets at the *same* timestamp
+        // can live on different sides, and `bucket_at` appends to a found
+        // near bucket but never searches the heap — replaying placement
+        // keeps future same-instant scheduling byte-identical.
+        let mut entries: Vec<(u64, TimeValue, u32, bool)> = self
+            .queue
+            .near
+            .iter()
+            .map(|&(t, seq, b)| (seq, t, b, true))
+            .chain(
+                self.queue
+                    .heap
+                    .iter()
+                    .map(|&Reverse((t, seq, b))| (seq, t, b, false)),
+            )
+            .collect();
+        entries.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+        write_varint(out, self.queue.seq as u128);
+        write_varint(out, entries.len() as u128);
+        for (seq, time, bucket, near) in entries {
+            out.push(near as u8);
+            write_time(out, &time);
+            write_varint(out, seq as u128);
+            let bucket = &self.queue.buckets[bucket as usize];
+            write_varint(out, bucket.drives.len() as u128);
+            for (signal, value) in &bucket.drives {
+                write_varint(out, signal.0 as u128);
+                encode_const_value(out, value);
+            }
+            write_varint(out, bucket.wakes.len() as u128);
+            for &(inst, token) in &bucket.wakes {
+                write_varint(out, inst as u128);
+                write_varint(out, token as u128);
+            }
+        }
+    }
+
+    /// Restore a [`SchedCore::snapshot`] into this core, replacing all
+    /// dynamic state. The core must have been built over the same design
+    /// (same signal and instance counts) with the same config; otherwise
+    /// an error is returned and the core is left in an unspecified state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on truncated or mismatching input.
+    pub fn restore_snapshot(&mut self, bytes: &[u8], pos: &mut usize) -> Result<(), SimError> {
+        let time = read_time(bytes, pos)?;
+        let num_signals = read_usize(bytes, pos)?;
+        if num_signals != self.values.len() {
+            return Err(SimError::Runtime(format!(
+                "checkpoint is for a design with {} signals, this design has {}",
+                num_signals,
+                self.values.len()
+            )));
+        }
+        self.time = time;
+        for value in &mut self.values {
+            *value = read_const(bytes, pos)?;
+        }
+        for pending in &mut self.pending {
+            *pending = read_usize(bytes, pos)? as u32;
+        }
+        for list in &mut self.watchers {
+            let n = read_usize(bytes, pos)?;
+            list.clear();
+            list.reserve(n.min(4096));
+            for _ in 0..n {
+                let inst = read_usize(bytes, pos)? as u32;
+                let token = read_u128(bytes, pos)? as u64;
+                list.push((inst, token));
+            }
+        }
+        let num_instances = read_usize(bytes, pos)?;
+        if num_instances != self.waiting.len() {
+            return Err(SimError::Runtime(format!(
+                "checkpoint is for a design with {} instances, this design has {}",
+                num_instances,
+                self.waiting.len()
+            )));
+        }
+        for waiting in &mut self.waiting {
+            *waiting = read_byte(bytes, pos)? != 0;
+        }
+        for token in &mut self.token {
+            *token = read_u128(bytes, pos)? as u64;
+        }
+        self.signal_changes = read_usize(bytes, pos)?;
+        self.deltas_in_instant = read_usize(bytes, pos)? as u32;
+        self.last_physical = read_u128(bytes, pos)?;
+        // Dedup stamps are meaningful only *within* one `next_cycle`; at a
+        // checkpoint boundary they are stale by construction, so restore
+        // resets them to 0 (never used as an epoch — the wrap skips it).
+        self.epoch = 0;
+        self.run_stamp.iter_mut().for_each(|s| *s = 0);
+        self.change_stamp.iter_mut().for_each(|s| *s = 0);
+        let num_events = read_usize(bytes, pos)?;
+        self.trace = Trace::with_shared_names(self.trace.shared_names());
+        for _ in 0..num_events {
+            let time = read_time(bytes, pos)?;
+            let signal = read_usize(bytes, pos)? as u32;
+            let value = read_const(bytes, pos)?;
+            if (signal as usize) >= num_signals {
+                return Err(SimError::Runtime(
+                    "corrupt engine checkpoint: trace signal out of range".to_string(),
+                ));
+            }
+            self.trace.record_id(time, signal, value);
+        }
+        let queue_seq = read_u128(bytes, pos)? as u64;
+        let num_entries = read_usize(bytes, pos)?;
+        self.queue = EventQueue::new();
+        self.queue.seq = queue_seq;
+        self.queue.near_femtos = self.time.as_femtos();
+        for _ in 0..num_entries {
+            let near = read_byte(bytes, pos)? != 0;
+            let entry_time = read_time(bytes, pos)?;
+            let seq = read_u128(bytes, pos)? as u64;
+            let mut bucket = EventBucket::default();
+            let num_drives = read_usize(bytes, pos)?;
+            for _ in 0..num_drives {
+                let signal = read_usize(bytes, pos)?;
+                if signal >= num_signals {
+                    return Err(SimError::Runtime(
+                        "corrupt engine checkpoint: drive signal out of range".to_string(),
+                    ));
+                }
+                let value = read_const(bytes, pos)?;
+                bucket.drives.push((SignalId(signal), value));
+            }
+            let num_wakes = read_usize(bytes, pos)?;
+            for _ in 0..num_wakes {
+                let inst = read_usize(bytes, pos)?;
+                if inst >= num_instances {
+                    return Err(SimError::Runtime(
+                        "corrupt engine checkpoint: wake instance out of range".to_string(),
+                    ));
+                }
+                let token = read_u128(bytes, pos)? as u64;
+                bucket.wakes.push((inst as u32, token));
+            }
+            self.queue.events += bucket.drives.len() + bucket.wakes.len();
+            let b = self.queue.buckets.len() as u32;
+            self.queue.buckets.push(bucket);
+            if near {
+                self.queue.near.push((entry_time, seq, b));
+            } else {
+                self.queue.heap.push(Reverse((entry_time, seq, b)));
+            }
+        }
+        Ok(())
     }
 }
 

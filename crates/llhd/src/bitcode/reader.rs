@@ -6,7 +6,7 @@ use crate::ir::{
     Value,
 };
 use crate::ty::{self, Type};
-use crate::value::{ApInt, ConstValue, LogicBit, LogicVector, TimeValue};
+use crate::value::ConstValue;
 use std::fmt;
 
 /// An error produced while decoding bitcode.
@@ -204,60 +204,9 @@ impl<'a> Decoder<'a> {
     }
 
     fn decode_const(&mut self) -> Result<ConstValue, DecodeError> {
-        let tag = self.byte()?;
-        Ok(match tag {
-            0 => ConstValue::Void,
-            1 => {
-                let femtos = self.varint()?;
-                let delta = self.varint()? as u32;
-                let epsilon = self.varint()? as u32;
-                ConstValue::Time(TimeValue::new(femtos, delta, epsilon))
-            }
-            2 => {
-                let width = self.varint_usize()?;
-                let n = self.varint_usize()?;
-                let mut limbs = Vec::with_capacity(n);
-                for _ in 0..n {
-                    limbs.push(self.varint()? as u64);
-                }
-                ConstValue::Int(ApInt::from_limbs(width, limbs))
-            }
-            3 => {
-                let states = self.varint_usize()?;
-                let value = self.varint_usize()?;
-                ConstValue::Enum { states, value }
-            }
-            4 => {
-                let width = self.varint_usize()?;
-                let mut bits = Vec::with_capacity(width);
-                for _ in 0..width {
-                    let idx = self.byte()? as usize;
-                    bits.push(
-                        *LogicBit::ALL
-                            .get(idx)
-                            .ok_or_else(|| err("invalid logic digit"))?,
-                    );
-                }
-                ConstValue::Logic(LogicVector::from_bits(bits))
-            }
-            5 => {
-                let n = self.varint_usize()?;
-                let mut elems = Vec::with_capacity(n);
-                for _ in 0..n {
-                    elems.push(self.decode_const()?);
-                }
-                ConstValue::Array(elems)
-            }
-            6 => {
-                let n = self.varint_usize()?;
-                let mut fields = Vec::with_capacity(n);
-                for _ in 0..n {
-                    fields.push(self.decode_const()?);
-                }
-                ConstValue::Struct(fields)
-            }
-            other => return Err(err(format!("unknown constant tag {}", other))),
-        })
+        // One codec for constants everywhere: the module format and the
+        // engine checkpoint format share `decode_const_value`.
+        super::decode_const_value(self.bytes, &mut self.pos)
     }
 
     fn decode_unit(&mut self) -> Result<UnitData, DecodeError> {

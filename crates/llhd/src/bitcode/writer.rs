@@ -166,49 +166,9 @@ impl Encoder {
     }
 
     fn encode_const(&mut self, out: &mut Vec<u8>, value: &ConstValue) {
-        match value {
-            ConstValue::Void => out.push(0),
-            ConstValue::Time(t) => {
-                out.push(1);
-                write_varint(out, t.as_femtos());
-                write_varint(out, t.delta() as u128);
-                write_varint(out, t.epsilon() as u128);
-            }
-            ConstValue::Int(v) => {
-                out.push(2);
-                write_varint(out, v.width() as u128);
-                write_varint(out, v.limbs().len() as u128);
-                for &limb in v.limbs() {
-                    write_varint(out, limb as u128);
-                }
-            }
-            ConstValue::Enum { states, value } => {
-                out.push(3);
-                write_varint(out, *states as u128);
-                write_varint(out, *value as u128);
-            }
-            ConstValue::Logic(v) => {
-                out.push(4);
-                write_varint(out, v.width() as u128);
-                for bit in v.bits() {
-                    out.push(bit.index() as u8);
-                }
-            }
-            ConstValue::Array(elems) => {
-                out.push(5);
-                write_varint(out, elems.len() as u128);
-                for e in elems {
-                    self.encode_const(out, e);
-                }
-            }
-            ConstValue::Struct(fields) => {
-                out.push(6);
-                write_varint(out, fields.len() as u128);
-                for f in fields {
-                    self.encode_const(out, f);
-                }
-            }
-        }
+        // One codec for constants everywhere: the module format and the
+        // engine checkpoint format share `encode_const_value`.
+        super::encode_const_value(out, value);
     }
 
     fn encode_unit(&mut self, out: &mut Vec<u8>, unit: &UnitData) {

@@ -2,7 +2,9 @@
 //! ephemeral TCP port, then act as a client speaking the line-delimited
 //! JSON protocol of `docs/PROTOCOL.md` — submit a design, re-run it by
 //! its key (served from the warmed `DesignCache`, no re-parse or
-//! re-compile), inspect the cache counters, and shut down gracefully.
+//! re-compile), inspect the cache counters, drive an interactive session
+//! (step/peek, structural queries, checkpoint → destroy → restore →
+//! resume), and shut down gracefully.
 //!
 //! Run with `cargo run --example server_client`. Against an external
 //! server (`cargo run -p llhd-server -- --tcp 127.0.0.1:7171`), the same
@@ -30,7 +32,7 @@ fn main() {
     let running = Server::spawn_tcp(
         ServerConfig {
             cache_capacity: Some(16),
-            stats_interval: None,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -101,7 +103,139 @@ fn main() {
     );
     assert_eq!(cache.get("elaborate_hits").and_then(Json::as_int), Some(1));
 
-    // 4. Graceful shutdown: in-flight work drains, then the server exits.
+    // 4. An interactive session: the engine stays live between requests,
+    //    so the client can interleave stepping with inspection.
+    let created = client
+        .request(&Json::obj([
+            ("type", Json::str("session.create")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+        ]))
+        .expect("session.create");
+    assert_eq!(created.get("ok"), Some(&Json::Bool(true)), "{}", created);
+    let session = created
+        .get("result")
+        .and_then(|r| r.get("session"))
+        .and_then(Json::as_str)
+        .expect("session id")
+        .to_string();
+    println!("session:    opened {}", session);
+
+    // Step five scheduler cycles, then peek the LED.
+    let stepped = client
+        .request(&Json::obj([
+            ("type", Json::str("session.step")),
+            ("session", Json::str(session.clone())),
+            ("steps", Json::Int(5)),
+        ]))
+        .expect("session.step");
+    let peeked = client
+        .request(&Json::obj([
+            ("type", Json::str("session.peek")),
+            ("session", Json::str(session.clone())),
+            ("signal", Json::str("blink.led")),
+        ]))
+        .expect("session.peek");
+    println!(
+        "session:    after 5 steps (t = {} fs) led = {}",
+        stepped
+            .get("result")
+            .and_then(|r| r.get("time_fs"))
+            .and_then(Json::as_int)
+            .unwrap(),
+        peeked
+            .get("result")
+            .and_then(|r| r.get("value"))
+            .and_then(Json::as_str)
+            .unwrap(),
+    );
+
+    // Structural queries answer "who drives this signal?" from the
+    // elaborated design, without running anything.
+    let drivers = client
+        .request(&Json::obj([
+            ("type", Json::str("session.query")),
+            ("session", Json::str(session.clone())),
+            ("query", Json::str("drivers")),
+            ("signal", Json::str("blink.led")),
+        ]))
+        .expect("session.query");
+    println!(
+        "query:      blink.led is driven by {}",
+        drivers
+            .get("result")
+            .and_then(|r| r.get("drivers"))
+            .and_then(Json::as_arr)
+            .and_then(|list| list.first())
+            .and_then(|d| d.get("path"))
+            .and_then(Json::as_str)
+            .unwrap_or("<nobody>"),
+    );
+
+    // Checkpoint the full engine state, kill the session, restore the
+    // checkpoint into a fresh one, and keep stepping where it left off.
+    let checkpoint = client
+        .request(&Json::obj([
+            ("type", Json::str("session.checkpoint")),
+            ("session", Json::str(session.clone())),
+        ]))
+        .expect("session.checkpoint");
+    let state_hex = checkpoint
+        .get("result")
+        .and_then(|r| r.get("state"))
+        .and_then(Json::as_str)
+        .expect("checkpoint state")
+        .to_string();
+    client
+        .request(&Json::obj([
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(session.clone())),
+        ]))
+        .expect("session.destroy");
+    let restored = client
+        .request(&Json::obj([
+            ("type", Json::str("session.restore")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(100)),
+            ("state", Json::str(state_hex.clone())),
+        ]))
+        .expect("session.restore");
+    assert_eq!(restored.get("ok"), Some(&Json::Bool(true)), "{}", restored);
+    let resumed = restored
+        .get("result")
+        .and_then(|r| r.get("session"))
+        .and_then(Json::as_str)
+        .expect("restored session id")
+        .to_string();
+    let finished = client
+        .request(&Json::obj([
+            ("type", Json::str("session.step")),
+            ("session", Json::str(resumed.clone())),
+            ("steps", Json::Int(1000)),
+        ]))
+        .expect("resume stepping");
+    println!(
+        "restore:    {} bytes of checkpoint resumed as {} and ran to t = {} fs",
+        state_hex.len() / 2,
+        resumed,
+        finished
+            .get("result")
+            .and_then(|r| r.get("time_fs"))
+            .and_then(Json::as_int)
+            .unwrap(),
+    );
+    client
+        .request(&Json::obj([
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(resumed)),
+        ]))
+        .expect("destroy resumed session");
+
+    // 5. Graceful shutdown: in-flight work drains, then the server exits.
     let ack = client
         .request(&Json::obj([("type", Json::str("shutdown"))]))
         .expect("shutdown request");
