@@ -9,6 +9,9 @@ cd "$(dirname "$0")"
 # build. Skippable only where clippy is genuinely unavailable.
 if [ "${LLHD_SKIP_CLIPPY:-0}" != "1" ] && cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
+    # A second pass with every feature on lints the fault-injection
+    # module (src/fault.rs, tests/chaos.rs), which the default set skips.
+    cargo clippy --workspace --all-targets --all-features -- -D warnings
 fi
 
 # Rustdoc gate: the public API documentation (including intra-doc links)
@@ -21,10 +24,25 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 cargo build --release --workspace --all-targets
 cargo test -q --release --workspace
 
+# Chaos gate: the deterministic fault-injection harness (see
+# "Failure model" in ARCHITECTURE.md) storms a live server with injected
+# panics, broken reads, and queue pressure under a fixed seed, and
+# asserts the process survives serving well-formed responses throughout.
+# The fixed seed keeps CI replayable; the hard timeout turns a wedged
+# server (the exact failure the harness exists to catch) into a loud
+# failure instead of a hung pipeline.
+LLHD_CHAOS_SEED=42 timeout 300 \
+    cargo test -q --release -p llhd-server --features fault-injection --test chaos || {
+    echo "ci.sh: chaos test failed or timed out (seed 42)" >&2
+    exit 1
+}
+echo "ci.sh: chaos test OK (seed 42)"
+
 # Server smoke test: a request → response → shutdown round-trip through
 # the real llhd-server binary over stdio (the same protocol the TCP mode
 # speaks; see docs/PROTOCOL.md). Three requests in, three ok-responses
-# out, clean exit.
+# out, clean exit — under a hard timeout so a server that stops reading
+# or never exits fails the gate instead of hanging it.
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/requests" <<'EOF'
@@ -32,8 +50,12 @@ cat > "$SMOKE_DIR/requests" <<'EOF'
 {"type":"sim","id":2,"source":"proc @blink () -> (i1$ %led) { entry: %on = const i1 1 %off = const i1 0 %t = const time 5ns drv i1$ %led, %on after %t wait %next for %t next: drv i1$ %led, %off after %t wait %entry for %t }","top":"blink","until_ns":100}
 {"type":"shutdown","id":3}
 EOF
-./target/release/llhd-server --stdio --stats-interval 0 \
-    < "$SMOKE_DIR/requests" > "$SMOKE_DIR/responses"
+timeout 60 ./target/release/llhd-server --stdio --stats-interval 0 \
+    < "$SMOKE_DIR/requests" > "$SMOKE_DIR/responses" || {
+    echo "ci.sh: server stdio smoke test failed or timed out" >&2
+    cat "$SMOKE_DIR/responses" >&2
+    exit 1
+}
 # (`|| true`: grep -c exits 1 on zero matches, which `set -e` would turn
 # into a silent abort before the diagnostics below could print.)
 OK_COUNT=$(grep -c '"ok":true' "$SMOKE_DIR/responses" || true)

@@ -135,6 +135,7 @@ pub fn simulation_suite(h: &mut Harness) {
         );
     }
     server_throughput(h);
+    server_overload_shed(h);
     session_step_peek(h);
     checkpoint_roundtrip(h);
 }
@@ -313,6 +314,86 @@ fn server_throughput(h: &mut Harness) {
     drop(clients);
     let mut closer = Client::connect(running.addr()).expect("connect");
     let ack = closer
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .expect("shutdown");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    running.join().expect("server exits cleanly");
+}
+
+/// Shed round-trips per iteration of `server/overload-shed`.
+const SHED_REQUESTS: u64 = 64;
+
+/// The admission-control fast path: how quickly an overloaded server
+/// turns work away. A job group larger than the queue cap is always
+/// shed at admission, so each round-trip is JSON decode + shed
+/// decision + `overloaded` encode — the cost a saturated server pays
+/// per refused request, which bounds how fast it stays responsive (and
+/// keeps answering `ping`/`stats`) while clients back off.
+fn server_overload_shed(h: &mut Harness) {
+    use llhd_server::json::Json;
+    use llhd_server::{Client, Server, ServerConfig};
+
+    if !h.wants("server/overload-shed") {
+        return;
+    }
+    let running = Server::spawn_tcp(
+        ServerConfig {
+            queue_cap: Some(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind an ephemeral port");
+    let mut client = Client::connect(running.addr()).expect("connect");
+    // Warm the design key so the measured requests resolve without
+    // parsing; the single-job warmup fits under the cap and runs.
+    let design = all_designs().into_iter().next().expect("benchmark designs");
+    let module = design.build().expect("design must build");
+    let warm = client
+        .request(&Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(write_module(&module))),
+            ("top", Json::str(design.top)),
+            ("until_ns", Json::uint(10)),
+        ]))
+        .expect("warm request");
+    assert_eq!(warm.get("ok"), Some(&Json::Bool(true)), "warmup failed: {}", warm);
+    let key = warm
+        .get("result")
+        .and_then(|r| r.get("design"))
+        .and_then(Json::as_str)
+        .expect("design key")
+        .to_string();
+    // Two key-only jobs against a cap of one: `depth + 2 > 1` holds no
+    // matter what else is in flight, so every round-trip is a
+    // deterministic shed — no timing races, pure fast-reject path.
+    let request = Json::obj([
+        ("type", Json::str("batch")),
+        (
+            "jobs",
+            Json::Arr(
+                (0..2)
+                    .map(|_| {
+                        Json::obj([
+                            ("design", Json::str(key.clone())),
+                            ("top", Json::str(design.top)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    h.bench_throughput("server/overload-shed", SHED_REQUESTS, || {
+        for _ in 0..SHED_REQUESTS {
+            let response = client.request(&request).expect("request");
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            assert_eq!(kind, Some("overloaded"), "expected a shed: {}", response);
+        }
+    });
+    let ack = client
         .request(&Json::obj([("type", Json::str("shutdown"))]))
         .expect("shutdown");
     assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));

@@ -171,6 +171,11 @@ impl BlazeSimulator {
     /// delta cycles.
     pub fn step(&mut self) -> Result<bool, SimError> {
         self.initialize()?;
+        if self.config.control.is_active() {
+            // Checked before the cycle starts: state is consistent, so a
+            // deadline abort leaves the engine resumable (no poisoning).
+            self.config.control.check()?;
+        }
         let mut to_run = std::mem::take(&mut self.to_run_buf);
         let mut outcome = self.core.next_cycle(&mut to_run);
         if let Ok(true) = outcome {
@@ -1147,6 +1152,10 @@ impl llhd_sim::api::Engine for BlazeSimulator {
     }
     fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
         BlazeSimulator::restore(self, state)
+    }
+    fn set_control(&mut self, control: llhd_sim::RunControl) -> bool {
+        self.config.control = control;
+        true
     }
 }
 

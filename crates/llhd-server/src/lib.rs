@@ -38,6 +38,8 @@
 //! running.join().unwrap();
 //! ```
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod server;

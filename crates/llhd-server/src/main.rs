@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]
-//!             [--session-cap N] [--session-idle SECS]
+//!             [--session-cap N] [--session-idle SECS] [--queue-cap N]
+//!             [--drain-deadline SECS]
 //!
 //!   --stdio                requests on stdin, responses on stdout (default)
 //!   --tcp ADDR             listen on ADDR (e.g. 127.0.0.1:7171; port 0 = ephemeral)
@@ -13,7 +14,15 @@
 //!                          (default 30; 0 disables)
 //!   --session-cap N        allow at most N open interactive sessions (default 64)
 //!   --session-idle SECS    destroy sessions idle for SECS seconds (default 600)
+//!   --queue-cap N          shed jobs past N pending with a retryable
+//!                          `overloaded` error (default: unbounded)
+//!   --drain-deadline SECS  abandon in-flight work SECS seconds into a
+//!                          graceful shutdown (default 30)
 //! ```
+//!
+//! With the `fault-injection` feature compiled in, the `LLHD_FAULT_PLAN`
+//! environment variable (e.g. `seed=42,sim.panic=16,io.read.error=4`)
+//! arms the deterministic chaos harness.
 
 use llhd_server::{Server, ServerConfig};
 use std::net::TcpListener;
@@ -21,9 +30,41 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS] [--session-cap N] [--session-idle SECS]"
+        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS] [--session-cap N] [--session-idle SECS] [--queue-cap N] [--drain-deadline SECS]"
     );
     std::process::exit(2);
+}
+
+/// Arm the fault plan from `LLHD_FAULT_PLAN` when the harness is
+/// compiled in; reject the variable otherwise, rather than silently
+/// serving without the faults the operator asked for.
+fn fault_plan_from_env(config: &mut ServerConfig) {
+    let spec = match std::env::var("LLHD_FAULT_PLAN") {
+        Ok(spec) if !spec.trim().is_empty() => spec,
+        _ => return,
+    };
+    #[cfg(feature = "fault-injection")]
+    {
+        match llhd_server::fault::FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!("llhd-server: fault injection armed ({:?})", plan);
+                config.fault_plan = Some(std::sync::Arc::new(plan));
+            }
+            Err(e) => {
+                eprintln!("llhd-server: bad LLHD_FAULT_PLAN: {}", e);
+                std::process::exit(2);
+            }
+        }
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = config;
+        eprintln!(
+            "llhd-server: LLHD_FAULT_PLAN={:?} set, but this binary was built without the fault-injection feature",
+            spec
+        );
+        std::process::exit(2);
+    }
 }
 
 fn main() {
@@ -33,6 +74,8 @@ fn main() {
     let mut stats_secs: u64 = 30;
     let mut session_cap: Option<usize> = None;
     let mut session_idle: Option<u64> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut drain_deadline: Option<u64> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -72,6 +115,20 @@ fn main() {
                 }
                 None => usage(),
             },
+            "--queue-cap" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    queue_cap = Some(n);
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--drain-deadline" => match argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(secs) => {
+                    drain_deadline = Some(secs);
+                    i += 1;
+                }
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("llhd-server: unknown argument {:?}", other);
@@ -80,7 +137,10 @@ fn main() {
         }
         i += 1;
     }
-    let config = ServerConfig {
+    // The struct update is only "needless" without the fault-injection
+    // feature; with it, the literal doesn't cover `fault_plan`.
+    #[allow(clippy::needless_update)]
+    let mut config = ServerConfig {
         cache_capacity: capacity,
         stats_interval: match stats_secs {
             0 => None,
@@ -88,7 +148,11 @@ fn main() {
         },
         session_cap,
         session_idle_timeout: session_idle.map(Duration::from_secs),
+        queue_cap,
+        drain_deadline: drain_deadline.map(Duration::from_secs),
+        ..ServerConfig::default()
     };
+    fault_plan_from_env(&mut config);
     let server = Server::new(config);
     let result = match tcp {
         Some(addr) => match TcpListener::bind(&addr) {

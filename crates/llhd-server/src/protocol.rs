@@ -52,6 +52,10 @@ pub struct SimJobSpec {
     pub max_deltas_per_instant: Option<u32>,
     /// Override the per-activation step guard.
     pub max_steps_per_activation: Option<usize>,
+    /// Wall-clock budget for the job in milliseconds, measured from the
+    /// moment the server received the request. The run is cut off with a
+    /// `deadline_exceeded` error once the budget is used up.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SimJobSpec {
@@ -112,6 +116,10 @@ pub enum Request {
         session: String,
         /// How many cycles to advance (at least 1).
         steps: usize,
+        /// Wall-clock budget for this command in milliseconds; the step
+        /// loop is cut off with `deadline_exceeded` (reporting the steps
+        /// taken so far) once it is used up. The session survives.
+        deadline_ms: Option<u64>,
     },
     /// Read a signal's current value.
     SessionPeek {
@@ -184,6 +192,15 @@ pub enum ErrorKind {
     SessionLimit,
     /// The server is shutting down and takes no new work.
     Shutdown,
+    /// The request's wall-clock budget (`deadline_ms`) was used up
+    /// before the run finished; the error carries the partial progress.
+    DeadlineExceeded,
+    /// The server's dispatch queue is over its high-water mark and the
+    /// request was shed; retry after the hinted backoff.
+    Overloaded,
+    /// The server-side handler panicked. The job is lost but the server
+    /// keeps serving; the message carries the panic payload.
+    Internal,
 }
 
 impl ErrorKind {
@@ -202,7 +219,22 @@ impl ErrorKind {
             ErrorKind::UnknownSession => "unknown_session",
             ErrorKind::SessionLimit => "session_limit",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal_error",
         }
+    }
+
+    /// Whether a client may retry the identical request and reasonably
+    /// expect it to succeed. `Overloaded` (transient queue pressure) and
+    /// `Shutdown` (another replica of a fleet can take the request) are
+    /// the retryable kinds; everything else is deterministic — the same
+    /// request fails the same way — or, for `deadline_exceeded`, only
+    /// succeeds with a *larger* budget, which a blind retry does not
+    /// grant. Rendered as the additive `retryable` field on every error
+    /// response.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::Shutdown)
     }
 }
 
@@ -213,6 +245,10 @@ pub struct ProtoError {
     pub kind: ErrorKind,
     /// Human-readable description.
     pub message: String,
+    /// Extra machine-readable fields merged into the wire `error`
+    /// object (additive): `retry_after_ms` on `overloaded`, partial
+    /// progress (`end_time_fs`, `steps_taken`) on `deadline_exceeded`.
+    pub data: Vec<(String, Json)>,
 }
 
 impl ProtoError {
@@ -221,7 +257,14 @@ impl ProtoError {
         ProtoError {
             kind,
             message: message.into(),
+            data: Vec::new(),
         }
+    }
+
+    /// Attach an extra machine-readable field to the wire error object.
+    pub fn with_data(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.data.push((key.into(), value));
+        self
     }
 }
 
@@ -233,8 +276,18 @@ impl From<api::Error> for ProtoError {
             api::Error::Runtime(_) => ErrorKind::Runtime,
             api::Error::BackendUnavailable(_) => ErrorKind::Backend,
             api::Error::UnknownSignal(_) => ErrorKind::UnknownSignal,
+            api::Error::DeadlineExceeded { .. } => ErrorKind::DeadlineExceeded,
+            api::Error::Panic(_) => ErrorKind::Internal,
         };
-        ProtoError::new(kind, e.to_string())
+        let error = ProtoError::new(kind, e.to_string());
+        match e {
+            // Partial progress rides along so a caller knows how far the
+            // cut-off run got.
+            api::Error::DeadlineExceeded { time_fs } => {
+                error.with_data("end_time_fs", Json::uint(time_fs))
+            }
+            _ => error,
+        }
     }
 }
 
@@ -283,6 +336,11 @@ fn field_uint(obj: &Json, key: &str, max: u128) -> Result<Option<u128>, ProtoErr
 /// second conversion (×10⁶) stays far below `u128::MAX`, so the engine's
 /// time arithmetic cannot overflow on wire-supplied values.
 const MAX_UNTIL_NS: u128 = u64::MAX as u128;
+
+/// The largest accepted `deadline_ms`: ~49 days of wall-clock time, far
+/// beyond any sane request budget but small enough that deadline
+/// arithmetic on `Instant` cannot overflow.
+const MAX_DEADLINE_MS: u128 = u32::MAX as u128;
 
 fn field_str(obj: &Json, key: &str) -> Result<Option<String>, ProtoError> {
     match obj.get(key) {
@@ -371,7 +429,14 @@ fn parse_job(obj: &Json) -> Result<SimJobSpec, ProtoError> {
             usize::MAX as u128,
         )?
         .map(|n| n as usize),
+        deadline_ms: field_deadline(obj)?,
     })
+}
+
+/// The optional `"deadline_ms"` field (sim jobs and `session.step`).
+/// A zero budget is legal: it means "fail fast with partial progress".
+fn field_deadline(obj: &Json) -> Result<Option<u64>, ProtoError> {
+    Ok(field_uint(obj, "deadline_ms", MAX_DEADLINE_MS)?.map(|n| n as u64))
 }
 
 /// The required `"session"` field of the session request family.
@@ -478,6 +543,7 @@ impl Request {
                     }
                     Some(n) => n as usize,
                 },
+                deadline_ms: field_deadline(value)?,
             }),
             "session.peek" => Ok(Request::SessionPeek {
                 session: field_session(value)?,
@@ -585,16 +651,17 @@ pub fn ok_response(id: Option<Json>, result: Json) -> Json {
     Json::Obj(fields)
 }
 
-/// A failure response carrying the error's kind and message.
+/// A failure response carrying the error's kind, message, retryability,
+/// and any extra machine-readable fields ([`ProtoError::data`]).
 pub fn error_response(id: Option<Json>, error: &ProtoError) -> Json {
     let mut fields = envelope(id, false);
-    fields.push((
-        "error".to_string(),
-        Json::obj([
-            ("kind", Json::str(error.kind.wire_name())),
-            ("message", Json::str(error.message.clone())),
-        ]),
-    ));
+    let mut body = vec![
+        ("kind".to_string(), Json::str(error.kind.wire_name())),
+        ("message".to_string(), Json::str(error.message.clone())),
+        ("retryable".to_string(), Json::Bool(error.kind.retryable())),
+    ];
+    body.extend(error.data.iter().cloned());
+    fields.push(("error".to_string(), Json::Obj(body)));
     Json::Obj(fields)
 }
 
@@ -639,13 +706,51 @@ pub fn sim_result_json(
     Json::Obj(fields)
 }
 
+/// Server-load counters for the `stats` response: the observability
+/// surface of the admission-control and panic-isolation layers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerLoad {
+    /// Jobs waiting in the dispatch queue right now.
+    pub queue_depth: usize,
+    /// The queue's high-water mark (`None` = unbounded, nothing sheds).
+    pub queue_cap: Option<usize>,
+    /// Jobs currently executing in micro-batch workers.
+    pub inflight: usize,
+    /// Requests shed with `overloaded` since the server started.
+    pub shed: usize,
+    /// Interactive sessions currently open.
+    pub open_sessions: usize,
+    /// Panics caught (and answered as `internal_error`) since start.
+    pub panics_caught: usize,
+}
+
 /// Render a cache-stats snapshot (plus server-level counters) into the
 /// `stats` response payload.
-pub fn stats_json(stats: &CacheStats, resident_modules: usize, uptime_secs: u64, requests: usize) -> Json {
+pub fn stats_json(
+    stats: &CacheStats,
+    resident_modules: usize,
+    uptime_secs: u64,
+    requests: usize,
+    load: &ServerLoad,
+) -> Json {
     Json::obj([
         ("uptime_secs", Json::uint(uptime_secs as u128)),
         ("requests", Json::uint(requests as u128)),
         ("resident_modules", Json::uint(resident_modules as u128)),
+        (
+            "load",
+            Json::obj([
+                ("queue_depth", Json::uint(load.queue_depth as u128)),
+                (
+                    "queue_cap",
+                    load.queue_cap.map(|c| Json::uint(c as u128)).unwrap_or(Json::Null),
+                ),
+                ("inflight", Json::uint(load.inflight as u128)),
+                ("shed", Json::uint(load.shed as u128)),
+                ("open_sessions", Json::uint(load.open_sessions as u128)),
+                ("panics_caught", Json::uint(load.panics_caught as u128)),
+            ]),
+        ),
         (
             "cache",
             Json::obj([
@@ -781,10 +886,17 @@ mod tests {
     fn parses_the_session_request_family() {
         let create = parse(r#"{"type":"session.create","source":"proc @p...","top":"p","engine":"interpret","until_ns":100}"#).unwrap();
         assert!(matches!(create, Request::SessionCreate(_)));
-        match parse(r#"{"type":"session.step","session":"s1","steps":5}"#).unwrap() {
-            Request::SessionStep { session, steps } => {
+        match parse(r#"{"type":"session.step","session":"s1","steps":5,"deadline_ms":200}"#)
+            .unwrap()
+        {
+            Request::SessionStep {
+                session,
+                steps,
+                deadline_ms,
+            } => {
                 assert_eq!(session, "s1");
                 assert_eq!(steps, 5);
+                assert_eq!(deadline_ms, Some(200));
             }
             other => panic!("not a step request: {:?}", other),
         }
@@ -874,7 +986,65 @@ mod tests {
         let err = error_response(None, &ProtoError::new(ErrorKind::Parse, "bad"));
         assert_eq!(
             err.to_string(),
-            r#"{"v":1,"ok":false,"error":{"kind":"parse","message":"bad"}}"#
+            r#"{"v":1,"ok":false,"error":{"kind":"parse","message":"bad","retryable":false}}"#
         );
+        let shed = error_response(
+            None,
+            &ProtoError::new(ErrorKind::Overloaded, "queue full")
+                .with_data("retry_after_ms", Json::uint(25)),
+        );
+        assert_eq!(
+            shed.to_string(),
+            r#"{"v":1,"ok":false,"error":{"kind":"overloaded","message":"queue full","retryable":true,"retry_after_ms":25}}"#
+        );
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_garbage() {
+        match parse(r#"{"type":"sim","source":"x","top":"p","deadline_ms":250}"#).unwrap() {
+            Request::Sim(job) => assert_eq!(job.deadline_ms, Some(250)),
+            other => panic!("not a sim request: {:?}", other),
+        }
+        // Zero is a legal fail-fast budget, and the field is optional.
+        match parse(r#"{"type":"sim","source":"x","top":"p","deadline_ms":0}"#).unwrap() {
+            Request::Sim(job) => assert_eq!(job.deadline_ms, Some(0)),
+            other => panic!("not a sim request: {:?}", other),
+        }
+        match parse(r#"{"type":"session.step","session":"s1","deadline_ms":50}"#).unwrap() {
+            Request::SessionStep { deadline_ms, .. } => assert_eq!(deadline_ms, Some(50)),
+            other => panic!("not a step request: {:?}", other),
+        }
+        for text in [
+            r#"{"type":"sim","source":"x","top":"p","deadline_ms":-1}"#,
+            r#"{"type":"sim","source":"x","top":"p","deadline_ms":"fast"}"#,
+            r#"{"type":"sim","source":"x","top":"p","deadline_ms":99999999999999}"#,
+        ] {
+            let err = parse(text).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol, "{}", text);
+            assert!(err.message.contains("deadline_ms"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn retryability_is_fixed_per_kind() {
+        for kind in [
+            ErrorKind::Parse,
+            ErrorKind::Protocol,
+            ErrorKind::Source,
+            ErrorKind::Elaborate,
+            ErrorKind::Compile,
+            ErrorKind::Runtime,
+            ErrorKind::Backend,
+            ErrorKind::UnknownSignal,
+            ErrorKind::UnknownDesign,
+            ErrorKind::UnknownSession,
+            ErrorKind::SessionLimit,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Internal,
+        ] {
+            assert!(!kind.retryable(), "{:?} must not be retryable", kind);
+        }
+        assert!(ErrorKind::Overloaded.retryable());
+        assert!(ErrorKind::Shutdown.retryable());
     }
 }

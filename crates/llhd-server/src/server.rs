@@ -26,26 +26,47 @@
 //! queue share one lock, so every job either (a) was enqueued before
 //! shutdown began and will be executed and answered, or (b) is rejected
 //! with an error of kind `shutdown`. The dispatcher exits only once the
-//! flag is set *and* the queue is empty.
+//! flag is set *and* the queue is empty — bounded by the drain deadline,
+//! after which stuck jobs are abandoned and answered with `shutdown`.
+//!
+//! # Failure model
+//!
+//! Every simulation job, session command, and request line runs inside a
+//! panic domain (`catch_unwind`): a panicking engine costs its own
+//! request an `internal_error` response while the server keeps serving.
+//! Poisoned cache entries are evicted, not wedged. Jobs carry an optional
+//! wall-clock deadline enforced between engine step-chunks, and the
+//! dispatch queue can be bounded (`queue_cap`), shedding load with a
+//! retryable `overloaded` error. See `ARCHITECTURE.md`, "Failure model".
 
 use crate::json::Json;
 use crate::protocol::{
     error_response, hex_decode, hex_encode, ok_response, request_id, sim_result_json, stats_json,
-    ErrorKind, ProtoError, QueryKind, Request, SimJobSpec,
+    ErrorKind, ProtoError, QueryKind, Request, ServerLoad, SimJobSpec,
 };
 use llhd::assembly::parse_module;
 use llhd::ir::Module;
 use llhd::value::ConstValue;
-use llhd_sim::api::{BatchJob, DesignCache, EngineKind, EngineState, SimSession};
+use llhd_sim::api::{panic_message, BatchJob, DesignCache, EngineKind, EngineState, SimSession};
 use llhd_sim::design::{InstanceId, InstanceKind};
-use llhd_sim::{DesignQuery, SimConfig, SimResult};
+use llhd_sim::{DesignQuery, RunControl, SimConfig, SimResult};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock a server mutex, recovering from poison. Every server lock guards
+/// state that is updated in single non-panicking operations (map
+/// inserts/removes, vec pushes, flag stores), so a poisoned guard means
+/// some *other* holder panicked mid-request — the state itself is
+/// consistent and serving must continue.
+fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Reject lines longer than this (64 MiB): a missing newline must not
 /// buffer unbounded garbage. The largest benchmark design's assembly is
@@ -64,6 +85,16 @@ const DEFAULT_SESSION_CAP: usize = 64;
 /// client that checkpointed can restore).
 const DEFAULT_SESSION_IDLE: Duration = Duration::from_secs(600);
 
+/// The default drain deadline: how long a graceful shutdown waits for
+/// in-flight jobs before abandoning them (they are answered with a
+/// retryable `shutdown` error).
+const DEFAULT_DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How often a reply wait or the dispatcher's drain re-checks its
+/// deadline. Replies arrive instantly when ready (mpsc wakes the
+/// waiter); this tick only bounds how late a *deadline* is noticed.
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+
 /// Server construction options.
 #[derive(Clone, Debug, Default)]
 pub struct ServerConfig {
@@ -79,6 +110,18 @@ pub struct ServerConfig {
     /// Destroy a session that receives no command for this long.
     /// `None`: the built-in default (10 minutes).
     pub session_idle_timeout: Option<Duration>,
+    /// High-water mark on the dispatch queue: a job group that would
+    /// push the queue past this many pending jobs is shed with a
+    /// retryable `overloaded` error carrying a `retry_after_ms` hint.
+    /// `None`: unbounded, nothing sheds.
+    pub queue_cap: Option<usize>,
+    /// How long shutdown waits for in-flight jobs before abandoning
+    /// them. `None`: the built-in default (30 seconds).
+    pub drain_deadline: Option<Duration>,
+    /// The deterministic fault plan driving the chaos harness. `None`:
+    /// no faults. Only present with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 /// One queued simulation job plus its reply channel.
@@ -158,6 +201,7 @@ impl Registry {
 enum SessionCmd {
     Step {
         steps: usize,
+        deadline_ms: Option<u64>,
         reply: mpsc::Sender<Result<Json, ProtoError>>,
     },
     Peek {
@@ -210,6 +254,22 @@ pub struct ServerState {
     session_cap: usize,
     /// Idle timeout after which a session self-destroys.
     session_idle: Duration,
+    /// High-water mark on the dispatch queue (`None`: unbounded).
+    queue_cap: Option<usize>,
+    /// How long shutdown waits for in-flight work before abandoning it.
+    drain_deadline: Duration,
+    /// Set by [`ServerState::begin_shutdown`]: the instant at which the
+    /// drain gives up and stuck jobs are answered with `shutdown`.
+    drain_until: Mutex<Option<Instant>>,
+    /// Jobs currently executing in micro-batch workers.
+    inflight: AtomicUsize,
+    /// Job groups shed with `overloaded` since start.
+    shed: AtomicUsize,
+    /// Panics caught (and answered as `internal_error`) since start.
+    panics_caught: AtomicUsize,
+    /// The deterministic fault plan, when the chaos harness is armed.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl ServerState {
@@ -231,8 +291,54 @@ impl ServerState {
             sessions: Mutex::default(),
             session_cap: config.session_cap.unwrap_or(DEFAULT_SESSION_CAP),
             session_idle: config.session_idle_timeout.unwrap_or(DEFAULT_SESSION_IDLE),
+            queue_cap: config.queue_cap.filter(|&cap| cap > 0),
+            drain_deadline: config.drain_deadline.unwrap_or(DEFAULT_DRAIN_DEADLINE),
+            drain_until: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            panics_caught: AtomicUsize::new(0),
+            #[cfg(feature = "fault-injection")]
+            fault: config.fault_plan.clone(),
         }
     }
+
+    /// Record a caught panic: bump the counter and evict any cache
+    /// entries the unwind left poisoned, so the next request for the
+    /// same design recompiles instead of wedging.
+    fn note_panic(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+        self.cache.sweep_poisoned();
+    }
+
+    /// Phantom queue depth injected by the fault plan (`queue.pressure`
+    /// site); zero without the `fault-injection` feature.
+    fn fault_queue_pressure(&self) -> usize {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault {
+            return plan.queue_pressure();
+        }
+        0
+    }
+
+    /// Arm the fault plan's `sim.panic` site on a job's run control: the
+    /// probe panics at a plan-chosen scheduler cycle, mid-simulation,
+    /// inside the batch worker's panic domain.
+    #[cfg(feature = "fault-injection")]
+    fn arm_fault_probe(&self, config: &mut SimConfig) {
+        let Some(plan) = &self.fault else { return };
+        let Some(at_cycle) = plan.sim_panic_cycle() else {
+            return;
+        };
+        let cycles = AtomicUsize::new(0);
+        config.control.probe = Some(Arc::new(move || {
+            if cycles.fetch_add(1, Ordering::Relaxed) as u64 == at_cycle {
+                panic!("injected fault: simulation panic at cycle {} (site sim.panic)", at_cycle);
+            }
+        }));
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    fn arm_fault_probe(&self, _config: &mut SimConfig) {}
 
     /// The shared design cache (exposed for tests and benchmarks).
     pub fn cache(&self) -> &DesignCache {
@@ -248,16 +354,19 @@ impl ServerState {
     /// drain the queue, and unblock the accept loop.
     pub fn begin_shutdown(&self) {
         {
-            let mut queue = self.queue.lock().unwrap();
+            let mut queue = plock(&self.queue);
             queue.shutting_down = true;
             self.shutdown_flag.store(true, Ordering::Relaxed);
             self.queue_cv.notify_all();
         }
+        // Start the drain clock: in-flight work gets this long to finish
+        // before waiters are answered with a retryable `shutdown` error.
+        *plock(&self.drain_until) = Some(Instant::now() + self.drain_deadline);
         // Dropping the command senders ends every session thread after it
         // drains already-queued commands (those replies still arrive).
-        self.sessions.lock().unwrap().map.clear();
+        plock(&self.sessions).map.clear();
         // Unblock the accept loop with one throwaway connection.
-        let addr = *self.wake_addr.lock().unwrap();
+        let addr = *plock(&self.wake_addr);
         if let Some(addr) = addr {
             let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
         }
@@ -268,12 +377,33 @@ impl ServerState {
     /// begun — the refusal and the dispatcher's drain share the queue
     /// lock, so no job can slip into the gap and hang unanswered.
     fn submit(&self, jobs: Vec<PendingJob>) -> Result<(), ProtoError> {
-        let mut queue = self.queue.lock().unwrap();
+        let mut queue = plock(&self.queue);
         if queue.shutting_down {
             return Err(ProtoError::new(
                 ErrorKind::Shutdown,
                 "server is shutting down; no new simulations are accepted",
             ));
+        }
+        // Admission control: shed the whole group (never a partial batch)
+        // when it would push the queue past the cap. The hint scales with
+        // the overshoot so heavier overload backs clients off longer.
+        if let Some(cap) = self.queue_cap {
+            let depth = queue.jobs.len() + self.fault_queue_pressure();
+            if depth + jobs.len() > cap {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                let overshoot = (depth + jobs.len() - cap) as u128;
+                return Err(ProtoError::new(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "dispatch queue is full ({} pending, cap {}); retry later",
+                        depth, cap
+                    ),
+                )
+                .with_data(
+                    "retry_after_ms",
+                    Json::uint((10 * overshoot).clamp(10, 1000)),
+                ));
+            }
         }
         queue.jobs.extend(jobs);
         self.queue_cv.notify_all();
@@ -288,7 +418,7 @@ impl ServerState {
                 ProtoError::new(ErrorKind::Source, format!("invalid LLHD assembly: {}", e))
             })?);
             let key = DesignCache::fingerprint(&module);
-            self.registry.lock().unwrap().insert(key, Arc::clone(&module));
+            plock(&self.registry).insert(key, Arc::clone(&module));
             return Ok((module, key));
         }
         let text = spec.design.as_deref().expect("parser requires source or design");
@@ -298,7 +428,7 @@ impl ServerState {
                 format!("\"design\" must be a hex key, got {:?}", text),
             )
         })?;
-        match self.registry.lock().unwrap().get(key) {
+        match plock(&self.registry).get(key) {
             Some(module) => Ok((module, key)),
             None => Err(ProtoError::new(
                 ErrorKind::UnknownDesign,
@@ -324,12 +454,20 @@ impl ServerState {
             };
             let (tx, rx) = mpsc::channel();
             meta.push(Ok((key, rx)));
+            let mut config = spec.sim_config();
+            // The budget starts at receipt, so time spent queued counts
+            // against it — an overloaded server fails deadlined jobs fast
+            // instead of running them long after the client gave up.
+            if let Some(ms) = spec.deadline_ms {
+                config.control.deadline = Some(Instant::now() + Duration::from_millis(ms));
+            }
+            self.arm_fault_probe(&mut config);
             pending.push(PendingJob {
                 module,
                 key,
                 top: spec.top.clone(),
                 engine: spec.engine,
-                config: spec.sim_config(),
+                config,
                 reply: tx,
             });
         }
@@ -340,7 +478,7 @@ impl ServerState {
         for (spec, entry) in specs.iter().zip(meta) {
             out.push(match entry {
                 Err(e) => Err(e),
-                Ok((key, rx)) => match rx.recv() {
+                Ok((key, rx)) => match self.await_reply(&rx) {
                     Ok(Ok(result)) => Ok(sim_result_json(
                         &format!("{:032x}", key),
                         &spec.top,
@@ -356,18 +494,45 @@ impl ServerState {
                         if spec.source.is_some()
                             && matches!(e, llhd_sim::api::Error::Elaborate(_))
                         {
-                            self.registry.lock().unwrap().remove(key);
+                            plock(&self.registry).remove(key);
                         }
                         Err(e.into())
                     }
-                    Err(_) => Err(ProtoError::new(
-                        ErrorKind::Shutdown,
-                        "server shut down before the job completed",
-                    )),
+                    Err(e) => Err(e),
                 },
             });
         }
         Ok(out)
+    }
+
+    /// Block on one job reply, bounded by the drain deadline once a
+    /// shutdown has begun. Without that bound a job wedged inside a
+    /// worker would hang its client (and shutdown) forever.
+    fn await_reply(
+        &self,
+        rx: &mpsc::Receiver<Result<SimResult, llhd_sim::api::Error>>,
+    ) -> Result<Result<SimResult, llhd_sim::api::Error>, ProtoError> {
+        loop {
+            match rx.recv_timeout(DRAIN_TICK) {
+                Ok(reply) => return Ok(reply),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ProtoError::new(
+                        ErrorKind::Shutdown,
+                        "server shut down before the job completed",
+                    ))
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(until) = *plock(&self.drain_until) {
+                        if Instant::now() >= until {
+                            return Err(ProtoError::new(
+                                ErrorKind::Shutdown,
+                                "shutdown drain deadline exceeded before the job completed; retry against a live server",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Open a new interactive session (optionally restoring a checkpoint
@@ -386,7 +551,7 @@ impl ServerState {
         let (module, key) = self.resolve_module(&spec)?;
         let (tx, rx) = mpsc::channel();
         let id = {
-            let mut sessions = self.sessions.lock().unwrap();
+            let mut sessions = plock(&self.sessions);
             if sessions.map.len() >= self.session_cap {
                 return Err(ProtoError::new(
                     ErrorKind::SessionLimit,
@@ -432,14 +597,7 @@ impl ServerState {
                 ),
             )
         };
-        let tx = self
-            .sessions
-            .lock()
-            .unwrap()
-            .map
-            .get(id)
-            .cloned()
-            .ok_or_else(unknown)?;
+        let tx = plock(&self.sessions).map.get(id).cloned().ok_or_else(unknown)?;
         let (reply_tx, reply_rx) = mpsc::channel();
         // A send/recv failure means the session exited between the table
         // lookup and the command (idle timeout or destroy won the race).
@@ -470,13 +628,21 @@ impl ServerState {
                 false,
             ),
             Request::Stats => {
-                let resident = self.registry.lock().unwrap().modules.len();
+                let resident = plock(&self.registry).modules.len();
                 let uptime = self.started.elapsed().as_secs();
                 let requests = self.requests.load(Ordering::Relaxed);
+                let load = ServerLoad {
+                    queue_depth: plock(&self.queue).jobs.len(),
+                    queue_cap: self.queue_cap,
+                    inflight: self.inflight.load(Ordering::Relaxed),
+                    shed: self.shed.load(Ordering::Relaxed),
+                    open_sessions: plock(&self.sessions).map.len(),
+                    panics_caught: self.panics_caught.load(Ordering::Relaxed),
+                };
                 (
                     ok_response(
                         id,
-                        stats_json(&self.cache.stats(), resident, uptime, requests),
+                        stats_json(&self.cache.stats(), resident, uptime, requests, &load),
                     ),
                     false,
                 )
@@ -511,10 +677,18 @@ impl ServerState {
                     .and_then(|snapshot| self.create_session(spec, Some(snapshot)));
                 (respond(id, outcome), false)
             }
-            Request::SessionStep { session, steps } => (
+            Request::SessionStep {
+                session,
+                steps,
+                deadline_ms,
+            } => (
                 respond(
                     id,
-                    self.session_request(&session, |reply| SessionCmd::Step { steps, reply }),
+                    self.session_request(&session, |reply| SessionCmd::Step {
+                        steps,
+                        deadline_ms,
+                        reply,
+                    }),
                 ),
                 false,
             ),
@@ -570,16 +744,18 @@ impl ServerState {
                                 ("ok", Json::Bool(true)),
                                 ("result", result),
                             ]),
-                            Err(e) => Json::obj([
-                                ("ok", Json::Bool(false)),
-                                (
-                                    "error",
-                                    Json::obj([
-                                        ("kind", Json::str(e.kind.wire_name())),
-                                        ("message", Json::str(e.message)),
-                                    ]),
-                                ),
-                            ]),
+                            Err(e) => {
+                                let mut fields = vec![
+                                    ("kind".to_string(), Json::str(e.kind.wire_name())),
+                                    ("message".to_string(), Json::str(e.message)),
+                                    ("retryable".to_string(), Json::Bool(e.kind.retryable())),
+                                ];
+                                fields.extend(e.data);
+                                Json::obj([
+                                    ("ok", Json::Bool(false)),
+                                    ("error", Json::Obj(fields)),
+                                ])
+                            }
                         })
                         .collect();
                     (
@@ -626,7 +802,7 @@ fn dispatch_loop(state: Arc<ServerState>) {
     let mut batches: Vec<JoinHandle<()>> = Vec::new();
     loop {
         let batch = {
-            let mut queue = state.queue.lock().unwrap();
+            let mut queue = plock(&state.queue);
             loop {
                 if !queue.jobs.is_empty() {
                     break Some(std::mem::take(&mut queue.jobs));
@@ -634,7 +810,10 @@ fn dispatch_loop(state: Arc<ServerState>) {
                 if queue.shutting_down {
                     break None;
                 }
-                queue = state.queue_cv.wait(queue).unwrap();
+                queue = state
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let batch = match batch {
@@ -648,8 +827,19 @@ fn dispatch_loop(state: Arc<ServerState>) {
         }));
     }
     // Graceful drain: every accepted job is answered before the
-    // dispatcher (and with it the server) exits.
-    for handle in batches {
+    // dispatcher (and with it the server) exits — bounded by the drain
+    // deadline, after which stuck batches are abandoned (their waiters
+    // are answered with `shutdown` by `await_reply`'s own deadline).
+    let until = plock(&state.drain_until)
+        .unwrap_or_else(|| Instant::now() + state.drain_deadline);
+    while !batches.is_empty() && Instant::now() < until {
+        batches.retain(|handle| !handle.is_finished());
+        if batches.is_empty() {
+            break;
+        }
+        std::thread::sleep(DRAIN_TICK);
+    }
+    for handle in batches.into_iter().filter(|h| h.is_finished()) {
         let _ = handle.join();
     }
 }
@@ -692,7 +882,7 @@ fn session_thread(
     let mut session = match built {
         Ok(session) => session,
         Err(e) => {
-            state.sessions.lock().unwrap().map.remove(&id);
+            plock(&state.sessions).map.remove(&id);
             let _ = ready.send(Err(e));
             return;
         }
@@ -712,32 +902,67 @@ fn session_thread(
             // Idle timeout, or the server dropped the handle (shutdown).
             Err(_) => break None,
         };
-        match cmd {
+        // Each command runs inside its own panic domain. A panicking
+        // handler costs this session its life (the engine may be mid-
+        // update), but the command is still answered and the server —
+        // and every other session — keeps running.
+        let (reply, outcome) = match cmd {
             SessionCmd::Destroy { reply } => break Some(reply),
-            SessionCmd::Step { steps, reply } => {
-                let _ = reply.send(step_session(&mut session, steps));
-            }
-            SessionCmd::Peek { signal, reply } => {
-                let _ = reply.send(peek_session(&session, &signal));
-            }
+            SessionCmd::Step {
+                steps,
+                deadline_ms,
+                reply,
+            } => (
+                reply,
+                catch_unwind(AssertUnwindSafe(|| {
+                    step_session(&mut session, steps, deadline_ms)
+                })),
+            ),
+            SessionCmd::Peek { signal, reply } => (
+                reply,
+                catch_unwind(AssertUnwindSafe(|| peek_session(&session, &signal))),
+            ),
             SessionCmd::Poke {
                 signal,
                 value,
                 reply,
-            } => {
-                let _ = reply.send(poke_session(&mut session, &signal, value));
+            } => (
+                reply,
+                catch_unwind(AssertUnwindSafe(|| {
+                    poke_session(&mut session, &signal, value)
+                })),
+            ),
+            SessionCmd::Query { query, reply } => (
+                reply,
+                catch_unwind(AssertUnwindSafe(|| {
+                    let index = index
+                        .get_or_insert_with(|| DesignQuery::build(&module, session.design()));
+                    run_query(&session, index, &query)
+                })),
+            ),
+            SessionCmd::Checkpoint { reply } => (
+                reply,
+                catch_unwind(AssertUnwindSafe(|| checkpoint_session(&session))),
+            ),
+        };
+        match outcome {
+            Ok(result) => {
+                let _ = reply.send(result);
             }
-            SessionCmd::Query { query, reply } => {
-                let index = index
-                    .get_or_insert_with(|| DesignQuery::build(&module, session.design()));
-                let _ = reply.send(run_query(&session, index, &query));
-            }
-            SessionCmd::Checkpoint { reply } => {
-                let _ = reply.send(checkpoint_session(&session));
+            Err(payload) => {
+                state.note_panic();
+                let _ = reply.send(Err(ProtoError::new(
+                    ErrorKind::Internal,
+                    format!(
+                        "session command panicked: {} (the session has been destroyed)",
+                        panic_message(&*payload)
+                    ),
+                )));
+                break None;
             }
         }
     };
-    state.sessions.lock().unwrap().map.remove(&id);
+    plock(&state.sessions).map.remove(&id);
     if let Some(reply) = destroy_reply {
         let kind = session.engine_kind();
         let outcome = session
@@ -750,19 +975,59 @@ fn session_thread(
     }
 }
 
-/// `session.step`: advance up to `steps` scheduler cycles.
-fn step_session(session: &mut SimSession, steps: usize) -> Result<Json, ProtoError> {
+/// `session.step`: advance up to `steps` scheduler cycles, optionally
+/// bounded by a wall-clock budget. A blown budget is reported with the
+/// progress made (`steps_taken`, `end_time_fs`) and does *not* destroy
+/// the session — the abort happens between cycles, where engine state is
+/// consistent, so the client can simply step again.
+fn step_session(
+    session: &mut SimSession,
+    steps: usize,
+    deadline_ms: Option<u64>,
+) -> Result<Json, ProtoError> {
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    if let Some(deadline) = deadline {
+        session.set_control(RunControl::with_deadline(deadline));
+    }
     let mut taken = 0usize;
     let mut more = true;
-    while taken < steps && more {
-        more = session.step()?;
-        taken += 1;
+    let outcome = loop {
+        if taken >= steps || !more {
+            break Ok(());
+        }
+        // Belt and braces: the engine checks the deadline at the top of
+        // each cycle too, but a `steps`-loop over a control-less engine
+        // (e.g. after a future engine ignores `set_control`) must still
+        // terminate.
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                break Err(llhd_sim::api::Error::DeadlineExceeded {
+                    time_fs: session.time().as_femtos(),
+                });
+            }
+        }
+        match session.step() {
+            Ok(m) => {
+                more = m;
+                taken += 1;
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    if deadline.is_some() {
+        session.set_control(RunControl::default());
     }
-    Ok(Json::obj([
-        ("steps", Json::uint(taken as u128)),
-        ("done", Json::Bool(!more)),
-        ("time_fs", Json::uint(session.time().as_femtos())),
-    ]))
+    match outcome {
+        Ok(()) => Ok(Json::obj([
+            ("steps", Json::uint(taken as u128)),
+            ("done", Json::Bool(!more)),
+            ("time_fs", Json::uint(session.time().as_femtos())),
+        ])),
+        Err(e @ llhd_sim::api::Error::DeadlineExceeded { .. }) => {
+            Err(ProtoError::from(e).with_data("steps_taken", Json::uint(taken as u128)))
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// A signal value on the wire: always the printed form, plus the plain
@@ -919,6 +1184,7 @@ fn run_query(
 
 /// Execute one micro-batch and deliver the replies.
 fn run_micro_batch(state: &ServerState, batch: Vec<PendingJob>) {
+    state.inflight.fetch_add(batch.len(), Ordering::Relaxed);
     let jobs: Vec<BatchJob> = batch
         .iter()
         .map(|job| BatchJob {
@@ -930,7 +1196,11 @@ fn run_micro_batch(state: &ServerState, batch: Vec<PendingJob>) {
         })
         .collect();
     let results = SimSession::run_batch(&jobs, Some(&state.cache));
+    state.inflight.fetch_sub(batch.len(), Ordering::Relaxed);
     for (job, result) in batch.iter().zip(results) {
+        if matches!(result, Err(llhd_sim::api::Error::Panic(_))) {
+            state.note_panic();
+        }
         // A dropped receiver (client went away mid-run) is fine.
         let _ = job.reply.send(result);
     }
@@ -945,6 +1215,10 @@ struct LineReader<R> {
     /// scanned once — a near-64-MiB line must not cost a fresh full-buffer
     /// scan per 8 KiB read.
     scanned: usize,
+    /// Set when an oversized line was rejected: bytes are discarded until
+    /// the next newline, so the connection survives the bad line instead
+    /// of desynchronizing on its tail.
+    discarding: bool,
     eof: bool,
 }
 
@@ -954,17 +1228,25 @@ impl<R: Read> LineReader<R> {
             inner,
             buf: Vec::new(),
             scanned: 0,
+            discarding: false,
             eof: false,
         }
     }
 
     /// The next `\n`-terminated line (terminator stripped), `None` at EOF.
+    /// An over-limit line returns one `InvalidData` error and is then
+    /// skipped; the reader stays usable for the lines after it.
     fn next_line(&mut self) -> io::Result<Option<String>> {
         loop {
             if let Some(offset) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
                 let pos = self.scanned + offset;
                 let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
                 self.scanned = 0;
+                if self.discarding {
+                    // The tail of the rejected oversized line.
+                    self.discarding = false;
+                    continue;
+                }
                 line.pop(); // the newline
                 if line.last() == Some(&b'\r') {
                     line.pop();
@@ -972,8 +1254,14 @@ impl<R: Read> LineReader<R> {
                 return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
             }
             self.scanned = self.buf.len();
+            if self.discarding {
+                // No newline yet: everything buffered is still the
+                // oversized line's body. Drop it without growing.
+                self.buf.clear();
+                self.scanned = 0;
+            }
             if self.eof {
-                if self.buf.is_empty() {
+                if self.buf.is_empty() || self.discarding {
                     return Ok(None);
                 }
                 let line = std::mem::take(&mut self.buf);
@@ -981,6 +1269,9 @@ impl<R: Read> LineReader<R> {
                 return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
             }
             if self.buf.len() > MAX_LINE_BYTES {
+                self.buf.clear();
+                self.scanned = 0;
+                self.discarding = true;
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "request line exceeds the 64 MiB limit",
@@ -999,7 +1290,9 @@ impl<R: Read> LineReader<R> {
 
 /// Serve one connection: read request lines, write response lines. Reads
 /// that time out re-check the shutdown flag, so idle TCP connections
-/// unblock during shutdown.
+/// unblock during shutdown. An oversized line costs a `protocol` error
+/// response, and a panicking handler an `internal_error` — the
+/// connection itself survives both.
 fn handle_connection(
     state: &Arc<ServerState>,
     reader: impl Read,
@@ -1019,18 +1312,53 @@ fn handle_connection(
                 }
                 continue;
             }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized line: the reader has switched to discarding
+                // its tail, so answer and keep serving this connection.
+                let error = ProtoError::new(ErrorKind::Protocol, e.to_string());
+                writeln!(writer, "{}", error_response(None, &error))?;
+                writer.flush()?;
+                continue;
+            }
             Err(e) => return Err(e),
         };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, close) = state.handle_line(&line);
+        let (response, close) =
+            match catch_unwind(AssertUnwindSafe(|| state.handle_line(&line))) {
+                Ok(handled) => handled,
+                Err(payload) => {
+                    state.note_panic();
+                    // Salvage the request id so the client can correlate
+                    // the failure, even though its handler died.
+                    let id = Json::parse(&line).ok().and_then(|v| request_id(&v));
+                    let error = ProtoError::new(
+                        ErrorKind::Internal,
+                        format!("request handler panicked: {}", panic_message(&*payload)),
+                    );
+                    (error_response(id, &error), false)
+                }
+            };
         writeln!(writer, "{}", response)?;
         writer.flush()?;
         if close {
             return Ok(());
         }
     }
+}
+
+/// One TCP connection's read side, optionally wrapped in the fault
+/// plan's faulty reader (`io.read` sites) when the chaos harness is
+/// armed.
+fn serve_one(state: &Arc<ServerState>, stream: &TcpStream) {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = state.fault.clone() {
+        let reader = crate::fault::FaultyReader::new(stream, plan);
+        let _ = handle_connection(state, reader, stream);
+        return;
+    }
+    let _ = handle_connection(state, stream, stream);
 }
 
 /// A persistent simulation server. Construct with [`Server::new`], then
@@ -1106,7 +1434,7 @@ impl Server {
     ///
     /// Propagates accept-loop I/O failures.
     pub fn serve_tcp(self, listener: TcpListener) -> io::Result<()> {
-        *self.state.wake_addr.lock().unwrap() = Some(listener.local_addr()?);
+        *plock(&self.state.wake_addr) = Some(listener.local_addr()?);
         let dispatcher = self.spawn_dispatcher();
         let logger = self.spawn_stats_logger();
         let mut connections = Vec::new();
@@ -1128,9 +1456,7 @@ impl Server {
             // would add artificial latency to every response.
             let _ = stream.set_nodelay(true);
             let state = self.state();
-            connections.push(std::thread::spawn(move || {
-                let _ = handle_connection(&state, &stream, &stream);
-            }));
+            connections.push(std::thread::spawn(move || serve_one(&state, &stream)));
         }
         // Drain: connections first (they may still be waiting on replies,
         // which need the dispatcher alive), then the dispatcher.
@@ -1191,8 +1517,11 @@ impl RunningServer {
     ///
     /// Propagates the serving thread's I/O error, if any.
     pub fn join(self) -> io::Result<()> {
-        self.thread.join().unwrap_or_else(|_| {
-            Err(io::Error::other("server thread panicked"))
+        self.thread.join().unwrap_or_else(|payload| {
+            Err(io::Error::other(format!(
+                "server thread panicked: {}",
+                panic_message(&*payload)
+            )))
         })
     }
 }

@@ -908,3 +908,340 @@ fn session_cap_and_idle_timeout_bound_the_table() {
     shutdown(&mut client);
     running.join().unwrap();
 }
+
+/// The acceptance path for request deadlines: a `deadline_ms: 1` budget
+/// on the RISC-V core — a simulation that takes far longer than a
+/// millisecond — must come back as `deadline_exceeded` promptly, on both
+/// engines, instead of hanging until the run completes.
+#[test]
+fn a_blown_deadline_fails_fast_on_both_engines() {
+    let design = llhd_designs::all_designs()
+        .into_iter()
+        .find(|d| d.name == "RISC-V Core")
+        .expect("benchmark design exists");
+    let module = design.build().unwrap();
+    let source = llhd::assembly::write_module(&module);
+    // Far more cycles than a millisecond of wall clock can simulate.
+    let until = design.sim_time_ns(200_000);
+
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    for engine in ["interpret", "compile"] {
+        let started = std::time::Instant::now();
+        let response = client
+            .request(&sim_request(vec![
+                ("source", Json::str(source.clone())),
+                ("top", Json::str(design.top)),
+                ("engine", Json::str(engine)),
+                ("until_ns", Json::uint(until)),
+                ("deadline_ms", Json::Int(1)),
+            ]))
+            .unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+        let error = response.get("error").unwrap();
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{}: {}",
+            engine,
+            response
+        );
+        assert_eq!(error.get("retryable"), Some(&Json::Bool(false)));
+        // The partial progress is reported on the error.
+        assert!(error.get("end_time_fs").is_some(), "{}", response);
+        // "Fast" leaves slack for elaboration/compilation of the design
+        // (not covered by the between-cycles deadline checks), but a
+        // hang to completion would take far longer still.
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "{}: deadline_ms=1 took {:?}",
+            engine,
+            elapsed
+        );
+    }
+    // The same design without a deadline still completes: the deadline
+    // machinery adds no persistent state.
+    let fine = client
+        .request(&sim_request(vec![
+            ("source", Json::str(source.clone())),
+            ("top", Json::str(design.top)),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::uint(design.sim_time_ns(20))),
+        ]))
+        .unwrap();
+    assert_eq!(fine.get("ok"), Some(&Json::Bool(true)), "{}", fine);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// A blown `session.step` budget reports progress and leaves the session
+/// alive and resumable — the abort lands between scheduler cycles, where
+/// engine state is consistent.
+#[test]
+fn session_step_deadline_reports_progress_and_keeps_the_session() {
+    let running = spawn(ServerConfig::default());
+    let mut client = Client::connect(running.addr()).unwrap();
+    let created = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.create")),
+            ("source", Json::str(COUNTER)),
+            ("top", Json::str("counter")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(1_000_000_000)),
+        ],
+    );
+    let id = session_id(&created);
+    let response = client
+        .request(&Json::obj([
+            ("type", Json::str("session.step")),
+            ("session", Json::str(id.clone())),
+            ("steps", Json::Int(500_000_000)),
+            ("deadline_ms", Json::Int(20)),
+        ]))
+        .unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+    let error = response.get("error").unwrap();
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("deadline_exceeded"),
+        "{}",
+        response
+    );
+    let taken = error
+        .get("steps_taken")
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("no steps_taken on {}", response));
+    assert!(taken > 0, "some cycles must have run: {}", response);
+    assert!(error.get("end_time_fs").is_some(), "{}", response);
+    // The session survived the blown budget: stepping again works and
+    // continues from where the abort left off.
+    let resumed = ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.step")),
+            ("session", Json::str(id.clone())),
+            ("steps", Json::Int(5)),
+        ],
+    );
+    assert_eq!(resumed.get("steps"), Some(&Json::Int(5)), "{}", resumed);
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(id)),
+        ],
+    );
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// Admission control: a job group larger than the queue cap is shed as a
+/// whole with a retryable `overloaded` error carrying `retry_after_ms`,
+/// and the shed shows up in `stats.load`.
+#[test]
+fn overlarge_job_groups_are_shed_with_a_retry_hint() {
+    let running = spawn(ServerConfig {
+        queue_cap: Some(1),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let jobs: Vec<Json> = (0..3)
+        .map(|_| {
+            Json::obj([
+                ("source", Json::str(BLINK)),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(10)),
+            ])
+        })
+        .collect();
+    let response = client
+        .request(&Json::obj([
+            ("type", Json::str("batch")),
+            ("jobs", Json::Arr(jobs)),
+        ]))
+        .unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+    let error = response.get("error").unwrap();
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("overloaded"),
+        "{}",
+        response
+    );
+    assert_eq!(error.get("retryable"), Some(&Json::Bool(true)), "{}", response);
+    let hint = error
+        .get("retry_after_ms")
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("no retry_after_ms on {}", response));
+    assert!(hint > 0, "{}", response);
+    // The shed is counted, and a job group that fits still runs.
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    let shed = stats
+        .get("result")
+        .and_then(|r| r.get("load"))
+        .and_then(|l| l.get("shed"))
+        .and_then(Json::as_int)
+        .unwrap();
+    assert_eq!(shed, 1, "{}", stats);
+    let single = client
+        .request(&sim_request(vec![
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(10)),
+        ]))
+        .unwrap();
+    assert_eq!(single.get("ok"), Some(&Json::Bool(true)), "{}", single);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// An oversized request line (past the 64 MiB cap) is answered with a
+/// `protocol` error and the connection survives to serve the next line.
+#[test]
+fn an_oversized_line_is_rejected_but_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    let running = spawn(ServerConfig::default());
+    let mut raw = std::net::TcpStream::connect(running.addr()).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    // Stream just over 64 MiB without a newline: the reject must fire on
+    // size alone, before any terminator arrives.
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..65 {
+        raw.write_all(&chunk).unwrap();
+    }
+    raw.write_all(b"tail\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("protocol"),
+        "{}",
+        response
+    );
+    assert!(
+        response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("64 MiB"),
+        "{}",
+        response
+    );
+    // Same connection, next line: a normal request still round-trips
+    // (the reader discarded the oversized line's tail, including the
+    // bytes that arrived after the error was sent).
+    writeln!(raw, r#"{{"type":"ping","id":7}}"#).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let pong = Json::parse(line.trim()).unwrap();
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)), "{}", pong);
+    assert_eq!(pong.get("id"), Some(&Json::Int(7)), "{}", pong);
+    let mut client = Client::connect(running.addr()).unwrap();
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// The idle-expiry race: a command that lands around the moment the
+/// session expires must get a clean answer either way (`ok` or
+/// `unknown_session`), and a command that is *running* when the idle
+/// clock would fire keeps the session alive — busy is not idle.
+#[test]
+fn idle_expiry_racing_an_in_flight_command_is_clean() {
+    let running = spawn(ServerConfig {
+        session_idle_timeout: Some(Duration::from_millis(120)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let create_fields = || {
+        vec![
+            ("type", Json::str("session.create")),
+            ("source", Json::str(COUNTER)),
+            ("top", Json::str("counter")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(1_000_000_000)),
+        ]
+    };
+    // Busy is not idle: a step that runs well past the idle timeout must
+    // not expire its own session mid-command, and the session is still
+    // there afterwards (the command reset the idle clock).
+    let busy = ok_result(&mut client, create_fields());
+    let busy_id = session_id(&busy);
+    let started = std::time::Instant::now();
+    let mut stepped = Json::Bool(false);
+    // Keep stepping until we have provably straddled the idle window.
+    while started.elapsed() < Duration::from_millis(300) {
+        stepped = ok_result(
+            &mut client,
+            vec![
+                ("type", Json::str("session.step")),
+                ("session", Json::str(busy_id.clone())),
+                ("steps", Json::Int(50_000)),
+            ],
+        );
+    }
+    assert!(stepped.get("steps").is_some());
+    let peeked = client
+        .request(&Json::obj([
+            ("type", Json::str("session.peek")),
+            ("session", Json::str(busy_id.clone())),
+            ("signal", Json::str("counter.out")),
+        ]))
+        .unwrap();
+    assert_eq!(
+        peeked.get("ok"),
+        Some(&Json::Bool(true)),
+        "an active session expired mid-use: {}",
+        peeked
+    );
+    ok_result(
+        &mut client,
+        vec![
+            ("type", Json::str("session.destroy")),
+            ("session", Json::str(busy_id)),
+        ],
+    );
+    // The expiry edge: fire commands right around the idle deadline.
+    // Whatever side of the race each lands on, the answer is well-formed
+    // — ok, or a clean unknown_session — never a hang or a dead server.
+    for wait_ms in [100u64, 115, 120, 125, 140] {
+        let created = ok_result(&mut client, create_fields());
+        let id = session_id(&created);
+        std::thread::sleep(Duration::from_millis(wait_ms));
+        let response = client
+            .request(&Json::obj([
+                ("type", Json::str("session.step")),
+                ("session", Json::str(id.clone())),
+                ("steps", Json::Int(1)),
+            ]))
+            .unwrap();
+        match response.get("ok") {
+            Some(&Json::Bool(true)) => {
+                ok_result(
+                    &mut client,
+                    vec![
+                        ("type", Json::str("session.destroy")),
+                        ("session", Json::str(id)),
+                    ],
+                );
+            }
+            Some(&Json::Bool(false)) => {
+                assert_eq!(
+                    response.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+                    Some("unknown_session"),
+                    "{}",
+                    response
+                );
+            }
+            other => panic!("malformed response ok={:?}: {}", other, response),
+        }
+    }
+    shutdown(&mut client);
+    running.join().unwrap();
+}

@@ -54,7 +54,7 @@
 //!   threads, one worker per core.
 
 use crate::design::{elaborate, ElaborateError, ElaboratedDesign, SignalId, SignalInfo};
-use crate::engine::{SimConfig, SimError, SimResult, Simulator};
+use crate::engine::{RunControl, SimConfig, SimError, SimResult, Simulator};
 use crate::trace::{write_vcd_change, Trace, TraceEvent};
 use llhd::ir::Module;
 use llhd::value::{ConstValue, TimeValue};
@@ -84,6 +84,19 @@ pub enum Error {
     BackendUnavailable(String),
     /// A `peek`/`poke` named a signal the design does not contain.
     UnknownSignal(String),
+    /// The run used up its wall-clock budget
+    /// ([`crate::RunControl::deadline`]). The field carries the
+    /// simulation time (in femtoseconds) the run had reached when it was
+    /// cut off, so callers can report partial progress.
+    DeadlineExceeded {
+        /// Simulation time reached before the abort, in femtoseconds.
+        time_fs: u128,
+    },
+    /// The engine (or the code driving it) panicked. The payload is the
+    /// panic message; the job that raised it is lost but the process —
+    /// and, through [`catch_unwind`](std::panic::catch_unwind) isolation
+    /// in [`SimSession::run_batch`], every sibling job — survives.
+    Panic(String),
 }
 
 impl fmt::Display for Error {
@@ -94,6 +107,12 @@ impl fmt::Display for Error {
             Error::Runtime(msg) => write!(f, "runtime error: {}", msg),
             Error::BackendUnavailable(msg) => write!(f, "no compile backend: {}", msg),
             Error::UnknownSignal(name) => write!(f, "unknown signal '{}'", name),
+            Error::DeadlineExceeded { time_fs } => write!(
+                f,
+                "deadline exceeded: wall-clock budget used up at simulation time {} fs",
+                time_fs
+            ),
+            Error::Panic(msg) => write!(f, "simulation panicked: {}", msg),
         }
     }
 }
@@ -118,7 +137,23 @@ impl From<SimError> for Error {
         match e {
             SimError::Elaborate(e) => Error::Elaborate(e),
             SimError::Runtime(msg) => Error::Runtime(msg),
+            // The raw conversion does not know how far the engine got;
+            // the session layer rebuilds the variant with the real time.
+            SimError::DeadlineExceeded => Error::DeadlineExceeded { time_fs: 0 },
         }
+    }
+}
+
+/// Render a panic payload (the `Box<dyn Any>` from
+/// [`std::panic::catch_unwind`] or [`std::thread::JoinHandle::join`])
+/// into the human-readable message it almost always carries.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -202,6 +237,13 @@ pub trait Engine {
     /// Fails when the checkpoint belongs to a different engine kind or a
     /// design of a different shape, or on corrupt bytes.
     fn restore(&mut self, state: &EngineState) -> Result<(), SimError>;
+    /// Replace the cooperative [`RunControl`] (wall-clock deadline,
+    /// instrumentation probe) consulted between scheduler cycles.
+    /// Returns `false` for engines without run-control support; the
+    /// default implementation ignores the control.
+    fn set_control(&mut self, _control: RunControl) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -361,6 +403,10 @@ impl<'a> Engine for Simulator<'a> {
     }
     fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
         Simulator::restore(self, state)
+    }
+    fn set_control(&mut self, control: RunControl) -> bool {
+        self.config_mut().control = control;
+        true
     }
 }
 
@@ -733,6 +779,16 @@ struct CacheEntry {
 /// One lockable cache slot per `(fingerprint, top)` key.
 type SharedCacheEntry = Arc<Mutex<CacheEntry>>;
 
+/// Lock a mutex, recovering from poison. Used for bookkeeping locks
+/// (the cache map, batch slots) whose guarded state is updated in
+/// single non-panicking assignments — a poisoned guard there means a
+/// *sibling* operation panicked, not that the state is torn.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Map-level bookkeeping for one cached design. Lives *outside* the
 /// per-entry lock so the eviction scan and [`DesignCache::stats`] never
 /// have to take entry locks that may be held across an elaboration or
@@ -890,7 +946,7 @@ impl DesignCache {
         self.capacity
             .store(capacity.unwrap_or(0), Ordering::Relaxed);
         if capacity.unwrap_or(0) > 0 {
-            self.evict_over_capacity(&mut self.entries.lock().unwrap(), None);
+            self.evict_over_capacity(&mut lock_recover(&self.entries), None);
         }
     }
 
@@ -928,6 +984,43 @@ impl DesignCache {
         }
     }
 
+    /// Lock a cache entry, recovering from poison by evicting its
+    /// contents: a poisoned entry means a fill (or a panic injected by
+    /// the fault harness) unwound while holding the lock, so the
+    /// possibly half-built artifacts are discarded and the caller
+    /// refills from scratch instead of wedging every future lookup of
+    /// this design behind a `PoisonError`.
+    fn lock_entry<'a>(&self, slot: &'a SharedCacheEntry) -> std::sync::MutexGuard<'a, CacheEntry> {
+        match slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = CacheEntry::default();
+                slot.clear_poison();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Evict every design whose entry lock is poisoned (a fill panicked
+    /// while holding it and nobody has re-requested the design since).
+    /// The batch runner and the server call this after catching a
+    /// panic; a no-op when nothing is poisoned.
+    pub fn sweep_poisoned(&self) {
+        let mut map = lock_recover(&self.entries);
+        let poisoned: Vec<_> = map
+            .slots
+            .iter()
+            .filter(|(_, slot)| slot.entry.is_poisoned())
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in poisoned {
+            map.slots.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The content hash used as the cache key for `module`. This encodes
     /// the module to bitcode (O(module size)); callers that look the same
     /// module up repeatedly should compute it once and use the `_keyed`
@@ -941,7 +1034,7 @@ impl DesignCache {
     /// lock is held only for this probe; the returned entry carries its
     /// own lock.
     fn entry(&self, fingerprint: u128, top: &str) -> SharedCacheEntry {
-        let mut map = self.entries.lock().unwrap();
+        let mut map = lock_recover(&self.entries);
         map.tick += 1;
         let tick = map.tick;
         let key = (fingerprint, top.to_string());
@@ -964,7 +1057,7 @@ impl DesignCache {
     /// may have been evicted while the fill ran; that is fine — the caller
     /// still holds its own `Arc` and the estimate dies with the slot.
     fn note_fill(&self, fingerprint: u128, top: &str, approx_bytes: usize, compiled: bool) {
-        let mut map = self.entries.lock().unwrap();
+        let mut map = lock_recover(&self.entries);
         if let Some(slot) = map.slots.get_mut(&(fingerprint, top.to_string())) {
             slot.approx_bytes = slot.approx_bytes.max(approx_bytes);
             slot.compiled |= compiled;
@@ -992,7 +1085,7 @@ impl DesignCache {
         top: &str,
     ) -> Result<Arc<ElaboratedDesign>, Error> {
         let slot = self.entry(fingerprint, top);
-        let mut entry = slot.lock().unwrap();
+        let mut entry = self.lock_entry(&slot);
         if let Some(found) = &entry.elaborated {
             self.elaborate_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(found));
@@ -1016,7 +1109,7 @@ impl DesignCache {
     /// elaborations/compilations must not leak placeholder entries into
     /// `len()` or grow the map in a long-running server.
     fn discard_if_empty(&self, fingerprint: u128, top: &str) {
-        let mut map = self.entries.lock().unwrap();
+        let mut map = lock_recover(&self.entries);
         let key = (fingerprint, top.to_string());
         let empty = map.slots.get(&key).is_some_and(|slot| {
             slot.entry
@@ -1059,7 +1152,7 @@ impl DesignCache {
         backend: &CompileBackend,
     ) -> Result<(Arc<ElaboratedDesign>, CompiledArtifact), Error> {
         let slot = self.entry(fingerprint, top);
-        let mut entry = slot.lock().unwrap();
+        let mut entry = self.lock_entry(&slot);
         if let (Some(design), Some(artifact)) = (&entry.elaborated, &entry.compiled) {
             self.compile_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(design), Arc::clone(artifact)));
@@ -1132,7 +1225,7 @@ impl DesignCache {
 
     /// The number of cached designs.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().slots.len()
+        lock_recover(&self.entries).slots.len()
     }
 
     /// Whether the cache is empty.
@@ -1143,7 +1236,7 @@ impl DesignCache {
     /// Drop all cached designs (counters are kept; in-flight sessions keep
     /// their own `Arc`s and are unaffected, like eviction).
     pub fn clear(&self) {
-        self.entries.lock().unwrap().slots.clear();
+        lock_recover(&self.entries).slots.clear();
     }
 
     /// Snapshot the observability surface: counters, live entries, the
@@ -1174,7 +1267,7 @@ impl DesignCache {
     /// assert!(stats.approx_bytes > 0);
     /// ```
     pub fn stats(&self) -> CacheStats {
-        let map = self.entries.lock().unwrap();
+        let map = lock_recover(&self.entries);
         let mut designs: Vec<DesignStats> = map
             .slots
             .iter()
@@ -1561,6 +1654,18 @@ impl<'m> SimSession<'m> {
         self.engine.time()
     }
 
+    /// Arm (or disarm, with `RunControl::default()`) the engine's
+    /// cooperative run control: a wall-clock deadline and an
+    /// instrumentation probe, checked between scheduler cycles. This is
+    /// how a server grants a fresh budget per command on a long-lived
+    /// session — a deadline abort does not poison the session (see
+    /// [`SimSession::step`]). Returns `false` when the underlying engine
+    /// does not support run control; the driver then has to enforce
+    /// budgets between its own `step` calls.
+    pub fn set_control(&mut self, control: RunControl) -> bool {
+        self.engine.set_control(control)
+    }
+
     /// Run the initialization phase without advancing time (idempotent;
     /// [`SimSession::step`] calls it automatically).
     ///
@@ -1588,6 +1693,16 @@ impl<'m> SimSession<'m> {
             Ok(more) => {
                 self.pump_sinks();
                 Ok(more)
+            }
+            Err(SimError::DeadlineExceeded) => {
+                // A deadline abort happens between cycles, with the
+                // engine state fully consistent: the session stays
+                // usable and can resume under a fresh budget, so it is
+                // deliberately NOT recorded as a permanent failure.
+                self.pump_sinks();
+                Err(Error::DeadlineExceeded {
+                    time_fs: self.engine.time().as_femtos(),
+                })
             }
             Err(e) => {
                 let e: Error = e.into();
@@ -1816,8 +1931,24 @@ impl<'m> SimSession<'m> {
                     if let (Some(cache), Some(key)) = (cache, keys[i]) {
                         builder = builder.cache(cache).cache_key(key);
                     }
-                    let result = builder.build().and_then(|session| session.run());
-                    *slots[i].lock().unwrap() = Some(result);
+                    // Panic isolation: a panicking engine must cost its
+                    // own job an `Error::Panic`, not unwind through the
+                    // scope and take the sibling jobs (and the caller)
+                    // down with it.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || builder.build().and_then(|session| session.run()),
+                    ))
+                    .unwrap_or_else(|payload| {
+                        // A panic mid-build may have poisoned the job's
+                        // cache slot; evict poisoned entries so the next
+                        // request for the same design recompiles instead
+                        // of wedging on the poison forever.
+                        if let Some(cache) = cache {
+                            cache.sweep_poisoned();
+                        }
+                        Err(Error::Panic(panic_message(&*payload)))
+                    });
+                    *lock_recover(&slots[i]) = Some(result);
                 });
             }
         });
@@ -1825,7 +1956,7 @@ impl<'m> SimSession<'m> {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .expect("every batch slot is filled by a worker")
             })
             .collect()

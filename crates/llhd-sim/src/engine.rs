@@ -26,6 +26,7 @@ use llhd::value::{ConstValue, TimeValue};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -41,6 +42,9 @@ pub struct SimConfig {
     /// Restrict the trace to signals whose name ends with one of these
     /// suffixes. `None` records every signal.
     pub trace_filter: Option<Vec<String>>,
+    /// Cooperative run control: wall-clock deadline and instrumentation
+    /// probe, checked between scheduler cycles.
+    pub control: RunControl,
 }
 
 impl Default for SimConfig {
@@ -51,7 +55,72 @@ impl Default for SimConfig {
             max_steps_per_activation: 1_000_000,
             trace: true,
             trace_filter: None,
+            control: RunControl::default(),
         }
+    }
+}
+
+/// Cooperative run control, checked by both engines between scheduler
+/// cycles — the boundary at which state is fully consistent, so an
+/// interrupted run can resume (or be abandoned) without poisoning the
+/// engine. The chunked [`Simulator::step`] resume makes these checks
+/// nearly free: one branch when inactive, one `Instant::now()` per
+/// cycle when a deadline is armed.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    /// Abort with [`SimError::DeadlineExceeded`] once this wall-clock
+    /// instant passes.
+    pub deadline: Option<Instant>,
+    /// Called at every control check. Used by the fault-injection
+    /// harness to panic at a deterministic point mid-simulation; the
+    /// probe runs before the deadline comparison.
+    pub probe: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("deadline", &self.deadline)
+            .field("probe", &self.probe.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// Abort once the given wall-clock instant passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        RunControl {
+            deadline: Some(deadline),
+            probe: None,
+        }
+    }
+
+    /// Abort once the given budget, measured from now, is used up.
+    pub fn deadline_in(budget: Duration) -> Self {
+        RunControl::with_deadline(Instant::now() + budget)
+    }
+
+    /// Whether any control is armed (a disarmed control is a single
+    /// branch per cycle).
+    pub fn is_active(&self) -> bool {
+        self.deadline.is_some() || self.probe.is_some()
+    }
+
+    /// Run the probe and enforce the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeadlineExceeded`] once the deadline passes.
+    pub fn check(&self) -> Result<(), SimError> {
+        if let Some(probe) = &self.probe {
+            probe();
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(SimError::DeadlineExceeded);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -84,6 +153,12 @@ impl SimConfig {
         self.trace_filter = Some(names.iter().map(|s| s.to_string()).collect());
         self
     }
+
+    /// Attach cooperative run control (deadline/probe).
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
 }
 
 /// An error produced during simulation.
@@ -94,6 +169,10 @@ pub enum SimError {
     /// The design used a construct the simulator does not support, or ran
     /// away (delta loop, non-suspending process).
     Runtime(String),
+    /// The run used up its wall-clock budget ([`RunControl::deadline`]).
+    /// Raised between scheduler cycles, so the engine state is consistent
+    /// and the run can be resumed with a fresh budget.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +180,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::Elaborate(e) => write!(f, "elaboration error: {}", e),
             SimError::Runtime(msg) => write!(f, "runtime error: {}", msg),
+            SimError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: the run used up its wall-clock budget")
+            }
         }
     }
 }
@@ -332,6 +414,11 @@ impl<'a> Simulator<'a> {
     /// delta cycles, or processes that fail to suspend.
     pub fn step(&mut self) -> Result<bool, SimError> {
         self.initialize()?;
+        if self.config.control.is_active() {
+            // Checked before the cycle starts: state is consistent, so a
+            // deadline abort leaves the engine resumable (no poisoning).
+            self.config.control.check()?;
+        }
         let mut to_run = std::mem::take(&mut self.to_run_buf);
         let mut outcome = self.core.next_cycle(&mut to_run);
         if let Ok(true) = outcome {
@@ -396,6 +483,13 @@ impl<'a> Simulator<'a> {
     /// The current simulation time.
     pub fn time(&self) -> TimeValue {
         self.core.time()
+    }
+
+    /// Mutable access to the run configuration, used to re-arm
+    /// [`RunControl`] between commands on a live engine. Changing the
+    /// scheduling-relevant fields mid-run is not supported.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.config
     }
 
     /// The elaborated design this simulator executes.

@@ -50,6 +50,6 @@ pub mod trace;
 pub use api::{BatchJob, DesignCache, EngineKind, EngineState, SimSession, TraceSink};
 pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
 pub use query::DesignQuery;
-pub use engine::{SimConfig, SimError, SimResult, Simulator};
+pub use engine::{RunControl, SimConfig, SimError, SimResult, Simulator};
 pub use sched::{EventQueue, SchedCore};
 pub use trace::{Trace, TraceEvent};

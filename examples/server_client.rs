@@ -12,6 +12,40 @@
 
 use llhd_server::json::Json;
 use llhd_server::{Client, Server, ServerConfig};
+use std::time::Duration;
+
+/// Send one request, honouring the server's `retryable` classification:
+/// a failure marked `"retryable":true` (overloaded, shutting down) is
+/// retried with capped exponential backoff, seeded by the server's own
+/// `retry_after_ms` hint when it sends one. Non-retryable errors and
+/// successes return immediately — retrying a `source` error would just
+/// fail identically forever.
+fn request_with_retry(client: &mut Client, request: &Json, attempts: u32) -> Json {
+    const CAP: Duration = Duration::from_millis(500);
+    let mut backoff = Duration::from_millis(10);
+    let mut attempt = 1;
+    loop {
+        let response = client.request(request).expect("request");
+        let error = response.get("error");
+        let retryable = error.and_then(|e| e.get("retryable")) == Some(&Json::Bool(true));
+        if !retryable || attempt >= attempts {
+            return response;
+        }
+        let wait = error
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_int)
+            .map(|ms| Duration::from_millis(ms as u64))
+            .unwrap_or(backoff)
+            .min(CAP);
+        println!(
+            "retry:      attempt {} got a retryable error; backing off {:?}",
+            attempt, wait
+        );
+        std::thread::sleep(wait);
+        backoff = (backoff * 2).min(CAP);
+        attempt += 1;
+    }
+}
 
 const BLINK: &str = r#"
 proc @blink () -> (i1$ %led) {
@@ -28,10 +62,13 @@ next:
 "#;
 
 fn main() {
-    // A bounded server: at most 16 designs stay cached, LRU beyond that.
+    // A bounded server: at most 16 designs stay cached (LRU beyond
+    // that), and at most 2 jobs queue — more and the server sheds load
+    // with a retryable `overloaded` error instead of buffering unboundedly.
     let running = Server::spawn_tcp(
         ServerConfig {
             cache_capacity: Some(16),
+            queue_cap: Some(2),
             ..ServerConfig::default()
         },
         "127.0.0.1:0",
@@ -235,7 +272,85 @@ fn main() {
         ]))
         .expect("destroy resumed session");
 
-    // 5. Graceful shutdown: in-flight work drains, then the server exits.
+    // 5. Admission control, from the client's side: a batch of three
+    //    jobs overruns the queue cap of two, so the server sheds it with
+    //    `overloaded` + `retry_after_ms`. The retry helper backs off and
+    //    retries; a group that is *structurally* larger than the cap can
+    //    never fit, so after the attempts run out the right move is to
+    //    split it — and the smaller pieces sail through.
+    let big_batch = Json::obj([
+        ("type", Json::str("batch")),
+        (
+            "jobs",
+            Json::Arr(
+                (0..3)
+                    .map(|_| {
+                        Json::obj([
+                            ("design", Json::str(key.clone())),
+                            ("top", Json::str("blink")),
+                            ("engine", Json::str("interpret")),
+                            ("until_ns", Json::Int(20)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let shed = request_with_retry(&mut client, &big_batch, 3);
+    assert_eq!(
+        shed.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("overloaded"),
+        "{}",
+        shed
+    );
+    println!(
+        "overload:   3-job batch shed ({}); splitting it",
+        shed.get("error").and_then(|e| e.get("message")).and_then(Json::as_str).unwrap_or(""),
+    );
+    for _ in 0..3 {
+        let one = request_with_retry(
+            &mut client,
+            &Json::obj([
+                ("type", Json::str("sim")),
+                ("design", Json::str(key.clone())),
+                ("top", Json::str("blink")),
+                ("engine", Json::str("interpret")),
+                ("until_ns", Json::Int(20)),
+            ]),
+            5,
+        );
+        assert_eq!(one.get("ok"), Some(&Json::Bool(true)), "{}", one);
+    }
+    println!("overload:   the three jobs ran fine one at a time");
+
+    // 6. A wall-clock budget on a request: `deadline_ms` bounds how long
+    //    the server may spend simulating before answering with
+    //    `deadline_exceeded` (not retryable — the job is simply too big
+    //    for the budget) and the progress it made.
+    let budgeted = request_with_retry(
+        &mut client,
+        &Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str(key.clone())),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(500_000_000)),
+            ("deadline_ms", Json::Int(10)),
+        ]),
+        3,
+    );
+    let error = budgeted.get("error").expect("deadline error");
+    println!(
+        "deadline:   10 ms budget blown at {} fs ({}, retryable: {})",
+        error.get("end_time_fs").and_then(Json::as_int).unwrap_or(0),
+        error.get("kind").and_then(Json::as_str).unwrap_or("?"),
+        error.get("retryable").and_then(|r| match r {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }).unwrap_or(false),
+    );
+
+    // 7. Graceful shutdown: in-flight work drains, then the server exits.
     let ack = client
         .request(&Json::obj([("type", Json::str("shutdown"))]))
         .expect("shutdown request");
