@@ -71,6 +71,80 @@ grep -q '"signal_changes":20' "$SMOKE_DIR/responses" || {
 }
 echo "ci.sh: server stdio smoke test OK"
 
+# Router smoke test: the fleet tier end to end through the real binaries.
+# Two workers on ephemeral ports, a stdio router in front: ping, a
+# source-keyed sim, a design-key sim (served via the router's placement
+# memo), a fleet stats rollup, shutdown. Five ok-responses out, workers
+# still alive afterwards (the router is a tier, not their supervisor),
+# all under a hard timeout. The design key is the one-line blink
+# source's content fingerprint, deterministic for that exact text (the
+# id-2 request above ships it, and its response echoes the key).
+./target/release/llhd-server --tcp 127.0.0.1:0 --stats-interval 0 --server-id smoke-w0 \
+    2> "$SMOKE_DIR/w0.log" & W0_PID=$!
+./target/release/llhd-server --tcp 127.0.0.1:0 --stats-interval 0 --server-id smoke-w1 \
+    2> "$SMOKE_DIR/w1.log" & W1_PID=$!
+trap 'kill $W0_PID $W1_PID 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+for LOG in w0.log w1.log; do
+    TRIES=0
+    until grep -q 'listening on' "$SMOKE_DIR/$LOG"; do
+        TRIES=$((TRIES + 1))
+        if [ "$TRIES" -gt 100 ]; then
+            echo "ci.sh: router smoke test: a worker never announced its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+W0_ADDR=$(sed -n 's/.*listening on //p' "$SMOKE_DIR/w0.log" | head -n 1)
+W1_ADDR=$(sed -n 's/.*listening on //p' "$SMOKE_DIR/w1.log" | head -n 1)
+cat > "$SMOKE_DIR/router-requests" <<'EOF'
+{"type":"ping","id":1}
+{"type":"sim","id":2,"source":"proc @blink () -> (i1$ %led) { entry: %on = const i1 1 %off = const i1 0 %t = const time 5ns drv i1$ %led, %on after %t wait %next for %t next: drv i1$ %led, %off after %t wait %entry for %t }","top":"blink","until_ns":100}
+{"type":"sim","id":3,"design":"1ad3ee7740fe7fb7a31948fd806ba3c6","top":"blink","until_ns":100}
+{"type":"stats","id":4}
+{"type":"shutdown","id":5}
+EOF
+timeout 60 ./target/release/llhd-router --stdio \
+    --worker "w0=$W0_ADDR" --worker "w1=$W1_ADDR" \
+    < "$SMOKE_DIR/router-requests" > "$SMOKE_DIR/router-responses" || {
+    echo "ci.sh: router stdio smoke test failed or timed out" >&2
+    cat "$SMOKE_DIR/router-responses" >&2
+    exit 1
+}
+ROUTER_OK=$(grep -c '"ok":true' "$SMOKE_DIR/router-responses" || true)
+if [ "$ROUTER_OK" != "5" ]; then
+    echo "ci.sh: router smoke test failed; responses were:" >&2
+    cat "$SMOKE_DIR/router-responses" >&2
+    exit 1
+fi
+# The keyed sim (id 3) must have been served, not rejected as unknown —
+# the placement memo routes it to the worker that elaborated the source.
+grep -q '"id":3,"result":{"design":"1ad3ee7740fe7fb7a31948fd806ba3c6"' \
+    "$SMOKE_DIR/router-responses" || {
+    echo "ci.sh: router smoke test: keyed sim was not served from the fleet:" >&2
+    cat "$SMOKE_DIR/router-responses" >&2
+    exit 1
+}
+# The rollup names both workers by their self-reported identity.
+for WID in smoke-w0 smoke-w1; do
+    grep -q "\"server_id\":\"$WID\"" "$SMOKE_DIR/router-responses" || {
+        echo "ci.sh: router smoke test: stats rollup is missing $WID:" >&2
+        cat "$SMOKE_DIR/router-responses" >&2
+        exit 1
+    }
+done
+# The workers outlive the router's shutdown.
+for PID in $W0_PID $W1_PID; do
+    kill -0 "$PID" 2>/dev/null || {
+        echo "ci.sh: router smoke test: a worker died with the router" >&2
+        exit 1
+    }
+done
+kill $W0_PID $W1_PID 2>/dev/null
+wait $W0_PID $W1_PID 2>/dev/null || true
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+echo "ci.sh: router stdio smoke test OK"
+
 # Benchmark regression gate: re-measure the simulation and serialization
 # suites in quick mode and fail if any median regressed more than 20%
 # against the committed BENCH_simulation.json / BENCH_serialization.json

@@ -136,6 +136,7 @@ pub fn simulation_suite(h: &mut Harness) {
     }
     server_throughput(h);
     server_overload_shed(h);
+    router_fleet_throughput(h);
     session_step_peek(h);
     checkpoint_roundtrip(h);
 }
@@ -398,6 +399,126 @@ fn server_overload_shed(h: &mut Harness) {
         .expect("shutdown");
     assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
     running.join().expect("server exits cleanly");
+}
+
+/// Workers in the `router/fleet-throughput` fleet.
+const FLEET_WORKERS: usize = 2;
+/// Concurrent clients against the router.
+const FLEET_CLIENTS: usize = 4;
+
+/// The fleet-routing path end to end: N clients fire warm design-key
+/// requests at an `llhd-router` in front of a fleet of workers. Against
+/// `server/throughput` (same request mix, one worker, no router), the
+/// delta is the routing tax — one extra JSON parse, the placement
+/// lookup, and one extra network hop per request — paid for spreading
+/// the work over every worker's cache and cores.
+fn router_fleet_throughput(h: &mut Harness) {
+    use llhd_router::{Router, RouterConfig, WorkerSpec};
+    use llhd_server::json::Json;
+    use llhd_server::{Client, Server, ServerConfig};
+
+    if !h.wants("router/fleet-throughput") {
+        return;
+    }
+    let workers: Vec<llhd_server::RunningServer> = (0..FLEET_WORKERS)
+        .map(|_| {
+            Server::spawn_tcp(ServerConfig::default(), "127.0.0.1:0")
+                .expect("bind an ephemeral port")
+        })
+        .collect();
+    let router = Router::spawn_tcp(
+        RouterConfig {
+            workers: workers
+                .iter()
+                .enumerate()
+                .map(|(i, worker)| WorkerSpec {
+                    id: format!("w{}", i),
+                    addr: worker.addr(),
+                })
+                .collect(),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind the router");
+    // Warm through the router: the source submission places each design
+    // on its ring owner and teaches the router its fingerprint, so the
+    // measured keyed requests route straight to the warm worker.
+    let mut warm = Client::connect(router.addr()).expect("connect");
+    let mut requests = Vec::new();
+    for design in all_designs() {
+        let module = design.build().expect("design must build");
+        let response = warm
+            .request(&Json::obj([
+                ("type", Json::str("sim")),
+                ("source", Json::str(write_module(&module))),
+                ("top", Json::str(design.top)),
+                ("engine", Json::str("compile")),
+                ("until_ns", Json::uint(design.sim_time_ns(SIMULATION_CYCLES))),
+            ]))
+            .expect("warm request");
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "warmup failed: {}",
+            response
+        );
+        let key = response
+            .get("result")
+            .and_then(|r| r.get("design"))
+            .and_then(Json::as_str)
+            .expect("design key")
+            .to_string();
+        requests.push(Json::obj([
+            ("type", Json::str("sim")),
+            ("design", Json::str(key)),
+            ("top", Json::str(design.top)),
+            ("engine", Json::str("compile")),
+            ("until_ns", Json::uint(design.sim_time_ns(SIMULATION_CYCLES))),
+        ]));
+    }
+    let clients: Vec<std::sync::Mutex<Client>> = (0..FLEET_CLIENTS)
+        .map(|_| std::sync::Mutex::new(Client::connect(router.addr()).expect("connect")))
+        .collect();
+    h.bench_throughput(
+        "router/fleet-throughput",
+        SIMULATION_CYCLES * (FLEET_CLIENTS * requests.len()) as u64,
+        || {
+            std::thread::scope(|scope| {
+                for (i, slot) in clients.iter().enumerate() {
+                    let requests = &requests;
+                    scope.spawn(move || {
+                        let mut client = slot.lock().unwrap();
+                        for k in 0..requests.len() {
+                            let request = &requests[(k + i) % requests.len()];
+                            let response = client.request(request).expect("request");
+                            assert_eq!(
+                                response.get("ok"),
+                                Some(&Json::Bool(true)),
+                                "fleet error: {}",
+                                response
+                            );
+                        }
+                    });
+                }
+            });
+        },
+    );
+    drop(clients);
+    let mut closer = Client::connect(router.addr()).expect("connect");
+    let ack = closer
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .expect("shutdown");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    router.join().expect("router exits cleanly");
+    for worker in workers {
+        let mut direct = Client::connect(worker.addr()).expect("connect");
+        let ack = direct
+            .request(&Json::obj([("type", Json::str("shutdown"))]))
+            .expect("shutdown");
+        assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+        worker.join().expect("worker exits cleanly");
+    }
 }
 
 /// The Table 4 serialization suite: text emission/parsing and bitcode

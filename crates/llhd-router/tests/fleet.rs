@@ -1,0 +1,263 @@
+//! The multi-process fleet test: a router in front of three *real*
+//! `llhd-server` worker processes, one of which is killed in the middle
+//! of a request storm. Every storm response must be a well-formed
+//! success or a retryable error — never a hang, a malformed line, or a
+//! non-retryable failure — and the fleet must recover: the survivors
+//! keep serving, the rollup reports the death, and a replacement worker
+//! on the same address is marked back up by the health loop.
+
+use llhd_router::{Router, RouterConfig, WorkerSpec};
+use llhd_server::json::Json;
+use llhd_server::Client;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BLINK: &str = "proc @blink () -> (i1$ %led) { entry: %on = const i1 1 %off = const i1 0 %t = const time 5ns drv i1$ %led, %on after %t wait %next for %t next: drv i1$ %led, %off after %t wait %entry for %t }";
+
+/// The `llhd-server` binary next to this test's own artifacts, built on
+/// demand when the test runs before the workspace's binaries exist.
+fn server_binary() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // the test binary's hash-named file
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    let binary = path.join(format!("llhd-server{}", std::env::consts::EXE_SUFFIX));
+    if binary.exists() {
+        return binary;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", "llhd-server", "--bin", "llhd-server"]);
+    if path.file_name().and_then(|n| n.to_str()) == Some("release") {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build");
+    assert!(status.success(), "building llhd-server failed");
+    assert!(binary.exists(), "no llhd-server binary at {:?}", binary);
+    binary
+}
+
+/// A worker process plus the address it announced on stderr.
+struct WorkerProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawn one worker on `addr` (use `127.0.0.1:0` for an ephemeral port)
+/// and wait for its "listening on" announcement.
+fn spawn_worker(binary: &PathBuf, server_id: &str, addr: &str) -> WorkerProcess {
+    let mut child = Command::new(binary)
+        .args(["--tcp", addr, "--stats-interval", "0", "--server-id", server_id])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn llhd-server");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let announcement = lines
+        .next()
+        .expect("the worker announces its address")
+        .expect("read the announcement");
+    let addr: SocketAddr = announcement
+        .rsplit(' ')
+        .next()
+        .and_then(|text| text.parse().ok())
+        .unwrap_or_else(|| panic!("odd announcement: {:?}", announcement));
+    // Keep draining stderr so the worker never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    WorkerProcess { child, addr }
+}
+
+/// Whether a response is acceptable during the storm: a success, or an
+/// error explicitly marked retryable (the kill manifests as `shutdown`
+/// or `overloaded` pass-throughs and router-synthesized retryables).
+fn acceptable(response: &Json) -> bool {
+    match response.get("ok") {
+        Some(Json::Bool(true)) => true,
+        Some(Json::Bool(false)) => {
+            response
+                .get("error")
+                .and_then(|e| e.get("retryable"))
+                == Some(&Json::Bool(true))
+        }
+        _ => false,
+    }
+}
+
+fn ping_workers_up(client: &mut Client) -> i128 {
+    let pong = client
+        .request(&Json::obj([("type", Json::str("ping"))]))
+        .expect("router ping");
+    pong.get("result")
+        .and_then(|r| r.get("workers_up"))
+        .and_then(Json::as_int)
+        .expect("workers_up in the router pong")
+}
+
+/// Poll the router until `workers_up` reaches `want` (the health loop
+/// needs a ping round to notice a change).
+fn await_workers_up(client: &mut Client, want: i128, budget: Duration) {
+    let start = Instant::now();
+    loop {
+        if ping_workers_up(client) == want {
+            return;
+        }
+        assert!(
+            start.elapsed() < budget,
+            "fleet never reached {} workers up",
+            want
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_storm_yields_only_retryable_errors_and_recovers() {
+    let binary = server_binary();
+    let mut workers: Vec<WorkerProcess> = (0..3)
+        .map(|i| spawn_worker(&binary, &format!("fleet-w{}", i), "127.0.0.1:0"))
+        .collect();
+    let specs: Vec<WorkerSpec> = workers
+        .iter()
+        .enumerate()
+        .map(|(i, worker)| WorkerSpec {
+            id: format!("w{}", i),
+            addr: worker.addr,
+        })
+        .collect();
+    let router = Router::spawn_tcp(
+        RouterConfig {
+            workers: specs,
+            ping_interval: Duration::from_millis(100),
+            call_timeout: Duration::from_secs(30),
+            ..RouterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind the router");
+
+    // The storm: 6 clients, each submitting salted variants of the same
+    // design so placement spreads over the whole fleet. Worker 2 dies
+    // once a third of the traffic is through.
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 25;
+    let done = Arc::new(AtomicUsize::new(0));
+    let bad: Vec<Json> = std::thread::scope(|scope| {
+        let kill_done = Arc::clone(&done);
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client_index| {
+                let done = Arc::clone(&done);
+                let addr = router.addr();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to the router");
+                    let mut bad = Vec::new();
+                    for i in 0..PER_CLIENT {
+                        let salt = "\n".repeat((client_index * PER_CLIENT + i) % 17);
+                        let request = Json::obj([
+                            ("type", Json::str("sim")),
+                            ("source", Json::str(format!("{}{}", BLINK, salt))),
+                            ("top", Json::str("blink")),
+                            ("engine", Json::str("interpret")),
+                            ("until_ns", Json::Int(50)),
+                        ]);
+                        match client.request(&request) {
+                            Ok(response) => {
+                                if !acceptable(&response) {
+                                    bad.push(response);
+                                }
+                            }
+                            Err(e) => panic!("the router connection itself died: {}", e),
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    bad
+                })
+            })
+            .collect();
+
+        // The killer: wait for a third of the storm, then kill worker 2.
+        let victim = &mut workers[2];
+        while kill_done.load(Ordering::Relaxed) < CLIENTS * PER_CLIENT / 3 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        victim.child.kill().expect("kill the victim");
+        let _ = victim.child.wait();
+
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm client"))
+            .collect()
+    });
+    assert!(
+        bad.is_empty(),
+        "storm saw {} non-retryable failures; first: {}",
+        bad.len(),
+        bad[0]
+    );
+
+    // Recovery, phase 1: the survivors carry the fleet. The health loop
+    // notices the death, the rollup reports it, and fresh requests --
+    // including ones whose keys used to live on the victim -- succeed.
+    let mut client = Client::connect(router.addr()).expect("connect post-storm");
+    await_workers_up(&mut client, 2, Duration::from_secs(10));
+    let stats = client
+        .request(&Json::obj([("type", Json::str("stats"))]))
+        .unwrap();
+    let rollup = stats
+        .get("result")
+        .and_then(|r| r.get("workers"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    let down: Vec<&str> = rollup
+        .iter()
+        .filter(|w| w.get("state").and_then(Json::as_str) == Some("down"))
+        .map(|w| w.get("id").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(down, vec!["w2"], "{}", stats);
+    let markdowns = stats
+        .get("result")
+        .and_then(|r| r.get("router"))
+        .and_then(|r| r.get("markdowns"))
+        .and_then(Json::as_int)
+        .unwrap();
+    assert!(markdowns >= 1, "{}", stats);
+    let after = client
+        .request(&Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("until_ns", Json::Int(50)),
+        ]))
+        .unwrap();
+    assert_eq!(after.get("ok"), Some(&Json::Bool(true)), "{}", after);
+
+    // Recovery, phase 2: a replacement on the victim's address is
+    // marked back up by the health loop — no router restart, no
+    // reconfiguration.
+    let victim_addr = workers[2].addr.to_string();
+    workers[2] = spawn_worker(&binary, "fleet-w2-reborn", &victim_addr);
+    await_workers_up(&mut client, 3, Duration::from_secs(10));
+
+    // Shut the router down; the workers outlive it (the router is a
+    // tier, not a supervisor) and are killed explicitly.
+    let ack = client
+        .request(&Json::obj([("type", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)), "{}", ack);
+    router.join().expect("clean router exit");
+    for mut worker in workers {
+        assert!(
+            worker.child.try_wait().expect("probe the worker").is_none(),
+            "a worker died with the router"
+        );
+        worker.child.kill().expect("kill the worker");
+        let _ = worker.child.wait();
+    }
+}

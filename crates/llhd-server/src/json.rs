@@ -437,6 +437,29 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pair_escapes_decode_and_lone_halves_are_rejected() {
+        // A valid pair combines into one astral code point; the first
+        // and last representable pairs bound the range.
+        assert_eq!(Json::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(Json::parse(r#""𐀀""#).unwrap().as_str(), Some("\u{10000}"));
+        assert_eq!(Json::parse(r#""􏿿""#).unwrap().as_str(), Some("\u{10ffff}"));
+        // A lone high surrogate at end of string.
+        assert!(Json::parse(r#""\ud83d""#).unwrap_err().contains("lone surrogate"));
+        // A high surrogate followed by a non-escape character.
+        assert!(Json::parse(r#""\ud83dx""#).unwrap_err().contains("lone surrogate"));
+        // A high surrogate followed by a non-\u escape.
+        assert!(Json::parse(r#""\ud83d\n""#).unwrap_err().contains("lone surrogate"));
+        // A high surrogate followed by a \u unit that is not a low half
+        // (another high surrogate, and a plain BMP unit).
+        assert!(Json::parse(r#""\ud83d\ud83d""#).unwrap_err().contains("lone surrogate"));
+        assert!(Json::parse("\"\\ud83d\\u0041\"").unwrap_err().contains("lone surrogate"));
+        // A lone *low* surrogate never had a high half to pair with.
+        assert!(Json::parse(r#""\ude00\ud83d""#).unwrap_err().contains("invalid \\u escape"));
+        // A truncated second unit dies in the hex reader, not the pairing.
+        assert!(Json::parse(r#""\ud83d\ude0""#).unwrap_err().contains("hex digit"));
+    }
+
+    #[test]
     fn malformed_input_is_rejected_with_positions() {
         for bad in [
             "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",

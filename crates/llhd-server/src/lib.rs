@@ -42,7 +42,10 @@
 pub mod fault;
 pub mod json;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod wire;
 
 pub use protocol::{ErrorKind, ProtoError, Request, SimJobSpec, TraceMode, PROTOCOL_VERSION};
 pub use server::{Client, RunningServer, Server, ServerConfig, ServerState};
+pub use wire::{LineReader, MAX_LINE_BYTES};

@@ -5,7 +5,7 @@
 //! ```text
 //! llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS]
 //!             [--session-cap N] [--session-idle SECS] [--queue-cap N]
-//!             [--drain-deadline SECS]
+//!             [--drain-deadline SECS] [--server-id ID]
 //!
 //!   --stdio                requests on stdin, responses on stdout (default)
 //!   --tcp ADDR             listen on ADDR (e.g. 127.0.0.1:7171; port 0 = ephemeral)
@@ -18,6 +18,8 @@
 //!                          `overloaded` error (default: unbounded)
 //!   --drain-deadline SECS  abandon in-flight work SECS seconds into a
 //!                          graceful shutdown (default 30)
+//!   --server-id ID         identity reported in ping/stats responses
+//!                          (default: derived from pid + start time)
 //! ```
 //!
 //! With the `fault-injection` feature compiled in, the `LLHD_FAULT_PLAN`
@@ -30,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS] [--session-cap N] [--session-idle SECS] [--queue-cap N] [--drain-deadline SECS]"
+        "usage: llhd-server [--stdio | --tcp ADDR] [--capacity N] [--stats-interval SECS] [--session-cap N] [--session-idle SECS] [--queue-cap N] [--drain-deadline SECS] [--server-id ID]"
     );
     std::process::exit(2);
 }
@@ -76,6 +78,7 @@ fn main() {
     let mut session_idle: Option<u64> = None;
     let mut queue_cap: Option<usize> = None;
     let mut drain_deadline: Option<u64> = None;
+    let mut server_id: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -129,6 +132,13 @@ fn main() {
                 }
                 None => usage(),
             },
+            "--server-id" => match argv.get(i + 1) {
+                Some(id) => {
+                    server_id = Some(id.clone());
+                    i += 1;
+                }
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("llhd-server: unknown argument {:?}", other);
@@ -150,6 +160,7 @@ fn main() {
         session_idle_timeout: session_idle.map(Duration::from_secs),
         queue_cap,
         drain_deadline: drain_deadline.map(Duration::from_secs),
+        server_id,
         ..ServerConfig::default()
     };
     fault_plan_from_env(&mut config);

@@ -725,16 +725,21 @@ pub struct ServerLoad {
 }
 
 /// Render a cache-stats snapshot (plus server-level counters) into the
-/// `stats` response payload.
+/// `stats` response payload. `server_id` and `uptime_ms` are additive
+/// (protocol v1 version rule): they let a fleet router attribute the
+/// numbers to one worker without inferring identity from the transport.
 pub fn stats_json(
     stats: &CacheStats,
+    server_id: &str,
     resident_modules: usize,
-    uptime_secs: u64,
+    uptime: std::time::Duration,
     requests: usize,
     load: &ServerLoad,
 ) -> Json {
     Json::obj([
-        ("uptime_secs", Json::uint(uptime_secs as u128)),
+        ("server_id", Json::str(server_id)),
+        ("uptime_secs", Json::uint(uptime.as_secs() as u128)),
+        ("uptime_ms", Json::uint(uptime.as_millis())),
         ("requests", Json::uint(requests as u128)),
         ("resident_modules", Json::uint(resident_modules as u128)),
         (

@@ -44,6 +44,7 @@ use crate::protocol::{
     error_response, hex_decode, hex_encode, ok_response, request_id, sim_result_json, stats_json,
     ErrorKind, ProtoError, QueryKind, Request, ServerLoad, SimJobSpec,
 };
+use crate::wire::LineReader;
 use llhd::assembly::parse_module;
 use llhd::ir::Module;
 use llhd::value::ConstValue;
@@ -68,10 +69,16 @@ fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Reject lines longer than this (64 MiB): a missing newline must not
-/// buffer unbounded garbage. The largest benchmark design's assembly is
-/// three orders of magnitude smaller.
-const MAX_LINE_BYTES: usize = 64 << 20;
+/// The default `server_id` when none is configured: pid plus start time,
+/// so restarts of the same process slot (same pid reused, same `--tcp`
+/// address) still read as distinct workers in a fleet rollup.
+fn default_server_id() -> String {
+    let epoch_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    format!("{:x}-{:x}", std::process::id(), epoch_ms)
+}
 
 /// How long a connection thread blocks in `read` before re-checking the
 /// shutdown flag (TCP only; stdio cannot portably time out).
@@ -118,6 +125,10 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight jobs before abandoning
     /// them. `None`: the built-in default (30 seconds).
     pub drain_deadline: Option<Duration>,
+    /// Stable identity this process reports in `ping` and `stats`
+    /// responses (`server_id`), so a fleet router can attribute
+    /// per-worker numbers. `None`: a pid+start-time derived default.
+    pub server_id: Option<String>,
     /// The deterministic fault plan driving the chaos harness. `None`:
     /// no faults. Only present with the `fault-injection` feature.
     #[cfg(feature = "fault-injection")]
@@ -246,6 +257,8 @@ pub struct ServerState {
     /// Where a shutdown must connect to unblock the TCP accept loop.
     wake_addr: Mutex<Option<SocketAddr>>,
     started: Instant,
+    /// The identity reported in `ping`/`stats` (`server_id`).
+    server_id: String,
     /// Simulation jobs accepted (batch jobs count individually).
     requests: AtomicUsize,
     /// Open interactive sessions.
@@ -287,6 +300,11 @@ impl ServerState {
             shutdown_flag: AtomicBool::new(false),
             wake_addr: Mutex::new(None),
             started: Instant::now(),
+            server_id: config
+                .server_id
+                .clone()
+                .filter(|id| !id.is_empty())
+                .unwrap_or_else(default_server_id),
             requests: AtomicUsize::new(0),
             sessions: Mutex::default(),
             session_cap: config.session_cap.unwrap_or(DEFAULT_SESSION_CAP),
@@ -343,6 +361,11 @@ impl ServerState {
     /// The shared design cache (exposed for tests and benchmarks).
     pub fn cache(&self) -> &DesignCache {
         &self.cache
+    }
+
+    /// The identity this server reports in `ping`/`stats` responses.
+    pub fn server_id(&self) -> &str {
+        &self.server_id
     }
 
     /// Whether shutdown has begun.
@@ -624,12 +647,19 @@ impl ServerState {
         };
         match request {
             Request::Ping => (
-                ok_response(id, Json::obj([("pong", Json::Bool(true))])),
+                ok_response(
+                    id,
+                    Json::obj([
+                        ("pong", Json::Bool(true)),
+                        ("server_id", Json::str(self.server_id.clone())),
+                        ("uptime_ms", Json::uint(self.started.elapsed().as_millis())),
+                    ]),
+                ),
                 false,
             ),
             Request::Stats => {
                 let resident = plock(&self.registry).modules.len();
-                let uptime = self.started.elapsed().as_secs();
+                let uptime = self.started.elapsed();
                 let requests = self.requests.load(Ordering::Relaxed);
                 let load = ServerLoad {
                     queue_depth: plock(&self.queue).jobs.len(),
@@ -642,7 +672,14 @@ impl ServerState {
                 (
                     ok_response(
                         id,
-                        stats_json(&self.cache.stats(), resident, uptime, requests, &load),
+                        stats_json(
+                            &self.cache.stats(),
+                            &self.server_id,
+                            resident,
+                            uptime,
+                            requests,
+                            &load,
+                        ),
                     ),
                     false,
                 )
@@ -1203,88 +1240,6 @@ fn run_micro_batch(state: &ServerState, batch: Vec<PendingJob>) {
         }
         // A dropped receiver (client went away mid-run) is fine.
         let _ = job.reply.send(result);
-    }
-}
-
-/// Incremental line reader that tolerates read timeouts (propagated to
-/// the caller as `WouldBlock`/`TimedOut`, with all buffered bytes kept).
-struct LineReader<R> {
-    inner: R,
-    buf: Vec<u8>,
-    /// Bytes of `buf` already scanned for a newline, so each chunk is
-    /// scanned once — a near-64-MiB line must not cost a fresh full-buffer
-    /// scan per 8 KiB read.
-    scanned: usize,
-    /// Set when an oversized line was rejected: bytes are discarded until
-    /// the next newline, so the connection survives the bad line instead
-    /// of desynchronizing on its tail.
-    discarding: bool,
-    eof: bool,
-}
-
-impl<R: Read> LineReader<R> {
-    fn new(inner: R) -> Self {
-        LineReader {
-            inner,
-            buf: Vec::new(),
-            scanned: 0,
-            discarding: false,
-            eof: false,
-        }
-    }
-
-    /// The next `\n`-terminated line (terminator stripped), `None` at EOF.
-    /// An over-limit line returns one `InvalidData` error and is then
-    /// skipped; the reader stays usable for the lines after it.
-    fn next_line(&mut self) -> io::Result<Option<String>> {
-        loop {
-            if let Some(offset) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let pos = self.scanned + offset;
-                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
-                self.scanned = 0;
-                if self.discarding {
-                    // The tail of the rejected oversized line.
-                    self.discarding = false;
-                    continue;
-                }
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-            }
-            self.scanned = self.buf.len();
-            if self.discarding {
-                // No newline yet: everything buffered is still the
-                // oversized line's body. Drop it without growing.
-                self.buf.clear();
-                self.scanned = 0;
-            }
-            if self.eof {
-                if self.buf.is_empty() || self.discarding {
-                    return Ok(None);
-                }
-                let line = std::mem::take(&mut self.buf);
-                self.scanned = 0;
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-            }
-            if self.buf.len() > MAX_LINE_BYTES {
-                self.buf.clear();
-                self.scanned = 0;
-                self.discarding = true;
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "request line exceeds the 64 MiB limit",
-                ));
-            }
-            let mut chunk = [0u8; 8192];
-            match self.inner.read(&mut chunk) {
-                Ok(0) => self.eof = true,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
     }
 }
 

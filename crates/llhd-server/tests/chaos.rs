@@ -226,6 +226,34 @@ fn a_seeded_fault_storm_cannot_kill_the_server() {
         "the panic site never fired (seed {})",
         seed
     );
+    // Injected panics must surface to clients as `internal_error`
+    // responses. The storm tally usually shows them already, but a
+    // panic's response can be eaten by an injected read fault on the
+    // same connection (the client reconnects and the retried request
+    // need not draw another panic) — so when the storm came up empty,
+    // probe sequentially until one surfaces: the plan stays armed and
+    // the panic site fires every few simulations. The probe runs long
+    // enough (≥ 32 scheduler cycles) that every fired `sim.panic` draw
+    // reaches its chosen cycle (`word % 32`) instead of outliving the
+    // simulation, so each probe panics with the site's full rate.
+    if total.internal == 0 {
+        let probe_request = Json::obj([
+            ("type", Json::str("sim")),
+            ("source", Json::str(BLINK)),
+            ("top", Json::str("blink")),
+            ("engine", Json::str("interpret")),
+            ("until_ns", Json::Int(400)),
+        ]);
+        let mut probe_client: Option<Client> = None;
+        let mut probe = Tally::default();
+        for _ in 0..100 {
+            chaotic_request(&mut probe_client, addr, &probe_request, &mut probe);
+            if probe.internal > 0 {
+                break;
+            }
+        }
+        total.internal += probe.internal;
+    }
     assert!(
         total.internal > 0,
         "injected panics must surface as internal_error responses: {:?}",

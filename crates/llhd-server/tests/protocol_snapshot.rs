@@ -45,7 +45,8 @@ fn normalize(value: Json) -> Json {
             fields
                 .into_iter()
                 .map(|(key, value)| match key.as_str() {
-                    "uptime_secs" | "approx_bytes" => (key, Json::Int(0)),
+                    "uptime_secs" | "uptime_ms" | "approx_bytes" => (key, Json::Int(0)),
+                    "server_id" => (key, Json::str("<server-id>")),
                     _ => (key, normalize(value)),
                 })
                 .collect(),

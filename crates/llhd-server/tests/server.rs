@@ -1099,6 +1099,79 @@ fn overlarge_job_groups_are_shed_with_a_retry_hint() {
     running.join().unwrap();
 }
 
+/// The `retry_after_ms` hint scales with the queue overshoot — 10 ms per
+/// excess job, clamped to [10, 1000] — so heavier overload backs clients
+/// off longer while a marginal overrun retries quickly.
+#[test]
+fn retry_after_ms_scales_with_the_queue_overshoot() {
+    let running = spawn(ServerConfig {
+        queue_cap: Some(1),
+        server_id: Some("overshoot-test".to_string()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let batch_of = |n: usize| {
+        Json::obj([
+            ("type", Json::str("batch")),
+            (
+                "jobs",
+                Json::Arr(
+                    (0..n)
+                        .map(|_| {
+                            Json::obj([
+                                ("source", Json::str(BLINK)),
+                                ("top", Json::str("blink")),
+                                ("engine", Json::str("interpret")),
+                                ("until_ns", Json::Int(10)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    let hint_for = |client: &mut Client, jobs: usize| {
+        let response = client.request(&batch_of(jobs)).unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{}", response);
+        response
+            .get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| panic!("no retry_after_ms on {}", response))
+    };
+    // With an empty queue and cap 1: a group of n overshoots by n - 1.
+    assert_eq!(hint_for(&mut client, 3), 20);
+    assert_eq!(hint_for(&mut client, 11), 100);
+    // The hint is clamped at one second no matter how deep the overshoot.
+    assert_eq!(hint_for(&mut client, 200), 1000);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
+/// The additive identity fields: `ping` and `stats` both report the
+/// configured `server_id` and a monotone `uptime_ms`, so a fleet router
+/// can attribute per-worker numbers.
+#[test]
+fn ping_and_stats_report_server_id_and_uptime() {
+    let running = spawn(ServerConfig {
+        server_id: Some("w-test-1".to_string()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr()).unwrap();
+    let pong = client.request(&Json::obj([("type", Json::str("ping"))])).unwrap();
+    let result = pong.get("result").unwrap();
+    assert_eq!(result.get("pong"), Some(&Json::Bool(true)), "{}", pong);
+    assert_eq!(result.get("server_id").and_then(Json::as_str), Some("w-test-1"), "{}", pong);
+    let uptime = result.get("uptime_ms").and_then(Json::as_int).unwrap();
+    assert!(uptime >= 0, "{}", pong);
+    let stats = client.request(&Json::obj([("type", Json::str("stats"))])).unwrap();
+    let result = stats.get("result").unwrap();
+    assert_eq!(result.get("server_id").and_then(Json::as_str), Some("w-test-1"), "{}", stats);
+    assert!(result.get("uptime_ms").and_then(Json::as_int).unwrap() >= uptime, "{}", stats);
+    shutdown(&mut client);
+    running.join().unwrap();
+}
+
 /// An oversized request line (past the 64 MiB cap) is answered with a
 /// `protocol` error and the connection survives to serve the next line.
 #[test]

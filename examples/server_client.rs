@@ -12,39 +12,16 @@
 
 use llhd_server::json::Json;
 use llhd_server::{Client, Server, ServerConfig};
-use std::time::Duration;
 
-/// Send one request, honouring the server's `retryable` classification:
-/// a failure marked `"retryable":true` (overloaded, shutting down) is
-/// retried with capped exponential backoff, seeded by the server's own
+/// Send one request, honouring the server's `retryable` classification
+/// via the library's shared helper (`llhd_server::retry`): a failure
+/// marked `"retryable":true` (overloaded, shutting down) is retried with
+/// capped exponential backoff, seeded by the server's own
 /// `retry_after_ms` hint when it sends one. Non-retryable errors and
 /// successes return immediately — retrying a `source` error would just
 /// fail identically forever.
 fn request_with_retry(client: &mut Client, request: &Json, attempts: u32) -> Json {
-    const CAP: Duration = Duration::from_millis(500);
-    let mut backoff = Duration::from_millis(10);
-    let mut attempt = 1;
-    loop {
-        let response = client.request(request).expect("request");
-        let error = response.get("error");
-        let retryable = error.and_then(|e| e.get("retryable")) == Some(&Json::Bool(true));
-        if !retryable || attempt >= attempts {
-            return response;
-        }
-        let wait = error
-            .and_then(|e| e.get("retry_after_ms"))
-            .and_then(Json::as_int)
-            .map(|ms| Duration::from_millis(ms as u64))
-            .unwrap_or(backoff)
-            .min(CAP);
-        println!(
-            "retry:      attempt {} got a retryable error; backing off {:?}",
-            attempt, wait
-        );
-        std::thread::sleep(wait);
-        backoff = (backoff * 2).min(CAP);
-        attempt += 1;
-    }
+    llhd_server::retry::request_with_retry(client, request, attempts).expect("request")
 }
 
 const BLINK: &str = r#"
