@@ -24,6 +24,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 cargo build --release --workspace --all-targets
 cargo test -q --release --workspace
 
+# Parallel differential gate: island-parallel vs. serial execution on
+# the largest generated designs (32-lane FIR bank, 16-row NoC mesh),
+# both engines, threads 2/4/8 — traces and statistics must be
+# byte-identical (see "Island partitioning" in ARCHITECTURE.md). The
+# test is #[ignore]d because it is release-weight; this is its one
+# canonical invocation.
+cargo test -q --release -p llhd-designs --test differential -- \
+    --ignored --exact largest_generated_design_parallel_differential
+echo "ci.sh: parallel differential gate OK"
+
 # Chaos gate: the deterministic fault-injection harness (see
 # "Failure model" in ARCHITECTURE.md) storms a live server with injected
 # panics, broken reads, and queue pressure under a fixed seed, and

@@ -57,6 +57,7 @@ fn main() {
             BlazeOptions {
                 fuse: false,
                 specialize: false,
+                islands: true,
             },
         ),
         (
@@ -64,6 +65,7 @@ fn main() {
             BlazeOptions {
                 fuse: false,
                 specialize: true,
+                islands: true,
             },
         ),
         ("blaze_run_full", BlazeOptions::default()),

@@ -74,10 +74,17 @@ pub fn measure_design(design: &Design, cycles: u64) -> Table2Row {
             .expect("simulation runs")
     };
 
+    // One untimed warm-up run per configuration before its sample: the
+    // first simulation of a process pays one-off costs (lazy allocator
+    // growth, page faults on fresh memory, engine registration) that
+    // would otherwise land entirely on whichever engine happens to be
+    // measured first and skew the smallest designs by double digits.
+    run(&module, EngineKind::Interpret);
     let start = Instant::now();
     let reference = run(&module, EngineKind::Interpret);
     let interpreter = start.elapsed();
 
+    run(&module, EngineKind::Compile);
     let start = Instant::now();
     let blaze_result = run(&module, EngineKind::Compile);
     let blaze = start.elapsed();
@@ -86,6 +93,7 @@ pub fn measure_design(design: &Design, cycles: u64) -> Table2Row {
     // for a mature commercial simulator; see DESIGN.md).
     let mut optimized = module.clone();
     optimize_module(&mut optimized);
+    run(&optimized, EngineKind::Compile);
     let start = Instant::now();
     let baseline_result = run(&optimized, EngineKind::Compile);
     let baseline = start.elapsed();

@@ -3,6 +3,7 @@
 use llhd::ir::{Module, Opcode, RegMode, UnitId, UnitKind, Value};
 use llhd::value::ConstValue;
 use llhd_sim::design::{ElaboratedDesign, InstanceKind, SignalId};
+use llhd_sim::IslandPlan;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -84,10 +85,10 @@ impl ArgRange {
 /// let compiled = compile_design_with(
 ///     &module,
 ///     Arc::clone(&design),
-///     BlazeOptions { fuse: false, specialize: false },
+///     BlazeOptions { fuse: false, specialize: false, islands: true },
 /// )
 /// .unwrap();
-/// assert_eq!(compiled.options, BlazeOptions { fuse: false, specialize: false });
+/// assert_eq!(compiled.options.fuse, false);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BlazeOptions {
@@ -99,6 +100,12 @@ pub struct BlazeOptions {
     /// delays, and cross-block constant folding. With `false`, instances
     /// execute the generic per-op stream through their signal tables.
     pub specialize: bool,
+    /// Island-parallel execution: let the engine activate disjoint
+    /// sensitivity islands on worker threads when
+    /// [`SimConfig::threads`](llhd_sim::SimConfig) asks for more than one.
+    /// Purely a speed knob — traces are byte-identical either way. With
+    /// `false` the engine always runs the serial activation loop.
+    pub islands: bool,
 }
 
 impl Default for BlazeOptions {
@@ -106,6 +113,7 @@ impl Default for BlazeOptions {
         BlazeOptions {
             fuse: true,
             specialize: true,
+            islands: true,
         }
     }
 }
@@ -323,6 +331,11 @@ pub struct CompiledDesign {
     pub allow_drive_drop: bool,
     /// The lowering knobs this design was compiled with.
     pub options: BlazeOptions,
+    /// The sensitivity-island partition of the design, computed once at
+    /// compile time. Drives the engine's island-parallel instant loop and
+    /// stamps its digest into checkpoints (see
+    /// [`llhd_sim::IslandPlan`]).
+    pub island_plan: IslandPlan,
 }
 
 impl CompiledDesign {
@@ -462,12 +475,14 @@ pub fn compile_design_with(
             code,
         });
     }
+    let island_plan = IslandPlan::build(module, &design);
     Ok(CompiledDesign {
         units,
         instances,
         design,
         allow_drive_drop,
         options,
+        island_plan,
     })
 }
 

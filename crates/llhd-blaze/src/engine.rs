@@ -20,7 +20,8 @@ use llhd::ir::{Opcode, RegMode, UnitId, UnitKind};
 use llhd::value::{ConstValue, TimeValue};
 use llhd_sim::api::EngineState;
 use llhd_sim::design::{InstanceKind, SignalId};
-use llhd_sim::sched::SchedCore;
+use llhd_sim::engine::{PARALLEL_MIN_BATCH, PARALLEL_MIN_ISLAND_OPS};
+use llhd_sim::sched::{run_instant_parallel, CoreSink, SchedCore};
 use llhd_sim::{SimConfig, SimError, SimResult, Trace};
 use std::sync::Arc;
 
@@ -50,6 +51,30 @@ struct InstanceState {
     code: Option<Arc<SpecializedCode>>,
 }
 
+/// The immutable context an activation executes against: the compiled
+/// design plus the step limit. Shared read-only across the parallel
+/// instant loop's worker threads.
+struct ExecCx<'c> {
+    compiled: &'c CompiledDesign,
+    max_steps: usize,
+}
+
+/// Per-worker mutable scratch: reusable hot-path buffers plus the run
+/// counters an activation may bump. Parallel instants give every worker
+/// its own, and folding is an order-independent sum, so counter totals
+/// match the serial loop exactly.
+#[derive(Default)]
+struct Scratch {
+    /// Reusable wait-list buffer, so suspending performs no allocation.
+    observed: Vec<SignalId>,
+    /// Reusable argument buffer for pure-op evaluation, so the per-op
+    /// hot path performs no allocation.
+    args: Vec<ConstValue>,
+    activations: usize,
+    assertions_checked: usize,
+    assertion_failures: usize,
+}
+
 /// The accelerated simulator.
 pub struct BlazeSimulator {
     compiled: Arc<CompiledDesign>,
@@ -59,10 +84,7 @@ pub struct BlazeSimulator {
     assertions_checked: usize,
     assertion_failures: usize,
     activations: usize,
-    observed_buf: Vec<SignalId>,
-    /// Reusable argument buffer for pure-op and call evaluation, so the
-    /// per-op hot path performs no allocation.
-    args_buf: Vec<ConstValue>,
+    scratch: Scratch,
     initialized: bool,
     /// A failure during initialization or a step poisons the simulator:
     /// the instances after the failing one never ran, so continuing would
@@ -70,6 +92,13 @@ pub struct BlazeSimulator {
     /// `initialize`/`step`.
     poisoned: Option<SimError>,
     to_run_buf: Vec<u32>,
+    /// Whether the design + config make island-parallel instants
+    /// worthwhile at all, decided once at construction.
+    parallel_ready: bool,
+    /// Set when restoring a version-1 checkpoint (predates island
+    /// plans): the engine then runs serial for the rest of its life so
+    /// the resumed run replays the path the checkpoint was taken on.
+    force_serial: bool,
 }
 
 impl BlazeSimulator {
@@ -119,6 +148,9 @@ impl BlazeSimulator {
                 }
             }
         }
+        let parallel_ready = config.threads > 1
+            && compiled.options.islands
+            && compiled.island_plan.parallel_worthy(PARALLEL_MIN_ISLAND_OPS);
         BlazeSimulator {
             compiled,
             config,
@@ -127,11 +159,12 @@ impl BlazeSimulator {
             assertions_checked: 0,
             assertion_failures: 0,
             activations: 0,
-            observed_buf: Vec::new(),
-            args_buf: Vec::new(),
+            scratch: Scratch::default(),
             initialized: false,
             poisoned: None,
             to_run_buf: Vec::new(),
+            parallel_ready,
+            force_serial: false,
         }
     }
 
@@ -150,13 +183,89 @@ impl BlazeSimulator {
             };
         }
         self.initialized = true;
-        for idx in 0..self.compiled.instances.len() {
-            if let Err(e) = self.run_instance(idx) {
-                self.poisoned = Some(e.clone());
-                return Err(e);
+        let mut result = Ok(());
+        {
+            let cx = ExecCx {
+                compiled: &self.compiled,
+                max_steps: self.config.max_steps_per_activation,
+            };
+            for idx in 0..cx.compiled.instances.len() {
+                if let Err(e) = run_instance(
+                    &cx,
+                    &mut self.states[idx],
+                    &mut self.scratch,
+                    idx,
+                    &mut self.core,
+                ) {
+                    result = Err(e);
+                    break;
+                }
             }
         }
-        Ok(())
+        self.fold_scratch();
+        if let Err(e) = &result {
+            self.poisoned = Some(e.clone());
+        }
+        result
+    }
+
+    /// Fold the per-step [`Scratch`] counters into the run totals. Called
+    /// on every exit path of `initialize`/`step` (including errors) so
+    /// the totals stay exact.
+    fn fold_scratch(&mut self) {
+        self.activations += self.scratch.activations;
+        self.assertions_checked += self.scratch.assertions_checked;
+        self.assertion_failures += self.scratch.assertion_failures;
+        self.scratch.activations = 0;
+        self.scratch.assertions_checked = 0;
+        self.scratch.assertion_failures = 0;
+    }
+
+    /// Activate one instant's woken instances: the serial loop, or — when
+    /// the design partitions into islands and the batch is large enough —
+    /// the island-parallel loop. Both produce byte-identical core state
+    /// (see [`llhd_sim::sched::run_instant_parallel`]).
+    fn run_activations(&mut self, to_run: &[u32]) -> Result<(), SimError> {
+        let cx = ExecCx {
+            compiled: &self.compiled,
+            max_steps: self.config.max_steps_per_activation,
+        };
+        if self.parallel_ready && !self.force_serial && to_run.len() >= PARALLEL_MIN_BATCH {
+            let parallel = run_instant_parallel(
+                &mut self.core,
+                to_run,
+                &mut self.states,
+                cx.compiled.island_plan.island_of_instances(),
+                self.config.threads,
+                Scratch::default,
+                |st, scr, inst, sink| run_instance(&cx, st, scr, inst as usize, sink),
+            );
+            if let Some(outcome) = parallel {
+                for scr in outcome.scratches {
+                    self.scratch.activations += scr.activations;
+                    self.scratch.assertions_checked += scr.assertions_checked;
+                    self.scratch.assertion_failures += scr.assertion_failures;
+                }
+                self.fold_scratch();
+                return outcome.result;
+            }
+        }
+        let mut result = Ok(());
+        for &inst in to_run {
+            let idx = inst as usize;
+            if let Err(e) = run_instance(
+                &cx,
+                &mut self.states[idx],
+                &mut self.scratch,
+                idx,
+                &mut self.core,
+            ) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.fold_scratch();
+        result
     }
 
     /// Advance the simulation by exactly one scheduler cycle. Returns
@@ -181,11 +290,8 @@ impl BlazeSimulator {
         if let Ok(true) = outcome {
             // `to_run` is detached from `self` here, so iterating it while
             // activating instances borrows cleanly.
-            for &inst in &to_run {
-                if let Err(e) = self.run_instance(inst as usize) {
-                    outcome = Err(e);
-                    break;
-                }
+            if let Err(e) = self.run_activations(&to_run) {
+                outcome = Err(e);
             }
         }
         self.to_run_buf = to_run;
@@ -285,6 +391,7 @@ impl BlazeSimulator {
             "blaze",
             design.num_signals(),
             design.num_instances(),
+            self.compiled.island_plan.hash(),
             |out| {
                 self.core.snapshot(out);
                 out.push(self.initialized as u8);
@@ -349,7 +456,22 @@ impl BlazeSimulator {
         }
         let design = &self.compiled.design;
         let bytes = state.as_bytes();
-        let mut pos = state.validate("blaze", design.num_signals(), design.num_instances())?;
+        let (mut pos, plan_hash) =
+            state.validate("blaze", design.num_signals(), design.num_instances())?;
+        match plan_hash {
+            // Version-1 checkpoints predate island partitioning: they
+            // restore fine, but the engine stays serial for the rest of
+            // its life so cross-version runs replay the proven path.
+            None => self.force_serial = true,
+            Some(h) if h != self.compiled.island_plan.hash() => {
+                return Err(SimError::Runtime(
+                    "engine checkpoint was taken with a different island plan \
+                     (design or partitioner version mismatch)"
+                        .to_string(),
+                ));
+            }
+            Some(_) => {}
+        }
         let pos = &mut pos;
         self.core.restore_snapshot(bytes, pos)?;
         self.initialized = read_byte(bytes, pos)? != 0;
@@ -424,700 +546,672 @@ impl BlazeSimulator {
         Ok(())
     }
 
-    fn run_instance(&mut self, idx: usize) -> Result<(), SimError> {
-        self.activations += 1;
-        if let Some(code) = &self.states[idx].code {
-            let code = Arc::clone(code);
-            return self.run_instance_spec(idx, &code);
-        }
-        let unit = Arc::clone(&self.states[idx].unit);
-        let mut block = match &self.states[idx].status {
-            Status::Halted => return Ok(()),
-            Status::Suspended { resume } => *resume,
-            Status::Ready => unit.entry,
-        };
-        self.states[idx].status = Status::Ready;
-        let mut steps = 0usize;
-        loop {
-            let mut next_block = None;
-            for op in unit.block_ops(block) {
-                steps += 1;
-                if steps > self.config.max_steps_per_activation {
-                    return Err(SimError::Runtime(format!(
-                        "instance {} exceeded the step limit",
-                        self.compiled.instances[idx].name
-                    )));
-                }
-                match op {
-                    Op::Pure {
-                        opcode,
-                        dst,
-                        args,
-                        imms,
-                    } => {
-                        let mut arg_values = std::mem::take(&mut self.args_buf);
-                        arg_values.clear();
-                        arg_values.extend(
-                            unit.args(*args)
-                                .iter()
-                                .map(|&a| self.states[idx].regs[a as usize].clone()),
-                        );
-                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate {}", opcode))
-                        })?;
-                        self.args_buf = arg_values;
-                        self.states[idx].regs[*dst] = value;
-                    }
-                    Op::Prb { dst, sig } => {
-                        let signal = self.signal(idx, *sig);
-                        self.states[idx].regs[*dst] = self.core.value(signal).clone();
-                    }
-                    Op::Drv {
-                        sig,
-                        value,
-                        delay,
-                        cond,
-                    } => {
-                        if let Some(cond) = cond {
-                            if !self.states[idx].regs[*cond].is_truthy() {
-                                continue;
-                            }
-                        }
-                        let signal = self.signal(idx, *sig);
-                        let value = self.states[idx].regs[*value].clone();
-                        let delay = self.time_reg(idx, *delay)?;
-                        self.core.schedule_drive(signal, value, &delay);
-                    }
-                    Op::Del {
-                        target,
-                        source,
-                        delay,
-                    } => {
-                        let target = self.signal(idx, *target);
-                        let source = self.signal(idx, *source);
-                        let delay = self.time_reg(idx, *delay)?;
-                        let value = self.core.value(source).clone();
-                        self.core.schedule_drive(target, value, &delay);
-                    }
-                    Op::Reg { sig, triggers } => {
-                        let signal = self.signal(idx, *sig);
-                        for trigger in triggers {
-                            let current = self.states[idx].regs[trigger.trigger].clone();
-                            let previous = self.states[idx].states[trigger.state].take();
-                            let fire = match trigger.mode {
-                                RegMode::High => current.is_truthy(),
-                                RegMode::Low => !current.is_truthy(),
-                                RegMode::Rise => {
-                                    previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
-                                        && current.is_truthy()
-                                }
-                                RegMode::Fall => {
-                                    previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
-                                        && !current.is_truthy()
-                                }
-                                RegMode::Both => {
-                                    previous.as_ref().map(|p| p != &current).unwrap_or(false)
-                                }
-                            };
-                            self.states[idx].states[trigger.state] = Some(current);
-                            if !fire {
-                                continue;
-                            }
-                            if let Some(gate) = trigger.gate {
-                                if !self.states[idx].regs[gate].is_truthy() {
-                                    continue;
-                                }
-                            }
-                            let value = self.states[idx].regs[trigger.value].clone();
-                            self.core
-                                .schedule_drive(signal, value, &TimeValue::from_delta(1));
-                        }
-                    }
-                    Op::Var { mem, init } => {
-                        self.states[idx].mems[*mem] = self.states[idx].regs[*init].clone();
-                    }
-                    Op::Ld { dst, mem } => {
-                        self.states[idx].regs[*dst] = self.states[idx].mems[*mem].clone();
-                    }
-                    Op::St { mem, value } => {
-                        self.states[idx].mems[*mem] = self.states[idx].regs[*value].clone();
-                    }
-                    Op::Call {
-                        callee,
-                        intrinsic,
-                        dst,
-                        args,
-                    } => {
-                        let arg_values: Vec<ConstValue> = unit
-                            .args(*args)
-                            .iter()
-                            .map(|&a| self.states[idx].regs[a as usize].clone())
-                            .collect();
-                        let result = match intrinsic {
-                            Some(Intrinsic::Assert) => {
-                                self.assertions_checked += 1;
-                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
-                                    self.assertion_failures += 1;
-                                }
-                                None
-                            }
-                            Some(Intrinsic::Ignore) => None,
-                            None => self.call_function(callee.unwrap(), &arg_values)?,
-                        };
-                        if let (Some(dst), Some(value)) = (dst, result) {
-                            self.states[idx].regs[*dst] = value;
-                        }
-                    }
-                    Op::Wait {
-                        resume,
-                        time,
-                        observed,
-                    } => {
-                        let mut watch = std::mem::take(&mut self.observed_buf);
-                        watch.clear();
-                        watch.extend(
-                            unit.args(*observed)
-                                .iter()
-                                .map(|&slot| self.signal(idx, slot as usize)),
-                        );
-                        let timeout = match time {
-                            Some(t) => Some(self.time_reg(idx, *t)?),
-                            None => None,
-                        };
-                        self.states[idx].status = Status::Suspended { resume: *resume };
-                        self.core.suspend(idx, &watch, timeout.as_ref());
-                        self.observed_buf = watch;
-                        return Ok(());
-                    }
-                    Op::Halt => {
-                        self.states[idx].status = Status::Halted;
-                        return Ok(());
-                    }
-                    Op::Br { target } => {
-                        next_block = Some(*target);
-                        break;
-                    }
-                    Op::BrCond {
-                        cond,
-                        if_false,
-                        if_true,
-                    } => {
-                        next_block = Some(if self.states[idx].regs[*cond].is_truthy() {
-                            *if_true
-                        } else {
-                            *if_false
-                        });
-                        break;
-                    }
-                    Op::Ret { .. } => {
-                        return Err(SimError::Runtime(
-                            "ret outside of a function".to_string(),
-                        ));
-                    }
-                }
+}
+
+// ---------------------------------------------------------------------------
+// Activation execution
+// ---------------------------------------------------------------------------
+//
+// The execution core is a set of free functions generic over
+// [`CoreSink`]: the serial loop instantiates them with the
+// [`SchedCore`] itself (direct mutation, same code the old methods
+// compiled to), the island-parallel loop with a
+// [`DeferredSink`](llhd_sim::sched::DeferredSink) (mutations logged and
+// replayed in serial order on the main thread). An activation touches
+// exactly three things: the immutable [`ExecCx`], its own instance's
+// [`InstanceState`], and a per-worker [`Scratch`] — which is what makes
+// handing each island's activations to a worker thread sound.
+
+fn run_instance<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstanceState,
+    scr: &mut Scratch,
+    idx: usize,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    scr.activations += 1;
+    if let Some(code) = &st.code {
+        let code = Arc::clone(code);
+        return run_instance_spec(cx, st, scr, idx, &code, sink);
+    }
+    let unit = Arc::clone(&st.unit);
+    let mut block = match &st.status {
+        Status::Halted => return Ok(()),
+        Status::Suspended { resume } => *resume,
+        Status::Ready => unit.entry,
+    };
+    st.status = Status::Ready;
+    let mut steps = 0usize;
+    loop {
+        let mut next_block = None;
+        for op in unit.block_ops(block) {
+            steps += 1;
+            if steps > cx.max_steps {
+                return Err(SimError::Runtime(format!(
+                    "instance {} exceeded the step limit",
+                    cx.compiled.instances[idx].name
+                )));
             }
-            match next_block {
-                Some(b) => block = b,
-                None => {
-                    // Entities simply finish their single pass; processes
-                    // must end in a terminator, which the verifier enforces.
+            match op {
+                Op::Pure {
+                    opcode,
+                    dst,
+                    args,
+                    imms,
+                } => {
+                    scr.args.clear();
+                    scr.args.extend(
+                        unit.args(*args)
+                            .iter()
+                            .map(|&a| st.regs[a as usize].clone()),
+                    );
+                    let value = eval_pure(*opcode, &scr.args, imms)
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    st.regs[*dst] = value;
+                }
+                Op::Prb { dst, sig } => {
+                    let signal = st.signal_table[*sig];
+                    st.regs[*dst] = sink.value(signal).clone();
+                }
+                Op::Drv {
+                    sig,
+                    value,
+                    delay,
+                    cond,
+                } => {
+                    if let Some(cond) = cond {
+                        if !st.regs[*cond].is_truthy() {
+                            continue;
+                        }
+                    }
+                    let signal = st.signal_table[*sig];
+                    let value = st.regs[*value].clone();
+                    let delay = time_reg(st, *delay)?;
+                    sink.schedule_drive(signal, value, &delay);
+                }
+                Op::Del {
+                    target,
+                    source,
+                    delay,
+                } => {
+                    let target = st.signal_table[*target];
+                    let source = st.signal_table[*source];
+                    let delay = time_reg(st, *delay)?;
+                    let value = sink.value(source).clone();
+                    sink.schedule_drive(target, value, &delay);
+                }
+                Op::Reg { sig, triggers } => {
+                    let signal = st.signal_table[*sig];
+                    for trigger in triggers {
+                        let current = st.regs[trigger.trigger].clone();
+                        let previous = st.states[trigger.state].take();
+                        let fire = match trigger.mode {
+                            RegMode::High => current.is_truthy(),
+                            RegMode::Low => !current.is_truthy(),
+                            RegMode::Rise => {
+                                previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                    && current.is_truthy()
+                            }
+                            RegMode::Fall => {
+                                previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                    && !current.is_truthy()
+                            }
+                            RegMode::Both => {
+                                previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                            }
+                        };
+                        st.states[trigger.state] = Some(current);
+                        if !fire {
+                            continue;
+                        }
+                        if let Some(gate) = trigger.gate {
+                            if !st.regs[gate].is_truthy() {
+                                continue;
+                            }
+                        }
+                        let value = st.regs[trigger.value].clone();
+                        sink.schedule_drive(signal, value, &TimeValue::from_delta(1));
+                    }
+                }
+                Op::Var { mem, init } => {
+                    st.mems[*mem] = st.regs[*init].clone();
+                }
+                Op::Ld { dst, mem } => {
+                    st.regs[*dst] = st.mems[*mem].clone();
+                }
+                Op::St { mem, value } => {
+                    st.mems[*mem] = st.regs[*value].clone();
+                }
+                Op::Call {
+                    callee,
+                    intrinsic,
+                    dst,
+                    args,
+                } => {
+                    let arg_values: Vec<ConstValue> = unit
+                        .args(*args)
+                        .iter()
+                        .map(|&a| st.regs[a as usize].clone())
+                        .collect();
+                    let result = match intrinsic {
+                        Some(Intrinsic::Assert) => {
+                            scr.assertions_checked += 1;
+                            if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                scr.assertion_failures += 1;
+                            }
+                            None
+                        }
+                        Some(Intrinsic::Ignore) => None,
+                        None => call_function(cx, scr, callee.unwrap(), &arg_values)?,
+                    };
+                    if let (Some(dst), Some(value)) = (dst, result) {
+                        st.regs[*dst] = value;
+                    }
+                }
+                Op::Wait {
+                    resume,
+                    time,
+                    observed,
+                } => {
+                    scr.observed.clear();
+                    for &slot in unit.args(*observed) {
+                        scr.observed.push(st.signal_table[slot as usize]);
+                    }
+                    let timeout = match time {
+                        Some(t) => Some(time_reg(st, *t)?),
+                        None => None,
+                    };
+                    st.status = Status::Suspended { resume: *resume };
+                    sink.suspend(idx, &scr.observed, timeout.as_ref());
                     return Ok(());
                 }
+                Op::Halt => {
+                    st.status = Status::Halted;
+                    return Ok(());
+                }
+                Op::Br { target } => {
+                    next_block = Some(*target);
+                    break;
+                }
+                Op::BrCond {
+                    cond,
+                    if_false,
+                    if_true,
+                } => {
+                    next_block = Some(if st.regs[*cond].is_truthy() {
+                        *if_true
+                    } else {
+                        *if_false
+                    });
+                    break;
+                }
+                Op::Ret { .. } => {
+                    return Err(SimError::Runtime("ret outside of a function".to_string()));
+                }
+            }
+        }
+        match next_block {
+            Some(b) => block = b,
+            None => {
+                // Entities simply finish their single pass; processes
+                // must end in a terminator, which the verifier enforces.
+                return Ok(());
             }
         }
     }
+}
 
-    /// The specialized dispatch loop: executes an instance's baked
-    /// superinstruction stream. Signal operands are resolved
-    /// [`SignalId`]s (no table chase), pure ops evaluate by reference
-    /// (no operand cloning), and the fused records
-    /// (`CmpBr`/`Sel`/`BinDrv`) retire two source ops per dispatch.
-    /// Semantics — drive order, suspension, error points — mirror
-    /// [`BlazeSimulator::run_instance`]'s generic loop exactly; the
-    /// differential and propcheck suites enforce byte-identical traces.
-    fn run_instance_spec(&mut self, idx: usize, code: &SpecializedCode) -> Result<(), SimError> {
-        let mut block = match &self.states[idx].status {
-            Status::Halted => return Ok(()),
-            Status::Suspended { resume } => *resume,
-            Status::Ready => self.states[idx].unit.entry,
-        };
-        self.states[idx].status = Status::Ready;
-        let mut steps = 0usize;
-        loop {
-            let mut next_block = None;
-            for op in code.block_ops(block) {
-                // Fused records retire two source ops per dispatch; they
-                // count as two toward the activation guard so the limit
-                // fires at the same executed-op count as the generic loop.
-                steps += match op {
-                    SuperOp::CmpBr { .. } | SuperOp::BinDrv { .. } | SuperOp::Sel { .. } => 2,
-                    _ => 1,
-                };
-                if steps > self.config.max_steps_per_activation {
-                    return Err(SimError::Runtime(format!(
-                        "instance {} exceeded the step limit",
-                        self.compiled.instances[idx].name
-                    )));
-                }
-                match op {
-                    SuperOp::Bin {
-                        kind,
-                        opcode,
-                        dst,
-                        a,
-                        b,
-                    } => {
-                        let regs = &self.states[idx].regs;
-                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
-                            .ok_or_else(|| {
-                                SimError::Runtime(format!("cannot evaluate {}", opcode))
-                            })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Un { opcode, dst, a } => {
-                        let value = eval_unary(*opcode, &self.states[idx].regs[*a as usize])
-                            .ok_or_else(|| {
-                                SimError::Runtime(format!("cannot evaluate {}", opcode))
-                            })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Cast {
-                        opcode,
-                        dst,
-                        a,
-                        width,
-                    } => {
-                        let value = eval_cast(
-                            *opcode,
-                            &self.states[idx].regs[*a as usize],
-                            *width as usize,
-                        )
+/// The specialized dispatch loop: executes an instance's baked
+/// superinstruction stream. Signal operands are resolved
+/// [`SignalId`]s (no table chase), pure ops evaluate by reference
+/// (no operand cloning), and the fused records
+/// (`CmpBr`/`Sel`/`BinDrv`) retire two source ops per dispatch.
+/// Semantics — drive order, suspension, error points — mirror
+/// [`run_instance`]'s generic loop exactly; the differential and
+/// propcheck suites enforce byte-identical traces.
+fn run_instance_spec<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstanceState,
+    scr: &mut Scratch,
+    idx: usize,
+    code: &SpecializedCode,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    let mut block = match &st.status {
+        Status::Halted => return Ok(()),
+        Status::Suspended { resume } => *resume,
+        Status::Ready => st.unit.entry,
+    };
+    st.status = Status::Ready;
+    let mut steps = 0usize;
+    loop {
+        let mut next_block = None;
+        for op in code.block_ops(block) {
+            // Fused records retire two source ops per dispatch; they
+            // count as two toward the activation guard so the limit
+            // fires at the same executed-op count as the generic loop.
+            steps += match op {
+                SuperOp::CmpBr { .. } | SuperOp::BinDrv { .. } | SuperOp::Sel { .. } => 2,
+                _ => 1,
+            };
+            if steps > cx.max_steps {
+                return Err(SimError::Runtime(format!(
+                    "instance {} exceeded the step limit",
+                    cx.compiled.instances[idx].name
+                )));
+            }
+            match op {
+                SuperOp::Bin {
+                    kind,
+                    opcode,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    let regs = &st.regs;
+                    let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
                         .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::ExtF { dst, a, index } => {
-                        let value =
-                            eval_ext_field(&self.states[idx].regs[*a as usize], *index as usize)
-                                .ok_or_else(|| {
-                                    SimError::Runtime(format!(
-                                        "cannot evaluate {}",
-                                        Opcode::ExtField
-                                    ))
-                                })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::ExtS {
-                        dst,
-                        a,
-                        offset,
-                        length,
-                    } => {
-                        let value = eval_ext_slice(
-                            &self.states[idx].regs[*a as usize],
-                            *offset as usize,
-                            *length as usize,
-                        )
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Un { opcode, dst, a } => {
+                    let value = eval_unary(*opcode, &st.regs[*a as usize])
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Cast {
+                    opcode,
+                    dst,
+                    a,
+                    width,
+                } => {
+                    let value = eval_cast(*opcode, &st.regs[*a as usize], *width as usize)
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::ExtF { dst, a, index } => {
+                    let value = eval_ext_field(&st.regs[*a as usize], *index as usize)
                         .ok_or_else(|| {
+                            SimError::Runtime(format!("cannot evaluate {}", Opcode::ExtField))
+                        })?;
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::ExtS {
+                    dst,
+                    a,
+                    offset,
+                    length,
+                } => {
+                    let value =
+                        eval_ext_slice(&st.regs[*a as usize], *offset as usize, *length as usize)
+                            .ok_or_else(|| {
                             SimError::Runtime(format!("cannot evaluate {}", Opcode::ExtSlice))
                         })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::InsF { dst, a, b, index } => {
-                        let regs = &self.states[idx].regs;
-                        let value = eval_ins_field(
-                            &regs[*a as usize],
-                            &regs[*b as usize],
-                            *index as usize,
-                        )
-                        .ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate {}", Opcode::InsField))
-                        })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::InsS { dst, a, b, offset } => {
-                        let regs = &self.states[idx].regs;
-                        let value = eval_ins_slice(
-                            &regs[*a as usize],
-                            &regs[*b as usize],
-                            *offset as usize,
-                            0,
-                        )
-                        .ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate {}", Opcode::InsSlice))
-                        })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Mux { dst, choices, sel } => {
-                        let regs = &self.states[idx].regs;
-                        let value = eval_mux(&regs[*choices as usize], &regs[*sel as usize])
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::InsF { dst, a, b, index } => {
+                    let regs = &st.regs;
+                    let value =
+                        eval_ins_field(&regs[*a as usize], &regs[*b as usize], *index as usize)
                             .ok_or_else(|| {
-                                SimError::Runtime(format!("cannot evaluate {}", Opcode::Mux))
+                                SimError::Runtime(format!("cannot evaluate {}", Opcode::InsField))
                             })?;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Sel { dst, sel, elems } => {
-                        let elems = code.args(*elems);
-                        let regs = &self.states[idx].regs;
-                        let index = regs[*sel as usize].to_u64().ok_or_else(|| {
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::InsS { dst, a, b, offset } => {
+                    let regs = &st.regs;
+                    let value =
+                        eval_ins_slice(&regs[*a as usize], &regs[*b as usize], *offset as usize, 0)
+                            .ok_or_else(|| {
+                                SimError::Runtime(format!("cannot evaluate {}", Opcode::InsSlice))
+                            })?;
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Mux { dst, choices, sel } => {
+                    let regs = &st.regs;
+                    let value = eval_mux(&regs[*choices as usize], &regs[*sel as usize])
+                        .ok_or_else(|| {
                             SimError::Runtime(format!("cannot evaluate {}", Opcode::Mux))
-                        })? as usize;
-                        let pick = elems[index.min(elems.len() - 1)] as usize;
-                        let value = regs[pick].clone();
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Pure {
-                        opcode,
-                        dst,
-                        args,
-                        imms,
-                    } => {
-                        let mut arg_values = std::mem::take(&mut self.args_buf);
-                        arg_values.clear();
-                        arg_values.extend(
-                            code.args(*args)
-                                .iter()
-                                .map(|&a| self.states[idx].regs[a as usize].clone()),
-                        );
-                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate {}", opcode))
                         })?;
-                        self.args_buf = arg_values;
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::CmpBr {
-                        kind,
-                        opcode,
-                        a,
-                        b,
-                        if_false,
-                        if_true,
-                    } => {
-                        let regs = &self.states[idx].regs;
-                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
-                            .ok_or_else(|| {
-                                SimError::Runtime(format!("cannot evaluate {}", opcode))
-                            })?;
-                        next_block = Some(if value.is_truthy() {
-                            *if_true as usize
-                        } else {
-                            *if_false as usize
-                        });
-                        break;
-                    }
-                    SuperOp::BinDrv {
-                        kind,
-                        opcode,
-                        a,
-                        b,
-                        sig,
-                        delay,
-                        cond,
-                        ..
-                    } => {
-                        // The compute happens unconditionally, exactly like
-                        // the unfused pure op preceding the drive.
-                        let regs = &self.states[idx].regs;
-                        let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
-                            .ok_or_else(|| {
-                                SimError::Runtime(format!("cannot evaluate {}", opcode))
-                            })?;
-                        if let Some(cond) = cond {
-                            if !self.states[idx].regs[*cond as usize].is_truthy() {
-                                continue;
-                            }
-                        }
-                        let delay = self.delay_value(idx, delay)?;
-                        self.core
-                            .schedule_drive(SignalId(*sig as usize), value, &delay);
-                    }
-                    SuperOp::Prb { dst, sig } => {
-                        let value = self.core.value(SignalId(*sig as usize)).clone();
-                        self.states[idx].regs[*dst as usize] = value;
-                    }
-                    SuperOp::Drv {
-                        sig,
-                        value,
-                        delay,
-                        cond,
-                    } => {
-                        if let Some(cond) = cond {
-                            if !self.states[idx].regs[*cond as usize].is_truthy() {
-                                continue;
-                            }
-                        }
-                        let value = self.states[idx].regs[*value as usize].clone();
-                        let delay = self.delay_value(idx, delay)?;
-                        self.core
-                            .schedule_drive(SignalId(*sig as usize), value, &delay);
-                    }
-                    SuperOp::Del {
-                        target,
-                        source,
-                        delay,
-                    } => {
-                        let delay = self.delay_value(idx, delay)?;
-                        let value = self.core.value(SignalId(*source as usize)).clone();
-                        self.core
-                            .schedule_drive(SignalId(*target as usize), value, &delay);
-                    }
-                    SuperOp::Reg { sig, triggers } => {
-                        let signal = SignalId(*sig as usize);
-                        for trigger in triggers {
-                            let current = self.states[idx].regs[trigger.trigger].clone();
-                            let previous = self.states[idx].states[trigger.state].take();
-                            let fire = match trigger.mode {
-                                RegMode::High => current.is_truthy(),
-                                RegMode::Low => !current.is_truthy(),
-                                RegMode::Rise => {
-                                    previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
-                                        && current.is_truthy()
-                                }
-                                RegMode::Fall => {
-                                    previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
-                                        && !current.is_truthy()
-                                }
-                                RegMode::Both => {
-                                    previous.as_ref().map(|p| p != &current).unwrap_or(false)
-                                }
-                            };
-                            self.states[idx].states[trigger.state] = Some(current);
-                            if !fire {
-                                continue;
-                            }
-                            if let Some(gate) = trigger.gate {
-                                if !self.states[idx].regs[gate].is_truthy() {
-                                    continue;
-                                }
-                            }
-                            let value = self.states[idx].regs[trigger.value].clone();
-                            self.core
-                                .schedule_drive(signal, value, &TimeValue::from_delta(1));
-                        }
-                    }
-                    SuperOp::Var { mem, init } => {
-                        self.states[idx].mems[*mem as usize] =
-                            self.states[idx].regs[*init as usize].clone();
-                    }
-                    SuperOp::Ld { dst, mem } => {
-                        self.states[idx].regs[*dst as usize] =
-                            self.states[idx].mems[*mem as usize].clone();
-                    }
-                    SuperOp::St { mem, value } => {
-                        self.states[idx].mems[*mem as usize] =
-                            self.states[idx].regs[*value as usize].clone();
-                    }
-                    SuperOp::Call {
-                        callee,
-                        intrinsic,
-                        dst,
-                        args,
-                    } => {
-                        let arg_values: Vec<ConstValue> = code
-                            .args(*args)
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Sel { dst, sel, elems } => {
+                    let elems = code.args(*elems);
+                    let regs = &st.regs;
+                    let index = regs[*sel as usize].to_u64().ok_or_else(|| {
+                        SimError::Runtime(format!("cannot evaluate {}", Opcode::Mux))
+                    })? as usize;
+                    let pick = elems[index.min(elems.len() - 1)] as usize;
+                    let value = regs[pick].clone();
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Pure {
+                    opcode,
+                    dst,
+                    args,
+                    imms,
+                } => {
+                    scr.args.clear();
+                    scr.args.extend(
+                        code.args(*args)
                             .iter()
-                            .map(|&a| self.states[idx].regs[a as usize].clone())
-                            .collect();
-                        let result = match intrinsic {
-                            Some(Intrinsic::Assert) => {
-                                self.assertions_checked += 1;
-                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
-                                    self.assertion_failures += 1;
-                                }
-                                None
-                            }
-                            Some(Intrinsic::Ignore) => None,
-                            None => self.call_function(callee.unwrap(), &arg_values)?,
-                        };
-                        if let (Some(dst), Some(value)) = (dst, result) {
-                            self.states[idx].regs[*dst as usize] = value;
+                            .map(|&a| st.regs[a as usize].clone()),
+                    );
+                    let value = eval_pure(*opcode, &scr.args, imms)
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::CmpBr {
+                    kind,
+                    opcode,
+                    a,
+                    b,
+                    if_false,
+                    if_true,
+                } => {
+                    let regs = &st.regs;
+                    let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    next_block = Some(if value.is_truthy() {
+                        *if_true as usize
+                    } else {
+                        *if_false as usize
+                    });
+                    break;
+                }
+                SuperOp::BinDrv {
+                    kind,
+                    opcode,
+                    a,
+                    b,
+                    sig,
+                    delay,
+                    cond,
+                    ..
+                } => {
+                    // The compute happens unconditionally, exactly like
+                    // the unfused pure op preceding the drive.
+                    let regs = &st.regs;
+                    let value = eval_bin(*kind, *opcode, &regs[*a as usize], &regs[*b as usize])
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    if let Some(cond) = cond {
+                        if !st.regs[*cond as usize].is_truthy() {
+                            continue;
                         }
                     }
-                    SuperOp::Wait {
-                        resume,
-                        time,
-                        observed,
-                    } => {
-                        let mut watch = std::mem::take(&mut self.observed_buf);
-                        watch.clear();
-                        watch.extend(
-                            code.args(*observed)
-                                .iter()
-                                .map(|&sig| SignalId(sig as usize)),
-                        );
-                        let timeout = match time {
-                            Some(t) => Some(self.delay_value(idx, t)?),
-                            None => None,
+                    let delay = delay_value(st, delay)?;
+                    sink.schedule_drive(SignalId(*sig as usize), value, &delay);
+                }
+                SuperOp::Prb { dst, sig } => {
+                    let value = sink.value(SignalId(*sig as usize)).clone();
+                    st.regs[*dst as usize] = value;
+                }
+                SuperOp::Drv {
+                    sig,
+                    value,
+                    delay,
+                    cond,
+                } => {
+                    if let Some(cond) = cond {
+                        if !st.regs[*cond as usize].is_truthy() {
+                            continue;
+                        }
+                    }
+                    let value = st.regs[*value as usize].clone();
+                    let delay = delay_value(st, delay)?;
+                    sink.schedule_drive(SignalId(*sig as usize), value, &delay);
+                }
+                SuperOp::Del {
+                    target,
+                    source,
+                    delay,
+                } => {
+                    let delay = delay_value(st, delay)?;
+                    let value = sink.value(SignalId(*source as usize)).clone();
+                    sink.schedule_drive(SignalId(*target as usize), value, &delay);
+                }
+                SuperOp::Reg { sig, triggers } => {
+                    let signal = SignalId(*sig as usize);
+                    for trigger in triggers {
+                        let current = st.regs[trigger.trigger].clone();
+                        let previous = st.states[trigger.state].take();
+                        let fire = match trigger.mode {
+                            RegMode::High => current.is_truthy(),
+                            RegMode::Low => !current.is_truthy(),
+                            RegMode::Rise => {
+                                previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                    && current.is_truthy()
+                            }
+                            RegMode::Fall => {
+                                previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                    && !current.is_truthy()
+                            }
+                            RegMode::Both => {
+                                previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                            }
                         };
-                        self.states[idx].status = Status::Suspended {
-                            resume: *resume as usize,
-                        };
-                        self.core.suspend(idx, &watch, timeout.as_ref());
-                        self.observed_buf = watch;
-                        return Ok(());
-                    }
-                    SuperOp::Halt => {
-                        self.states[idx].status = Status::Halted;
-                        return Ok(());
-                    }
-                    SuperOp::Br { target } => {
-                        next_block = Some(*target as usize);
-                        break;
-                    }
-                    SuperOp::BrCond {
-                        cond,
-                        if_false,
-                        if_true,
-                    } => {
-                        next_block = Some(if self.states[idx].regs[*cond as usize].is_truthy() {
-                            *if_true as usize
-                        } else {
-                            *if_false as usize
-                        });
-                        break;
-                    }
-                    SuperOp::Ret => {
-                        return Err(SimError::Runtime(
-                            "ret outside of a function".to_string(),
-                        ));
+                        st.states[trigger.state] = Some(current);
+                        if !fire {
+                            continue;
+                        }
+                        if let Some(gate) = trigger.gate {
+                            if !st.regs[gate].is_truthy() {
+                                continue;
+                            }
+                        }
+                        let value = st.regs[trigger.value].clone();
+                        sink.schedule_drive(signal, value, &TimeValue::from_delta(1));
                     }
                 }
-            }
-            match next_block {
-                Some(b) => block = b,
-                None => {
-                    // Entities simply finish their single pass; processes
-                    // must end in a terminator, which the verifier enforces.
+                SuperOp::Var { mem, init } => {
+                    st.mems[*mem as usize] = st.regs[*init as usize].clone();
+                }
+                SuperOp::Ld { dst, mem } => {
+                    st.regs[*dst as usize] = st.mems[*mem as usize].clone();
+                }
+                SuperOp::St { mem, value } => {
+                    st.mems[*mem as usize] = st.regs[*value as usize].clone();
+                }
+                SuperOp::Call {
+                    callee,
+                    intrinsic,
+                    dst,
+                    args,
+                } => {
+                    let arg_values: Vec<ConstValue> = code
+                        .args(*args)
+                        .iter()
+                        .map(|&a| st.regs[a as usize].clone())
+                        .collect();
+                    let result = match intrinsic {
+                        Some(Intrinsic::Assert) => {
+                            scr.assertions_checked += 1;
+                            if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                scr.assertion_failures += 1;
+                            }
+                            None
+                        }
+                        Some(Intrinsic::Ignore) => None,
+                        None => call_function(cx, scr, callee.unwrap(), &arg_values)?,
+                    };
+                    if let (Some(dst), Some(value)) = (dst, result) {
+                        st.regs[*dst as usize] = value;
+                    }
+                }
+                SuperOp::Wait {
+                    resume,
+                    time,
+                    observed,
+                } => {
+                    scr.observed.clear();
+                    for &sig in code.args(*observed) {
+                        scr.observed.push(SignalId(sig as usize));
+                    }
+                    let timeout = match time {
+                        Some(t) => Some(delay_value(st, t)?),
+                        None => None,
+                    };
+                    st.status = Status::Suspended {
+                        resume: *resume as usize,
+                    };
+                    sink.suspend(idx, &scr.observed, timeout.as_ref());
                     return Ok(());
                 }
+                SuperOp::Halt => {
+                    st.status = Status::Halted;
+                    return Ok(());
+                }
+                SuperOp::Br { target } => {
+                    next_block = Some(*target as usize);
+                    break;
+                }
+                SuperOp::BrCond {
+                    cond,
+                    if_false,
+                    if_true,
+                } => {
+                    next_block = Some(if st.regs[*cond as usize].is_truthy() {
+                        *if_true as usize
+                    } else {
+                        *if_false as usize
+                    });
+                    break;
+                }
+                SuperOp::Ret => {
+                    return Err(SimError::Runtime("ret outside of a function".to_string()));
+                }
+            }
+        }
+        match next_block {
+            Some(b) => block = b,
+            None => {
+                // Entities simply finish their single pass; processes
+                // must end in a terminator, which the verifier enforces.
+                return Ok(());
             }
         }
     }
+}
 
-    /// Resolve a (possibly baked) delay operand to its time value.
-    fn delay_value(&self, idx: usize, delay: &Delay) -> Result<TimeValue, SimError> {
-        match delay {
-            Delay::Const(t) => Ok(*t),
-            Delay::Reg(slot) => self.time_reg(idx, *slot as usize),
-        }
+/// Resolve a (possibly baked) delay operand to its time value.
+fn delay_value(st: &InstanceState, delay: &Delay) -> Result<TimeValue, SimError> {
+    match delay {
+        Delay::Const(t) => Ok(*t),
+        Delay::Reg(slot) => time_reg(st, *slot as usize),
     }
+}
 
-    fn signal(&self, idx: usize, slot: usize) -> SignalId {
-        self.states[idx].signal_table[slot]
+fn time_reg(st: &InstanceState, slot: usize) -> Result<TimeValue, SimError> {
+    st.regs[slot]
+        .as_time()
+        .copied()
+        .ok_or_else(|| SimError::Runtime("expected a time value".to_string()))
+}
+
+fn call_function(
+    cx: &ExecCx,
+    scr: &mut Scratch,
+    callee: UnitId,
+    args: &[ConstValue],
+) -> Result<Option<ConstValue>, SimError> {
+    let unit = Arc::clone(&cx.compiled.units[&callee]);
+    if unit.kind != UnitKind::Function {
+        return Err(SimError::Runtime(format!(
+            "call target {} is not a function",
+            unit.name
+        )));
     }
-
-    fn time_reg(&self, idx: usize, slot: usize) -> Result<TimeValue, SimError> {
-        self.states[idx].regs[slot]
-            .as_time()
-            .copied()
-            .ok_or_else(|| SimError::Runtime("expected a time value".to_string()))
+    let mut regs = unit.new_regs();
+    let mut mems = vec![ConstValue::Void; unit.num_mems];
+    for (slot, value) in unit.arg_regs.iter().zip(args.iter()) {
+        regs[*slot] = value.clone();
     }
-
-    fn call_function(
-        &mut self,
-        callee: UnitId,
-        args: &[ConstValue],
-    ) -> Result<Option<ConstValue>, SimError> {
-        let unit = Arc::clone(&self.compiled.units[&callee]);
-        if unit.kind != UnitKind::Function {
-            return Err(SimError::Runtime(format!(
-                "call target {} is not a function",
-                unit.name
-            )));
-        }
-        let mut regs = unit.new_regs();
-        let mut mems = vec![ConstValue::Void; unit.num_mems];
-        for (slot, value) in unit.arg_regs.iter().zip(args.iter()) {
-            regs[*slot] = value.clone();
-        }
-        let mut block = unit.entry;
-        let mut steps = 0usize;
-        loop {
-            let mut next_block = None;
-            for op in unit.block_ops(block) {
-                steps += 1;
-                if steps > self.config.max_steps_per_activation {
-                    return Err(SimError::Runtime(format!(
-                        "function {} exceeded the step limit",
-                        unit.name
-                    )));
+    let mut block = unit.entry;
+    let mut steps = 0usize;
+    loop {
+        let mut next_block = None;
+        for op in unit.block_ops(block) {
+            steps += 1;
+            if steps > cx.max_steps {
+                return Err(SimError::Runtime(format!(
+                    "function {} exceeded the step limit",
+                    unit.name
+                )));
+            }
+            match op {
+                Op::Pure {
+                    opcode,
+                    dst,
+                    args,
+                    imms,
+                } => {
+                    // Sharing `scr.args` across call frames is fine: the
+                    // buffer only lives across one eval_pure, and pure
+                    // ops never recurse into another frame.
+                    scr.args.clear();
+                    scr.args
+                        .extend(unit.args(*args).iter().map(|&a| regs[a as usize].clone()));
+                    let value = eval_pure(*opcode, &scr.args, imms)
+                        .ok_or_else(|| SimError::Runtime(format!("cannot evaluate {}", opcode)))?;
+                    regs[*dst] = value;
                 }
-                match op {
-                    Op::Pure {
-                        opcode,
-                        dst,
-                        args,
-                        imms,
-                    } => {
-                        let mut arg_values = std::mem::take(&mut self.args_buf);
-                        arg_values.clear();
-                        arg_values.extend(
-                            unit.args(*args).iter().map(|&a| regs[a as usize].clone()),
-                        );
-                        let value = eval_pure(*opcode, &arg_values, imms).ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate {}", opcode))
-                        })?;
-                        self.args_buf = arg_values;
+                Op::Var { mem, init } => mems[*mem] = regs[*init].clone(),
+                Op::Ld { dst, mem } => regs[*dst] = mems[*mem].clone(),
+                Op::St { mem, value } => mems[*mem] = regs[*value].clone(),
+                Op::Call {
+                    callee,
+                    intrinsic,
+                    dst,
+                    args,
+                } => {
+                    let arg_values: Vec<ConstValue> = unit
+                        .args(*args)
+                        .iter()
+                        .map(|&a| regs[a as usize].clone())
+                        .collect();
+                    let result = match intrinsic {
+                        Some(Intrinsic::Assert) => {
+                            scr.assertions_checked += 1;
+                            if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                                scr.assertion_failures += 1;
+                            }
+                            None
+                        }
+                        Some(Intrinsic::Ignore) => None,
+                        None => call_function(cx, scr, callee.unwrap(), &arg_values)?,
+                    };
+                    if let (Some(dst), Some(value)) = (dst, result) {
                         regs[*dst] = value;
                     }
-                    Op::Var { mem, init } => mems[*mem] = regs[*init].clone(),
-                    Op::Ld { dst, mem } => regs[*dst] = mems[*mem].clone(),
-                    Op::St { mem, value } => mems[*mem] = regs[*value].clone(),
-                    Op::Call {
-                        callee,
-                        intrinsic,
-                        dst,
-                        args,
-                    } => {
-                        let arg_values: Vec<ConstValue> = unit
-                            .args(*args)
-                            .iter()
-                            .map(|&a| regs[a as usize].clone())
-                            .collect();
-                        let result = match intrinsic {
-                            Some(Intrinsic::Assert) => {
-                                self.assertions_checked += 1;
-                                if !arg_values.first().map(|a| a.is_truthy()).unwrap_or(false) {
-                                    self.assertion_failures += 1;
-                                }
-                                None
-                            }
-                            Some(Intrinsic::Ignore) => None,
-                            None => self.call_function(callee.unwrap(), &arg_values)?,
-                        };
-                        if let (Some(dst), Some(value)) = (dst, result) {
-                            regs[*dst] = value;
-                        }
-                    }
-                    Op::Br { target } => {
-                        next_block = Some(*target);
-                        break;
-                    }
-                    Op::BrCond {
-                        cond,
-                        if_false,
-                        if_true,
-                    } => {
-                        next_block = Some(if regs[*cond].is_truthy() {
-                            *if_true
-                        } else {
-                            *if_false
-                        });
-                        break;
-                    }
-                    Op::Ret { value } => {
-                        return Ok(value.map(|v| regs[v].clone()));
-                    }
-                    _ => {
-                        return Err(SimError::Runtime(
-                            "unsupported operation in function".to_string(),
-                        ))
-                    }
+                }
+                Op::Br { target } => {
+                    next_block = Some(*target);
+                    break;
+                }
+                Op::BrCond {
+                    cond,
+                    if_false,
+                    if_true,
+                } => {
+                    next_block = Some(if regs[*cond].is_truthy() {
+                        *if_true
+                    } else {
+                        *if_false
+                    });
+                    break;
+                }
+                Op::Ret { value } => {
+                    return Ok(value.map(|v| regs[v].clone()));
+                }
+                _ => {
+                    return Err(SimError::Runtime(
+                        "unsupported operation in function".to_string(),
+                    ))
                 }
             }
-            match next_block {
-                Some(b) => block = b,
-                None => return Ok(None),
-            }
+        }
+        match next_block {
+            Some(b) => block = b,
+            None => return Ok(None),
         }
     }
 }

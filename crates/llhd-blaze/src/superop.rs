@@ -1389,6 +1389,7 @@ mod tests {
             BlazeOptions {
                 fuse: false,
                 specialize: true,
+                islands: true,
             },
         );
         assert_eq!(count_ops(&unfused, |op| matches!(op, SuperOp::Sel { .. })), 0);

@@ -26,6 +26,9 @@ use llhd::ir::Module;
 
 mod sources;
 
+pub mod generate;
+pub use generate::{fir_bank, noc_mesh, parallel_corpus, GeneratedDesign};
+
 /// How the LLHD for a design is produced.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Frontend {

@@ -253,7 +253,14 @@ pub trait Engine {
 /// The magic bytes at the start of every serialized engine checkpoint.
 pub const ENGINE_STATE_MAGIC: &[u8; 4] = b"LHCK";
 /// The checkpoint format version produced by [`Engine::checkpoint`].
-pub const ENGINE_STATE_VERSION: u8 = 1;
+///
+/// Version 2 extends the version-1 header with the design's island-plan
+/// digest ([`IslandPlan::hash`](crate::islands::IslandPlan::hash)), so a
+/// restore onto a differently-partitioned build fails cleanly instead of
+/// replaying events under a different merge order. Version-1 checkpoints
+/// (no digest) still load; the engines then force the serial instant
+/// loop for the restored run, whose merge order is partition-independent.
+pub const ENGINE_STATE_VERSION: u8 = 2;
 
 /// A serialized engine execution state, produced by [`Engine::checkpoint`]
 /// and consumed by [`Engine::restore`].
@@ -270,12 +277,14 @@ pub const ENGINE_STATE_VERSION: u8 = 1;
 pub struct EngineState(Vec<u8>);
 
 impl EngineState {
-    /// Assemble a checkpoint: the common header identifying `engine` and
-    /// the design shape, then whatever `body` appends.
+    /// Assemble a checkpoint: the common header identifying `engine`, the
+    /// design shape, and the island-plan digest, then whatever `body`
+    /// appends.
     pub fn encode(
         engine: &str,
         num_signals: usize,
         num_instances: usize,
+        island_plan_hash: u64,
         body: impl FnOnce(&mut Vec<u8>),
     ) -> EngineState {
         use llhd::bitcode::write_varint;
@@ -286,6 +295,7 @@ impl EngineState {
         out.extend_from_slice(engine.as_bytes());
         write_varint(&mut out, num_signals as u128);
         write_varint(&mut out, num_instances as u128);
+        write_varint(&mut out, island_plan_hash as u128);
         body(&mut out);
         EngineState(out)
     }
@@ -317,7 +327,7 @@ impl EngineState {
         Ok(self.header()?.0)
     }
 
-    fn header(&self) -> Result<(&str, usize, usize, usize), SimError> {
+    fn header(&self) -> Result<(&str, usize, usize, Option<u64>, usize), SimError> {
         use llhd::bitcode::read_varint;
         let bytes = &self.0;
         let corrupt = || SimError::Runtime("corrupt engine checkpoint header".to_string());
@@ -326,10 +336,11 @@ impl EngineState {
                 "not an engine checkpoint (bad magic)".to_string(),
             ));
         }
-        if bytes[4] != ENGINE_STATE_VERSION {
+        let version = bytes[4];
+        if !(1..=ENGINE_STATE_VERSION).contains(&version) {
             return Err(SimError::Runtime(format!(
                 "unsupported engine checkpoint version {}",
-                bytes[4]
+                version
             )));
         }
         let mut pos = 5;
@@ -339,11 +350,20 @@ impl EngineState {
         pos = name_end;
         let num_signals = read_varint(bytes, &mut pos).ok_or_else(corrupt)? as usize;
         let num_instances = read_varint(bytes, &mut pos).ok_or_else(corrupt)? as usize;
-        Ok((name, num_signals, num_instances, pos))
+        // The island-plan digest arrived with version 2; a version-1
+        // checkpoint simply has none.
+        let plan_hash = if version >= 2 {
+            Some(read_varint(bytes, &mut pos).ok_or_else(corrupt)? as u64)
+        } else {
+            None
+        };
+        Ok((name, num_signals, num_instances, plan_hash, pos))
     }
 
     /// Validate the header against the restoring engine and design and
-    /// return the offset of the body.
+    /// return the offset of the body plus the recorded island-plan digest
+    /// (`None` for version-1 checkpoints, which predate the digest — the
+    /// engines then force serial execution for the restored run).
     ///
     /// # Errors
     ///
@@ -354,8 +374,8 @@ impl EngineState {
         engine: &str,
         num_signals: usize,
         num_instances: usize,
-    ) -> Result<usize, SimError> {
-        let (name, signals, instances, body) = self.header()?;
+    ) -> Result<(usize, Option<u64>), SimError> {
+        let (name, signals, instances, plan_hash, body) = self.header()?;
         if name != engine {
             return Err(SimError::Runtime(format!(
                 "checkpoint was taken by engine '{}', cannot restore into '{}'",
@@ -369,7 +389,17 @@ impl EngineState {
                 signals, instances, num_signals, num_instances
             )));
         }
-        Ok(body)
+        Ok((body, plan_hash))
+    }
+
+    /// The island-plan digest recorded in the header, or `None` for a
+    /// version-1 checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] on a corrupt header.
+    pub fn island_plan_hash(&self) -> Result<Option<u64>, SimError> {
+        Ok(self.header()?.3)
     }
 }
 
@@ -1387,6 +1417,16 @@ impl<'m> SessionBuilder<'m> {
     /// given suffixes.
     pub fn trace_filter(mut self, names: &[&str]) -> Self {
         self.config.trace_filter = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Activate independent sensitivity islands on up to `n` threads
+    /// within each instant (default 1: serial). Purely a speed knob —
+    /// traces are byte-identical at any thread count — and inert on
+    /// designs that do not partition into enough substantial islands
+    /// (see [`crate::IslandPlan`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n.max(1);
         self
     }
 

@@ -17,7 +17,8 @@
 
 use crate::api::EngineState;
 use crate::design::{ElaborateError, ElaboratedDesign, InstanceKind, SignalId};
-use crate::sched::{read_byte, read_const, read_usize, SchedCore};
+use crate::islands::IslandPlan;
+use crate::sched::{read_byte, read_const, read_usize, run_instant_parallel, CoreSink, SchedCore};
 use crate::trace::Trace;
 use llhd::bitcode::{encode_const_value, write_varint};
 use llhd::eval::eval_pure;
@@ -45,6 +46,13 @@ pub struct SimConfig {
     /// Cooperative run control: wall-clock deadline and instrumentation
     /// probe, checked between scheduler cycles.
     pub control: RunControl,
+    /// Worker threads for island-parallel instants (see
+    /// [`crate::islands`]). `1` (the default) keeps the serial loop;
+    /// larger values activate each sensitivity island's share of an
+    /// instant on its own scoped worker when the design partitions well
+    /// enough to pay for the handoff. Purely a speed knob: traces are
+    /// byte-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -56,6 +64,7 @@ impl Default for SimConfig {
             trace: true,
             trace_filter: None,
             control: RunControl::default(),
+            threads: 1,
         }
     }
 }
@@ -157,6 +166,12 @@ impl SimConfig {
     /// Attach cooperative run control (deadline/probe).
     pub fn with_control(mut self, control: RunControl) -> Self {
         self.control = control;
+        self
+    }
+
+    /// Use up to `threads` workers for island-parallel instants.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -277,6 +292,15 @@ struct InstState {
     exec: usize,
 }
 
+/// An island must carry at least this many IR instructions before it
+/// counts towards parallelizing a design (see
+/// [`IslandPlan::parallel_worthy`]): below that, the per-instant worker
+/// handoff costs more than the island's activations are worth.
+pub const PARALLEL_MIN_ISLAND_OPS: usize = 16;
+/// An instant must wake at least this many instances before the engines
+/// try the parallel path (fewer can never fill two workers usefully).
+pub const PARALLEL_MIN_BATCH: usize = 4;
+
 /// The event-driven simulator.
 pub struct Simulator<'a> {
     module: &'a Module,
@@ -288,7 +312,7 @@ pub struct Simulator<'a> {
     assertions_checked: usize,
     assertion_failures: usize,
     activations: usize,
-    observed_buf: Vec<SignalId>,
+    scratch: Scratch,
     initialized: bool,
     /// A failure during initialization or a step poisons the simulator:
     /// the instances after the failing one never ran, so continuing would
@@ -296,6 +320,37 @@ pub struct Simulator<'a> {
     /// `initialize`/`step`.
     poisoned: Option<SimError>,
     to_run_buf: Vec<u32>,
+    /// The sensitivity-island partition, computed at construction (a
+    /// linear scan). Its digest goes into every checkpoint; its
+    /// assignment feeds the parallel instant loop.
+    plan: IslandPlan,
+    /// Static go/no-go for the parallel path: enough worthwhile islands
+    /// and a thread budget above one.
+    parallel_ready: bool,
+    /// Set when restoring a version-1 checkpoint (no island digest): the
+    /// restored run stays on the serial loop.
+    force_serial: bool,
+}
+
+/// Immutable per-activation context: everything an activation reads that
+/// is not its own instance state or the scheduling core.
+struct ExecCx<'m> {
+    module: &'m Module,
+    design: &'m ElaboratedDesign,
+    execs: &'m [UnitExec],
+    max_steps: usize,
+}
+
+/// Mutable per-worker scratch: the wait-list buffer and the statistics
+/// counters an activation bumps. Parallel instants give each worker its
+/// own and fold the counters afterwards — plain sums, so the fold order
+/// cannot matter and the totals match a serial run exactly.
+#[derive(Default)]
+struct Scratch {
+    observed: Vec<SignalId>,
+    activations: usize,
+    assertions_checked: usize,
+    assertion_failures: usize,
 }
 
 impl<'a> Simulator<'a> {
@@ -356,6 +411,8 @@ impl<'a> Simulator<'a> {
                 exec,
             });
         }
+        let plan = IslandPlan::build(module, &design);
+        let parallel_ready = config.threads > 1 && plan.parallel_worthy(PARALLEL_MIN_ISLAND_OPS);
         Simulator {
             module,
             design,
@@ -366,10 +423,13 @@ impl<'a> Simulator<'a> {
             assertions_checked: 0,
             assertion_failures: 0,
             activations: 0,
-            observed_buf: Vec::new(),
+            scratch: Scratch::default(),
             initialized: false,
             poisoned: None,
             to_run_buf: Vec::new(),
+            plan,
+            parallel_ready,
+            force_serial: false,
         }
     }
 
@@ -388,17 +448,93 @@ impl<'a> Simulator<'a> {
             };
         }
         self.initialized = true;
-        for idx in 0..self.design.instances.len() {
-            let activated = match self.design.instances[idx].kind {
-                InstanceKind::Process => self.run_process(idx),
-                InstanceKind::Entity => self.eval_entity(idx),
+        let mut result = Ok(());
+        {
+            let cx = ExecCx {
+                module: self.module,
+                design: &self.design,
+                execs: &self.execs,
+                max_steps: self.config.max_steps_per_activation,
             };
-            if let Err(e) = activated {
-                self.poisoned = Some(e.clone());
-                return Err(e);
+            for idx in 0..cx.design.instances.len() {
+                if let Err(e) = activate_inst(
+                    &cx,
+                    &mut self.states[idx],
+                    &mut self.scratch,
+                    idx,
+                    &mut self.core,
+                ) {
+                    result = Err(e);
+                    break;
+                }
             }
         }
-        Ok(())
+        self.fold_scratch();
+        if let Err(e) = &result {
+            self.poisoned = Some(e.clone());
+        }
+        result
+    }
+
+    /// Fold the per-step [`Scratch`] counters into the run totals. Called
+    /// on every exit path of `initialize`/`step` (including errors) so
+    /// the totals stay exact.
+    fn fold_scratch(&mut self) {
+        self.activations += self.scratch.activations;
+        self.assertions_checked += self.scratch.assertions_checked;
+        self.assertion_failures += self.scratch.assertion_failures;
+        self.scratch.activations = 0;
+        self.scratch.assertions_checked = 0;
+        self.scratch.assertion_failures = 0;
+    }
+
+    /// Activate one instant's woken instances: the serial loop, or — when
+    /// the design partitions into islands and the batch is large enough —
+    /// the island-parallel loop. Both produce byte-identical core state
+    /// (see [`crate::sched::run_instant_parallel`]).
+    fn run_activations(&mut self, to_run: &[u32]) -> Result<(), SimError> {
+        let cx = ExecCx {
+            module: self.module,
+            design: &self.design,
+            execs: &self.execs,
+            max_steps: self.config.max_steps_per_activation,
+        };
+        if self.parallel_ready && !self.force_serial && to_run.len() >= PARALLEL_MIN_BATCH {
+            let parallel = run_instant_parallel(
+                &mut self.core,
+                to_run,
+                &mut self.states,
+                self.plan.island_of_instances(),
+                self.config.threads,
+                Scratch::default,
+                |st, scr, inst, sink| activate_inst(&cx, st, scr, inst as usize, sink),
+            );
+            if let Some(outcome) = parallel {
+                for scr in outcome.scratches {
+                    self.scratch.activations += scr.activations;
+                    self.scratch.assertions_checked += scr.assertions_checked;
+                    self.scratch.assertion_failures += scr.assertion_failures;
+                }
+                self.fold_scratch();
+                return outcome.result;
+            }
+        }
+        let mut result = Ok(());
+        for &inst in to_run {
+            let idx = inst as usize;
+            if let Err(e) = activate_inst(
+                &cx,
+                &mut self.states[idx],
+                &mut self.scratch,
+                idx,
+                &mut self.core,
+            ) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.fold_scratch();
+        result
     }
 
     /// Advance the simulation by exactly one scheduler cycle (one instant:
@@ -424,16 +560,8 @@ impl<'a> Simulator<'a> {
         if let Ok(true) = outcome {
             // `to_run` is detached from `self` here, so iterating it while
             // activating instances borrows cleanly.
-            for &inst in &to_run {
-                let idx = inst as usize;
-                let activated = match self.design.instances[idx].kind {
-                    InstanceKind::Process => self.run_process(idx),
-                    InstanceKind::Entity => self.eval_entity(idx),
-                };
-                if let Err(e) = activated {
-                    outcome = Err(e);
-                    break;
-                }
+            if let Err(e) = self.run_activations(&to_run) {
+                outcome = Err(e);
             }
         }
         self.to_run_buf = to_run;
@@ -535,6 +663,7 @@ impl<'a> Simulator<'a> {
             "interp",
             self.design.num_signals(),
             self.design.num_instances(),
+            self.plan.hash(),
             |out| {
                 self.core.snapshot(out);
                 out.push(self.initialized as u8);
@@ -591,11 +720,25 @@ impl<'a> Simulator<'a> {
     /// corrupt bytes.
     pub fn restore(&mut self, state: &EngineState) -> Result<(), SimError> {
         let bytes = state.as_bytes();
-        let mut pos = state.validate(
+        let (mut pos, plan_hash) = state.validate(
             "interp",
             self.design.num_signals(),
             self.design.num_instances(),
         )?;
+        match plan_hash {
+            // Version-1 checkpoints predate island partitioning: they
+            // restore fine, but the engine stays serial for the rest of
+            // its life so cross-version runs replay the proven path.
+            None => self.force_serial = true,
+            Some(h) if h != self.plan.hash() => {
+                return Err(SimError::Runtime(
+                    "engine checkpoint was taken with a different island plan \
+                     (design or partitioner version mismatch)"
+                        .to_string(),
+                ));
+            }
+            Some(_) => {}
+        }
         let pos = &mut pos;
         self.core.restore_snapshot(bytes, pos)?;
         self.initialized = read_byte(bytes, pos)? != 0;
@@ -684,533 +827,570 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    // ----- dense state access ----------------------------------------------
+}
 
-    /// Look up the runtime value of an SSA value within an instance.
-    fn value_of(&self, idx: usize, unit: &UnitData, value: Value) -> Result<ConstValue, SimError> {
-        let st = &self.states[idx];
-        let i = value.index();
-        if st.stamps[i] == st.epoch {
-            return Ok(st.slots[i].clone());
-        }
-        if let Some(c) = unit.get_const(value) {
-            return Ok(c.clone());
-        }
-        // Signal-typed arguments read their current value when used as data.
-        let sig = st.sig_of[i];
-        if sig != NO_SIGNAL {
-            return Ok(self.core.value(sig).clone());
-        }
+// ---------------------------------------------------------------------------
+// Activation execution
+// ---------------------------------------------------------------------------
+//
+// The execution core is a set of free functions generic over
+// [`CoreSink`]: the serial loop instantiates them with the
+// [`SchedCore`] itself (direct mutation, same code the old methods
+// compiled to), the island-parallel loop with a
+// [`DeferredSink`](crate::sched::DeferredSink) (mutations logged and
+// replayed in serial order on the main thread). An activation touches
+// exactly three things: the immutable [`ExecCx`], its own instance's
+// [`InstState`], and a per-worker [`Scratch`] — which is what makes
+// handing each island's activations to a worker thread sound.
+
+/// Activate one instance: resume a process or evaluate an entity.
+fn activate_inst<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstState,
+    scr: &mut Scratch,
+    idx: usize,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    match cx.design.instances[idx].kind {
+        InstanceKind::Process => run_process(cx, st, scr, idx, sink),
+        InstanceKind::Entity => eval_entity(cx, st, scr, idx, sink),
+    }
+}
+
+// ----- dense state access ----------------------------------------------
+
+/// Look up the runtime value of an SSA value within an instance.
+fn value_of<S: CoreSink>(
+    cx: &ExecCx,
+    st: &InstState,
+    sink: &S,
+    idx: usize,
+    unit: &UnitData,
+    value: Value,
+) -> Result<ConstValue, SimError> {
+    let i = value.index();
+    if st.stamps[i] == st.epoch {
+        return Ok(st.slots[i].clone());
+    }
+    if let Some(c) = unit.get_const(value) {
+        return Ok(c.clone());
+    }
+    // Signal-typed arguments read their current value when used as data.
+    let sig = st.sig_of[i];
+    if sig != NO_SIGNAL {
+        return Ok(sink.value(sig).clone());
+    }
+    Err(SimError::Runtime(format!(
+        "use of a value before definition ({:?} in {})",
+        value, cx.design.instances[idx].name
+    )))
+}
+
+fn set_value(st: &mut InstState, value: Value, v: ConstValue) {
+    let i = value.index();
+    st.slots[i] = v;
+    st.stamps[i] = st.epoch;
+}
+
+fn signal_of(cx: &ExecCx, st: &InstState, idx: usize, value: Value) -> Result<SignalId, SimError> {
+    let sig = st.sig_of[value.index()];
+    if sig != NO_SIGNAL {
+        Ok(sig)
+    } else {
         Err(SimError::Runtime(format!(
-            "use of a value before definition ({:?} in {})",
-            value, self.design.instances[idx].name
+            "value {:?} is not bound to a signal in {}",
+            value, cx.design.instances[idx].name
         )))
     }
+}
 
-    fn set_value(&mut self, idx: usize, value: Value, v: ConstValue) {
-        let st = &mut self.states[idx];
-        let i = value.index();
-        st.slots[i] = v;
-        st.stamps[i] = st.epoch;
-    }
+fn time_value<S: CoreSink>(
+    cx: &ExecCx,
+    st: &InstState,
+    sink: &S,
+    idx: usize,
+    unit: &UnitData,
+    value: Value,
+    what: &str,
+) -> Result<TimeValue, SimError> {
+    value_of(cx, st, sink, idx, unit, value)?
+        .as_time()
+        .copied()
+        .ok_or_else(|| SimError::Runtime(format!("{} is not a time value", what)))
+}
 
-    fn signal_of(&self, idx: usize, value: Value) -> Result<SignalId, SimError> {
-        let sig = self.states[idx].sig_of[value.index()];
-        if sig != NO_SIGNAL {
-            Ok(sig)
-        } else {
-            Err(SimError::Runtime(format!(
-                "value {:?} is not bound to a signal in {}",
-                value, self.design.instances[idx].name
-            )))
-        }
-    }
+// ----- process execution ------------------------------------------------
 
-    fn time_value(
-        &self,
-        idx: usize,
-        unit: &UnitData,
-        value: Value,
-        what: &str,
-    ) -> Result<TimeValue, SimError> {
-        self.value_of(idx, unit, value)?
-            .as_time()
-            .copied()
-            .ok_or_else(|| SimError::Runtime(format!("{} is not a time value", what)))
-    }
-
-    // ----- process execution ------------------------------------------------
-
-    fn run_process(&mut self, idx: usize) -> Result<(), SimError> {
-        self.activations += 1;
-        let module: &'a Module = self.module;
-        let unit = module.unit(self.design.instances[idx].unit);
-        let mut block = match &self.states[idx].status {
-            ProcStatus::Ready => match unit.entry_block() {
-                Some(b) => b,
-                None => return Ok(()),
-            },
-            ProcStatus::Suspended { resume } => *resume,
-            ProcStatus::Halted => return Ok(()),
-        };
-        self.states[idx].status = ProcStatus::Ready;
-        let mut steps = 0usize;
-        'outer: loop {
-            let insts = unit.insts_slice(block);
-            let mut next_block: Option<Block> = None;
-            for &inst in insts {
-                steps += 1;
-                if steps > self.config.max_steps_per_activation {
-                    return Err(SimError::Runtime(format!(
-                        "process {} exceeded the step limit without suspending",
-                        self.design.instances[idx].name
-                    )));
-                }
-                let data = unit.inst_data(inst);
-                match data.opcode {
-                    Opcode::Wait | Opcode::WaitTime => {
-                        let (time_arg, signal_args) = if data.opcode == Opcode::WaitTime {
-                            (Some(data.args[0]), &data.args[1..])
-                        } else {
-                            (None, &data.args[..])
-                        };
-                        let mut observed = std::mem::take(&mut self.observed_buf);
-                        observed.clear();
-                        for &arg in signal_args {
-                            let sig = self.states[idx].sig_of[arg.index()];
-                            if sig != NO_SIGNAL {
-                                observed.push(sig);
-                            }
+fn run_process<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstState,
+    scr: &mut Scratch,
+    idx: usize,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    scr.activations += 1;
+    let unit = cx.module.unit(cx.design.instances[idx].unit);
+    let mut block = match &st.status {
+        ProcStatus::Ready => match unit.entry_block() {
+            Some(b) => b,
+            None => return Ok(()),
+        },
+        ProcStatus::Suspended { resume } => *resume,
+        ProcStatus::Halted => return Ok(()),
+    };
+    st.status = ProcStatus::Ready;
+    let mut steps = 0usize;
+    'outer: loop {
+        let insts = unit.insts_slice(block);
+        let mut next_block: Option<Block> = None;
+        for &inst in insts {
+            steps += 1;
+            if steps > cx.max_steps {
+                return Err(SimError::Runtime(format!(
+                    "process {} exceeded the step limit without suspending",
+                    cx.design.instances[idx].name
+                )));
+            }
+            let data = unit.inst_data(inst);
+            match data.opcode {
+                Opcode::Wait | Opcode::WaitTime => {
+                    let (time_arg, signal_args) = if data.opcode == Opcode::WaitTime {
+                        (Some(data.args[0]), &data.args[1..])
+                    } else {
+                        (None, &data.args[..])
+                    };
+                    scr.observed.clear();
+                    for &arg in signal_args {
+                        let sig = st.sig_of[arg.index()];
+                        if sig != NO_SIGNAL {
+                            scr.observed.push(sig);
                         }
-                        let timeout = match time_arg {
-                            Some(arg) => Some(self.time_value(idx, unit, arg, "wait delay")?),
-                            None => None,
-                        };
-                        self.states[idx].status = ProcStatus::Suspended {
-                            resume: data.blocks[0],
-                        };
-                        self.core.suspend(idx, &observed, timeout.as_ref());
-                        self.observed_buf = observed;
-                        return Ok(());
                     }
-                    Opcode::Halt => {
-                        self.states[idx].status = ProcStatus::Halted;
-                        return Ok(());
-                    }
-                    Opcode::Br => {
-                        next_block = Some(data.blocks[0]);
-                        break;
-                    }
-                    Opcode::BrCond => {
-                        let cond = self.value_of(idx, unit, data.args[0])?;
-                        let target = if cond.is_truthy() {
-                            data.blocks[1]
-                        } else {
-                            data.blocks[0]
-                        };
-                        next_block = Some(target);
-                        break;
-                    }
-                    Opcode::Ret | Opcode::RetValue => {
-                        return Err(SimError::Runtime(
-                            "ret is not allowed in a process".to_string(),
-                        ));
-                    }
-                    _ => {
-                        self.execute_simple_inst(idx, unit, inst, data)?;
-                    }
+                    let timeout = match time_arg {
+                        Some(arg) => Some(time_value(cx, st, sink, idx, unit, arg, "wait delay")?),
+                        None => None,
+                    };
+                    st.status = ProcStatus::Suspended {
+                        resume: data.blocks[0],
+                    };
+                    sink.suspend(idx, &scr.observed, timeout.as_ref());
+                    return Ok(());
                 }
-            }
-            match next_block {
-                Some(b) => {
-                    block = b;
-                    continue 'outer;
+                Opcode::Halt => {
+                    st.status = ProcStatus::Halted;
+                    return Ok(());
                 }
-                None => {
-                    // Fell off the end of a block without a terminator.
-                    return Err(SimError::Runtime(format!(
-                        "process {} ran past the end of a block",
-                        self.design.instances[idx].name
-                    )));
+                Opcode::Br => {
+                    next_block = Some(data.blocks[0]);
+                    break;
                 }
-            }
-        }
-    }
-
-    /// Execute a non-control-flow instruction within a process activation.
-    fn execute_simple_inst(
-        &mut self,
-        idx: usize,
-        unit: &UnitData,
-        inst: llhd::ir::Inst,
-        data: &InstData,
-    ) -> Result<(), SimError> {
-        match data.opcode {
-            Opcode::Const => {
-                let result = unit.inst_result(inst);
-                self.set_value(idx, result, data.konst.clone().unwrap());
-            }
-            Opcode::Prb => {
-                let signal = self.signal_of(idx, data.args[0])?;
-                let value = self.core.value(signal).clone();
-                let result = unit.inst_result(inst);
-                self.set_value(idx, result, value);
-            }
-            Opcode::Drv | Opcode::DrvCond => {
-                if data.opcode == Opcode::DrvCond {
-                    let cond = self.value_of(idx, unit, data.args[3])?;
-                    if !cond.is_truthy() {
-                        return Ok(());
-                    }
+                Opcode::BrCond => {
+                    let cond = value_of(cx, st, sink, idx, unit, data.args[0])?;
+                    let target = if cond.is_truthy() {
+                        data.blocks[1]
+                    } else {
+                        data.blocks[0]
+                    };
+                    next_block = Some(target);
+                    break;
                 }
-                let signal = self.signal_of(idx, data.args[0])?;
-                let value = self.value_of(idx, unit, data.args[1])?;
-                let delay = self.time_value(idx, unit, data.args[2], "drive delay")?;
-                self.core.schedule_drive(signal, value, &delay);
-            }
-            Opcode::Var | Opcode::Halloc => {
-                let init = self.value_of(idx, unit, data.args[0])?;
-                let result = unit.inst_result(inst);
-                let st = &mut self.states[idx];
-                st.mem[result.index()] = init;
-                st.mem_stamps[result.index()] = st.epoch;
-            }
-            Opcode::Ld => {
-                let st = &self.states[idx];
-                let i = data.args[0].index();
-                if st.mem_stamps[i] != st.epoch {
+                Opcode::Ret | Opcode::RetValue => {
                     return Err(SimError::Runtime(
-                        "load from unallocated memory".to_string(),
+                        "ret is not allowed in a process".to_string(),
                     ));
                 }
-                let value = st.mem[i].clone();
-                let result = unit.inst_result(inst);
-                self.set_value(idx, result, value);
-            }
-            Opcode::St => {
-                let value = self.value_of(idx, unit, data.args[1])?;
-                let st = &mut self.states[idx];
-                st.mem[data.args[0].index()] = value;
-                st.mem_stamps[data.args[0].index()] = st.epoch;
-            }
-            Opcode::Free => {
-                self.states[idx].mem_stamps[data.args[0].index()] = 0;
-            }
-            Opcode::Call => {
-                let mut args = Vec::with_capacity(data.args.len());
-                for &a in &data.args {
-                    args.push(self.value_of(idx, unit, a)?);
-                }
-                let result = self.call(unit, data, &args)?;
-                if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result) {
-                    self.set_value(idx, result_value, value);
+                _ => {
+                    execute_simple_inst(cx, st, scr, idx, unit, inst, data, sink)?;
                 }
             }
-            op if op.is_pure() => {
-                let mut args = Vec::with_capacity(data.args.len());
-                for &a in &data.args {
-                    args.push(self.value_of(idx, unit, a)?);
-                }
-                let value = eval_pure(op, &args, &data.imms).ok_or_else(|| {
-                    SimError::Runtime(format!("cannot evaluate instruction {}", op))
-                })?;
-                let result = unit.inst_result(inst);
-                self.set_value(idx, result, value);
+        }
+        match next_block {
+            Some(b) => {
+                block = b;
+                continue 'outer;
             }
-            op => {
+            None => {
+                // Fell off the end of a block without a terminator.
                 return Err(SimError::Runtime(format!(
-                    "unsupported instruction {} in process",
-                    op
+                    "process {} ran past the end of a block",
+                    cx.design.instances[idx].name
                 )));
             }
         }
-        Ok(())
     }
+}
 
-    // ----- function calls ---------------------------------------------------
-
-    fn call(
-        &mut self,
-        caller: &UnitData,
-        data: &InstData,
-        args: &[ConstValue],
-    ) -> Result<Option<ConstValue>, SimError> {
-        let ext = data
-            .ext_unit
-            .ok_or_else(|| SimError::Runtime("call without a target".to_string()))?;
-        let name = caller.ext_unit_data(ext).name.clone();
-        // Intrinsics.
-        if let Some(ident) = name.ident() {
-            if let Some(rest) = ident.strip_prefix("llhd.") {
-                return self.intrinsic(rest, args);
+/// Execute a non-control-flow instruction within a process activation.
+#[allow(clippy::too_many_arguments)]
+fn execute_simple_inst<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstState,
+    scr: &mut Scratch,
+    idx: usize,
+    unit: &UnitData,
+    inst: llhd::ir::Inst,
+    data: &InstData,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    match data.opcode {
+        Opcode::Const => {
+            let result = unit.inst_result(inst);
+            set_value(st, result, data.konst.clone().unwrap());
+        }
+        Opcode::Prb => {
+            let signal = signal_of(cx, st, idx, data.args[0])?;
+            let value = sink.value(signal).clone();
+            let result = unit.inst_result(inst);
+            set_value(st, result, value);
+        }
+        Opcode::Drv | Opcode::DrvCond => {
+            if data.opcode == Opcode::DrvCond {
+                let cond = value_of(cx, st, sink, idx, unit, data.args[3])?;
+                if !cond.is_truthy() {
+                    return Ok(());
+                }
+            }
+            let signal = signal_of(cx, st, idx, data.args[0])?;
+            let value = value_of(cx, st, sink, idx, unit, data.args[1])?;
+            let delay = time_value(cx, st, sink, idx, unit, data.args[2], "drive delay")?;
+            sink.schedule_drive(signal, value, &delay);
+        }
+        Opcode::Var | Opcode::Halloc => {
+            let init = value_of(cx, st, sink, idx, unit, data.args[0])?;
+            let result = unit.inst_result(inst);
+            st.mem[result.index()] = init;
+            st.mem_stamps[result.index()] = st.epoch;
+        }
+        Opcode::Ld => {
+            let i = data.args[0].index();
+            if st.mem_stamps[i] != st.epoch {
+                return Err(SimError::Runtime(
+                    "load from unallocated memory".to_string(),
+                ));
+            }
+            let value = st.mem[i].clone();
+            let result = unit.inst_result(inst);
+            set_value(st, result, value);
+        }
+        Opcode::St => {
+            let value = value_of(cx, st, sink, idx, unit, data.args[1])?;
+            st.mem[data.args[0].index()] = value;
+            st.mem_stamps[data.args[0].index()] = st.epoch;
+        }
+        Opcode::Free => {
+            st.mem_stamps[data.args[0].index()] = 0;
+        }
+        Opcode::Call => {
+            let mut args = Vec::with_capacity(data.args.len());
+            for &a in &data.args {
+                args.push(value_of(cx, st, sink, idx, unit, a)?);
+            }
+            let result = call(cx, scr, unit, data, &args)?;
+            if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result) {
+                set_value(st, result_value, value);
             }
         }
-        let callee_id = self
-            .module
-            .unit_by_name(&name)
-            .ok_or_else(|| SimError::Runtime(format!("call to undefined function {}", name)))?;
-        let callee = self.module.unit(callee_id);
-        if callee.kind() != UnitKind::Function {
+        op if op.is_pure() => {
+            let mut args = Vec::with_capacity(data.args.len());
+            for &a in &data.args {
+                args.push(value_of(cx, st, sink, idx, unit, a)?);
+            }
+            let value = eval_pure(op, &args, &data.imms)
+                .ok_or_else(|| SimError::Runtime(format!("cannot evaluate instruction {}", op)))?;
+            let result = unit.inst_result(inst);
+            set_value(st, result, value);
+        }
+        op => {
             return Err(SimError::Runtime(format!(
-                "call target {} is not a function",
-                name
+                "unsupported instruction {} in process",
+                op
             )));
         }
-        self.call_function(callee, args)
     }
+    Ok(())
+}
 
-    fn intrinsic(
-        &mut self,
-        name: &str,
-        args: &[ConstValue],
-    ) -> Result<Option<ConstValue>, SimError> {
-        match name {
-            "assert" => {
-                self.assertions_checked += 1;
-                if !args.first().map(|a| a.is_truthy()).unwrap_or(false) {
-                    self.assertion_failures += 1;
-                }
-                Ok(None)
-            }
-            // Unknown intrinsics are ignored, matching the paper's treatment
-            // of simulation-only hooks.
-            _ => Ok(None),
-        }
-    }
+// ----- function calls ---------------------------------------------------
 
-    /// Interpret a function call. Functions execute immediately and may not
-    /// interact with signals or time. The frame uses the same dense slot
-    /// layout as instances, indexed by `Value::index()`.
-    fn call_function(
-        &mut self,
-        unit: &UnitData,
-        args: &[ConstValue],
-    ) -> Result<Option<ConstValue>, SimError> {
-        let n = unit.num_value_slots();
-        let mut slots: Vec<Option<ConstValue>> = vec![None; n];
-        let mut memory: Vec<Option<ConstValue>> = vec![None; n];
-        for (arg, value) in unit.args().into_iter().zip(args.iter()) {
-            slots[arg.index()] = Some(value.clone());
-        }
-        let mut block = unit
-            .entry_block()
-            .ok_or_else(|| SimError::Runtime("function without entry block".to_string()))?;
-        let mut steps = 0usize;
-        loop {
-            let mut next_block = None;
-            for &inst in unit.insts_slice(block) {
-                steps += 1;
-                if steps > self.config.max_steps_per_activation {
-                    return Err(SimError::Runtime(format!(
-                        "function {} exceeded the step limit",
-                        unit.name()
-                    )));
-                }
-                let data = unit.inst_data(inst);
-                let lookup = |slots: &[Option<ConstValue>], v: Value| {
-                    slots[v.index()]
-                        .clone()
-                        .or_else(|| unit.get_const(v).cloned())
-                        .ok_or_else(|| {
-                            SimError::Runtime(format!("use of undefined value {:?}", v))
-                        })
-                };
-                match data.opcode {
-                    Opcode::Const => {
-                        slots[unit.inst_result(inst).index()] = Some(data.konst.clone().unwrap());
-                    }
-                    Opcode::Ret => return Ok(None),
-                    Opcode::RetValue => {
-                        return Ok(Some(lookup(&slots, data.args[0])?));
-                    }
-                    Opcode::Br => {
-                        next_block = Some(data.blocks[0]);
-                        break;
-                    }
-                    Opcode::BrCond => {
-                        let cond = lookup(&slots, data.args[0])?;
-                        next_block = Some(if cond.is_truthy() {
-                            data.blocks[1]
-                        } else {
-                            data.blocks[0]
-                        });
-                        break;
-                    }
-                    Opcode::Var | Opcode::Halloc => {
-                        let init = lookup(&slots, data.args[0])?;
-                        memory[unit.inst_result(inst).index()] = Some(init);
-                    }
-                    Opcode::Ld => {
-                        let value = memory[data.args[0].index()].clone().ok_or_else(|| {
-                            SimError::Runtime("load from unallocated memory".to_string())
-                        })?;
-                        slots[unit.inst_result(inst).index()] = Some(value);
-                    }
-                    Opcode::St => {
-                        let value = lookup(&slots, data.args[1])?;
-                        memory[data.args[0].index()] = Some(value);
-                    }
-                    Opcode::Free => {
-                        memory[data.args[0].index()] = None;
-                    }
-                    Opcode::Call => {
-                        let mut call_args = Vec::with_capacity(data.args.len());
-                        for &a in &data.args {
-                            call_args.push(lookup(&slots, a)?);
-                        }
-                        let result = self.call(unit, data, &call_args)?;
-                        if let (Some(result_value), Some(value)) =
-                            (unit.get_inst_result(inst), result)
-                        {
-                            slots[result_value.index()] = Some(value);
-                        }
-                    }
-                    op if op.is_pure() => {
-                        let mut eval_args = Vec::with_capacity(data.args.len());
-                        for &a in &data.args {
-                            eval_args.push(lookup(&slots, a)?);
-                        }
-                        let value = eval_pure(op, &eval_args, &data.imms).ok_or_else(|| {
-                            SimError::Runtime(format!("cannot evaluate instruction {}", op))
-                        })?;
-                        slots[unit.inst_result(inst).index()] = Some(value);
-                    }
-                    op => {
-                        return Err(SimError::Runtime(format!(
-                            "unsupported instruction {} in function",
-                            op
-                        )));
-                    }
-                }
-            }
-            match next_block {
-                Some(b) => block = b,
-                None => return Ok(None),
-            }
+fn call(
+    cx: &ExecCx,
+    scr: &mut Scratch,
+    caller: &UnitData,
+    data: &InstData,
+    args: &[ConstValue],
+) -> Result<Option<ConstValue>, SimError> {
+    let ext = data
+        .ext_unit
+        .ok_or_else(|| SimError::Runtime("call without a target".to_string()))?;
+    let name = caller.ext_unit_data(ext).name.clone();
+    // Intrinsics.
+    if let Some(ident) = name.ident() {
+        if let Some(rest) = ident.strip_prefix("llhd.") {
+            return intrinsic(scr, rest, args);
         }
     }
+    let callee_id = cx
+        .module
+        .unit_by_name(&name)
+        .ok_or_else(|| SimError::Runtime(format!("call to undefined function {}", name)))?;
+    let callee = cx.module.unit(callee_id);
+    if callee.kind() != UnitKind::Function {
+        return Err(SimError::Runtime(format!(
+            "call target {} is not a function",
+            name
+        )));
+    }
+    call_function(cx, scr, callee, args)
+}
 
-    // ----- entity evaluation --------------------------------------------------
-
-    fn eval_entity(&mut self, idx: usize) -> Result<(), SimError> {
-        self.activations += 1;
-        let module: &'a Module = self.module;
-        let unit = module.unit(self.design.instances[idx].unit);
-        let body = match unit.entry_block() {
-            Some(b) => b,
-            None => return Ok(()),
-        };
-        // Fresh scratch: bumping the epoch invalidates all slots at once.
-        {
-            let st = &mut self.states[idx];
-            st.epoch = st.epoch.wrapping_add(1);
-            if st.epoch == 0 {
-                // 0 is never used as an epoch, so resetting the stamps to
-                // it can never alias a live epoch later on.
-                st.stamps.iter_mut().for_each(|s| *s = 0);
-                st.epoch = 1;
+fn intrinsic(
+    scr: &mut Scratch,
+    name: &str,
+    args: &[ConstValue],
+) -> Result<Option<ConstValue>, SimError> {
+    match name {
+        "assert" => {
+            scr.assertions_checked += 1;
+            if !args.first().map(|a| a.is_truthy()).unwrap_or(false) {
+                scr.assertion_failures += 1;
             }
+            Ok(None)
         }
-        for &inst in unit.insts_slice(body) {
+        // Unknown intrinsics are ignored, matching the paper's treatment
+        // of simulation-only hooks.
+        _ => Ok(None),
+    }
+}
+
+/// Interpret a function call. Functions execute immediately and may not
+/// interact with signals or time. The frame uses the same dense slot
+/// layout as instances, indexed by `Value::index()`.
+fn call_function(
+    cx: &ExecCx,
+    scr: &mut Scratch,
+    unit: &UnitData,
+    args: &[ConstValue],
+) -> Result<Option<ConstValue>, SimError> {
+    let n = unit.num_value_slots();
+    let mut slots: Vec<Option<ConstValue>> = vec![None; n];
+    let mut memory: Vec<Option<ConstValue>> = vec![None; n];
+    for (arg, value) in unit.args().into_iter().zip(args.iter()) {
+        slots[arg.index()] = Some(value.clone());
+    }
+    let mut block = unit
+        .entry_block()
+        .ok_or_else(|| SimError::Runtime("function without entry block".to_string()))?;
+    let mut steps = 0usize;
+    loop {
+        let mut next_block = None;
+        for &inst in unit.insts_slice(block) {
+            steps += 1;
+            if steps > cx.max_steps {
+                return Err(SimError::Runtime(format!(
+                    "function {} exceeded the step limit",
+                    unit.name()
+                )));
+            }
             let data = unit.inst_data(inst);
+            let lookup = |slots: &[Option<ConstValue>], v: Value| {
+                slots[v.index()]
+                    .clone()
+                    .or_else(|| unit.get_const(v).cloned())
+                    .ok_or_else(|| SimError::Runtime(format!("use of undefined value {:?}", v)))
+            };
             match data.opcode {
                 Opcode::Const => {
-                    let result = unit.inst_result(inst);
-                    self.set_value(idx, result, data.konst.clone().unwrap());
+                    slots[unit.inst_result(inst).index()] = Some(data.konst.clone().unwrap());
                 }
-                Opcode::Sig | Opcode::Inst | Opcode::Con => {
-                    // Elaboration-time constructs.
+                Opcode::Ret => return Ok(None),
+                Opcode::RetValue => {
+                    return Ok(Some(lookup(&slots, data.args[0])?));
                 }
-                Opcode::Prb => {
-                    let signal = self.signal_of(idx, data.args[0])?;
-                    let value = self.core.value(signal).clone();
-                    self.set_value(idx, unit.inst_result(inst), value);
+                Opcode::Br => {
+                    next_block = Some(data.blocks[0]);
+                    break;
                 }
-                Opcode::Drv | Opcode::DrvCond => {
-                    if data.opcode == Opcode::DrvCond {
-                        let cond = self.value_of(idx, unit, data.args[3])?;
-                        if !cond.is_truthy() {
-                            continue;
-                        }
-                    }
-                    let signal = self.signal_of(idx, data.args[0])?;
-                    let value = self.value_of(idx, unit, data.args[1])?;
-                    let delay = self.time_value(idx, unit, data.args[2], "drive delay")?;
-                    self.core.schedule_drive(signal, value, &delay);
+                Opcode::BrCond => {
+                    let cond = lookup(&slots, data.args[0])?;
+                    next_block = Some(if cond.is_truthy() {
+                        data.blocks[1]
+                    } else {
+                        data.blocks[0]
+                    });
+                    break;
                 }
-                Opcode::Del => {
-                    let source = self.signal_of(idx, data.args[0])?;
-                    let target = self.signal_of(idx, unit.inst_result(inst))?;
-                    let delay = self.time_value(idx, unit, data.args[1], "del delay")?;
-                    let value = self.core.value(source).clone();
-                    self.core.schedule_drive(target, value, &delay);
+                Opcode::Var | Opcode::Halloc => {
+                    let init = lookup(&slots, data.args[0])?;
+                    memory[unit.inst_result(inst).index()] = Some(init);
                 }
-                Opcode::Reg => {
-                    let signal = self.signal_of(idx, data.args[0])?;
-                    let base = self.execs[self.states[idx].exec].reg_base[inst.index()] as usize;
-                    for (trigger_index, trigger) in data.triggers.iter().enumerate() {
-                        let current = self.value_of(idx, unit, trigger.trigger)?;
-                        let previous = self.states[idx].reg_prev[base + trigger_index].take();
-                        let fire = match trigger.mode {
-                            RegMode::High => current.is_truthy(),
-                            RegMode::Low => !current.is_truthy(),
-                            RegMode::Rise => {
-                                previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
-                                    && current.is_truthy()
-                            }
-                            RegMode::Fall => {
-                                previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
-                                    && !current.is_truthy()
-                            }
-                            RegMode::Both => {
-                                previous.as_ref().map(|p| p != &current).unwrap_or(false)
-                            }
-                        };
-                        self.states[idx].reg_prev[base + trigger_index] = Some(current);
-                        if !fire {
-                            continue;
-                        }
-                        if let Some(gate) = trigger.gate {
-                            if !self.value_of(idx, unit, gate)?.is_truthy() {
-                                continue;
-                            }
-                        }
-                        let value = self.value_of(idx, unit, trigger.value)?;
-                        self.core
-                            .schedule_drive(signal, value, &TimeValue::from_delta(1));
-                    }
+                Opcode::Ld => {
+                    let value = memory[data.args[0].index()].clone().ok_or_else(|| {
+                        SimError::Runtime("load from unallocated memory".to_string())
+                    })?;
+                    slots[unit.inst_result(inst).index()] = Some(value);
+                }
+                Opcode::St => {
+                    let value = lookup(&slots, data.args[1])?;
+                    memory[data.args[0].index()] = Some(value);
+                }
+                Opcode::Free => {
+                    memory[data.args[0].index()] = None;
                 }
                 Opcode::Call => {
-                    let mut args = Vec::with_capacity(data.args.len());
+                    let mut call_args = Vec::with_capacity(data.args.len());
                     for &a in &data.args {
-                        args.push(self.value_of(idx, unit, a)?);
+                        call_args.push(lookup(&slots, a)?);
                     }
-                    let result = self.call(unit, data, &args)?;
+                    let result = call(cx, scr, unit, data, &call_args)?;
                     if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result)
                     {
-                        self.set_value(idx, result_value, value);
+                        slots[result_value.index()] = Some(value);
                     }
                 }
                 op if op.is_pure() => {
-                    let mut args = Vec::with_capacity(data.args.len());
+                    let mut eval_args = Vec::with_capacity(data.args.len());
                     for &a in &data.args {
-                        args.push(self.value_of(idx, unit, a)?);
+                        eval_args.push(lookup(&slots, a)?);
                     }
-                    let value = eval_pure(op, &args, &data.imms).ok_or_else(|| {
+                    let value = eval_pure(op, &eval_args, &data.imms).ok_or_else(|| {
                         SimError::Runtime(format!("cannot evaluate instruction {}", op))
                     })?;
-                    self.set_value(idx, unit.inst_result(inst), value);
+                    slots[unit.inst_result(inst).index()] = Some(value);
                 }
                 op => {
                     return Err(SimError::Runtime(format!(
-                        "unsupported instruction {} in entity",
+                        "unsupported instruction {} in function",
                         op
                     )));
                 }
             }
         }
-        Ok(())
+        match next_block {
+            Some(b) => block = b,
+            None => return Ok(None),
+        }
     }
+}
+
+// ----- entity evaluation --------------------------------------------------
+
+fn eval_entity<S: CoreSink>(
+    cx: &ExecCx,
+    st: &mut InstState,
+    scr: &mut Scratch,
+    idx: usize,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    scr.activations += 1;
+    let unit = cx.module.unit(cx.design.instances[idx].unit);
+    let body = match unit.entry_block() {
+        Some(b) => b,
+        None => return Ok(()),
+    };
+    // Fresh scratch: bumping the epoch invalidates all slots at once.
+    st.epoch = st.epoch.wrapping_add(1);
+    if st.epoch == 0 {
+        // 0 is never used as an epoch, so resetting the stamps to it can
+        // never alias a live epoch later on.
+        st.stamps.iter_mut().for_each(|s| *s = 0);
+        st.epoch = 1;
+    }
+    for &inst in unit.insts_slice(body) {
+        let data = unit.inst_data(inst);
+        match data.opcode {
+            Opcode::Const => {
+                let result = unit.inst_result(inst);
+                set_value(st, result, data.konst.clone().unwrap());
+            }
+            Opcode::Sig | Opcode::Inst | Opcode::Con => {
+                // Elaboration-time constructs.
+            }
+            Opcode::Prb => {
+                let signal = signal_of(cx, st, idx, data.args[0])?;
+                let value = sink.value(signal).clone();
+                set_value(st, unit.inst_result(inst), value);
+            }
+            Opcode::Drv | Opcode::DrvCond => {
+                if data.opcode == Opcode::DrvCond {
+                    let cond = value_of(cx, st, sink, idx, unit, data.args[3])?;
+                    if !cond.is_truthy() {
+                        continue;
+                    }
+                }
+                let signal = signal_of(cx, st, idx, data.args[0])?;
+                let value = value_of(cx, st, sink, idx, unit, data.args[1])?;
+                let delay = time_value(cx, st, sink, idx, unit, data.args[2], "drive delay")?;
+                sink.schedule_drive(signal, value, &delay);
+            }
+            Opcode::Del => {
+                let source = signal_of(cx, st, idx, data.args[0])?;
+                let target = signal_of(cx, st, idx, unit.inst_result(inst))?;
+                let delay = time_value(cx, st, sink, idx, unit, data.args[1], "del delay")?;
+                let value = sink.value(source).clone();
+                sink.schedule_drive(target, value, &delay);
+            }
+            Opcode::Reg => {
+                let signal = signal_of(cx, st, idx, data.args[0])?;
+                let base = cx.execs[st.exec].reg_base[inst.index()] as usize;
+                for (trigger_index, trigger) in data.triggers.iter().enumerate() {
+                    let current = value_of(cx, st, sink, idx, unit, trigger.trigger)?;
+                    let previous = st.reg_prev[base + trigger_index].take();
+                    let fire = match trigger.mode {
+                        RegMode::High => current.is_truthy(),
+                        RegMode::Low => !current.is_truthy(),
+                        RegMode::Rise => {
+                            previous.as_ref().map(|p| !p.is_truthy()).unwrap_or(false)
+                                && current.is_truthy()
+                        }
+                        RegMode::Fall => {
+                            previous.as_ref().map(|p| p.is_truthy()).unwrap_or(false)
+                                && !current.is_truthy()
+                        }
+                        RegMode::Both => {
+                            previous.as_ref().map(|p| p != &current).unwrap_or(false)
+                        }
+                    };
+                    st.reg_prev[base + trigger_index] = Some(current);
+                    if !fire {
+                        continue;
+                    }
+                    if let Some(gate) = trigger.gate {
+                        if !value_of(cx, st, sink, idx, unit, gate)?.is_truthy() {
+                            continue;
+                        }
+                    }
+                    let value = value_of(cx, st, sink, idx, unit, trigger.value)?;
+                    sink.schedule_drive(signal, value, &TimeValue::from_delta(1));
+                }
+            }
+            Opcode::Call => {
+                let mut args = Vec::with_capacity(data.args.len());
+                for &a in &data.args {
+                    args.push(value_of(cx, st, sink, idx, unit, a)?);
+                }
+                let result = call(cx, scr, unit, data, &args)?;
+                if let (Some(result_value), Some(value)) = (unit.get_inst_result(inst), result) {
+                    set_value(st, result_value, value);
+                }
+            }
+            op if op.is_pure() => {
+                let mut args = Vec::with_capacity(data.args.len());
+                for &a in &data.args {
+                    args.push(value_of(cx, st, sink, idx, unit, a)?);
+                }
+                let value = eval_pure(op, &args, &data.imms)
+                    .ok_or_else(|| SimError::Runtime(format!("cannot evaluate instruction {}", op)))?;
+                set_value(st, unit.inst_result(inst), value);
+            }
+            op => {
+                return Err(SimError::Runtime(format!(
+                    "unsupported instruction {} in entity",
+                    op
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

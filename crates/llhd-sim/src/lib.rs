@@ -43,12 +43,14 @@
 pub mod api;
 pub mod design;
 pub mod engine;
+pub mod islands;
 pub mod query;
 pub mod sched;
 pub mod trace;
 
 pub use api::{BatchJob, DesignCache, EngineKind, EngineState, SimSession, TraceSink};
 pub use design::{elaborate, ElaborateError, ElaboratedDesign, SignalId};
+pub use islands::{IslandInfo, IslandPlan};
 pub use query::DesignQuery;
 pub use engine::{RunControl, SimConfig, SimError, SimResult, Simulator};
 pub use sched::{EventQueue, SchedCore};

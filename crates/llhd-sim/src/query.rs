@@ -36,6 +36,7 @@
 //! ```
 
 use crate::design::{ElaboratedDesign, InstanceId, InstanceKind, SignalId};
+use crate::islands::IslandPlan;
 use llhd::ir::{Module, Opcode, Value};
 
 /// One instance in the flattened hierarchy listing.
@@ -69,6 +70,8 @@ pub struct DesignQuery {
     watchers: Vec<Vec<InstanceId>>,
     /// The hierarchy listing, in elaboration order.
     hierarchy: Vec<HierarchyNode>,
+    /// The sensitivity-island partition (see [`crate::islands`]).
+    islands: IslandPlan,
 }
 
 impl DesignQuery {
@@ -153,6 +156,7 @@ impl DesignQuery {
             drivers,
             watchers,
             hierarchy,
+            islands: IslandPlan::build(module, design),
         }
     }
 
@@ -177,6 +181,15 @@ impl DesignQuery {
     /// signals), as cached at build time.
     pub fn canonical(&self, signal: SignalId) -> SignalId {
         SignalId(self.canon[signal.0])
+    }
+
+    /// The sensitivity-island partition of the design: which instances
+    /// and signals can simulate independently within one instant, the
+    /// cross-island boundary signals, and the assignment digest that
+    /// checkpoints embed. See [`crate::islands`] for the graph
+    /// construction.
+    pub fn islands(&self) -> &IslandPlan {
+        &self.islands
     }
 }
 
