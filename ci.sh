@@ -48,6 +48,27 @@ LLHD_CHAOS_SEED=42 timeout 300 \
 }
 echo "ci.sh: chaos test OK (seed 42)"
 
+# Differential fuzz smoke gate: 80 freshly generated designs, each run
+# across the reference interpreter plus ten engine variants (interpreter
+# parallelism, every blaze knob ablation, threads 1/2/4) with
+# constrained-random stimulus including checkpoint/restore cuts — any
+# trace/VCD/stats/peek mismatch fails the gate (see "Differential
+# fuzzing" in ARCHITECTURE.md). The fixed seed keeps CI replayable; a
+# divergence writes a shrunk replay artifact and prints the command to
+# reproduce it. To bump the seed set after an engine change, pick a new
+# base seed, run `fuzz --seed <new> --cases 1000` locally until clean,
+# then update both the seed here and this comment's history: 0x11d4.
+# The hard timeout turns a wedged engine into a loud failure.
+timeout 300 ./target/release/fuzz --seed 0x11d4 --cases 80 \
+    --artifact-dir target/fuzz-artifacts || {
+    echo "ci.sh: differential fuzz smoke gate failed (seed 0x11d4)" >&2
+    echo "ci.sh: any artifact written above replays the divergence" >&2
+    exit 1
+}
+# The committed regression corpus replays inside `cargo test` (the
+# corpus test in llhd-designs), so promoted finds are already covered.
+echo "ci.sh: differential fuzz smoke gate OK (seed 0x11d4)"
+
 # Server smoke test: a request → response → shutdown round-trip through
 # the real llhd-server binary over stdio (the same protocol the TCP mode
 # speaks; see docs/PROTOCOL.md). Three requests in, three ok-responses

@@ -388,4 +388,94 @@ mod tests {
             );
         }
     }
+
+    /// The degenerate scales — one lane, one tap, a 1x1 mesh, a single
+    /// row or column — must build, verify, elaborate, and report the
+    /// same advertised instance and island counts as the formulas
+    /// promise. These edges have no redundancy to hide an off-by-one:
+    /// a 1x1 mesh is one router plus one stimulus plus the shell, and a
+    /// one-lane bank is one lane, one stimulus, one shell.
+    #[test]
+    fn degenerate_scales_report_correct_structure() {
+        for design in [
+            fir_bank(1, 1, 1),
+            fir_bank(1, 4, 1),
+            fir_bank(2, 1, 3),
+            noc_mesh(1, 1, 1),
+            noc_mesh(1, 2, 2),
+            noc_mesh(2, 1, 2),
+        ] {
+            let module = design
+                .build()
+                .unwrap_or_else(|e| panic!("{}: failed to build: {}", design.name, e));
+            llhd::verifier::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{}: failed to verify: {:?}", design.name, e));
+            let elaborated = elaborate(&module, &design.top)
+                .unwrap_or_else(|e| panic!("{}: failed to elaborate: {:?}", design.name, e));
+            assert_eq!(
+                elaborated.num_instances(),
+                design.expected_instances,
+                "{}: instance count",
+                design.name
+            );
+            let plan = IslandPlan::build(&module, &elaborated);
+            assert_eq!(
+                plan.num_islands(),
+                design.expected_islands,
+                "{}: island count",
+                design.name
+            );
+            assert!(
+                elaborated.signal_by_name(&design.probe_signal).is_some(),
+                "{}: probe signal {} does not resolve",
+                design.name,
+                design.probe_signal
+            );
+        }
+    }
+
+    /// The degenerate scales also *run* — on both engines, serial and
+    /// parallel — and agree byte for byte. A 1x1 mesh under 4 threads is
+    /// the pathological parallel case: more workers than islands.
+    #[test]
+    fn degenerate_scales_agree_across_engines_and_threads() {
+        use llhd_sim::api::EngineKind;
+
+        for design in [fir_bank(1, 1, 1), noc_mesh(1, 1, 1)] {
+            let module = design.build().unwrap();
+            let mut reference = None;
+            for engine in [EngineKind::Interpret, EngineKind::Compile] {
+                for threads in [1, 2, 4] {
+                    let result = llhd_blaze::session(&module, &design.top)
+                        .engine(engine)
+                        .until_nanos(design.sim_time_ns(24))
+                        .threads(threads)
+                        .build()
+                        .unwrap()
+                        .run()
+                        .unwrap();
+                    assert!(
+                        result.trace.changes_of(&design.probe_signal).count() > 0,
+                        "{} ({:?}, t{}): probe {} never changed",
+                        design.name,
+                        engine,
+                        threads,
+                        design.probe_signal
+                    );
+                    let events = result.trace.events().to_vec();
+                    match &reference {
+                        None => reference = Some(events),
+                        Some(expected) => assert_eq!(
+                            expected,
+                            &events,
+                            "{} ({:?}, t{}): trace diverges",
+                            design.name,
+                            engine,
+                            threads
+                        ),
+                    }
+                }
+            }
+        }
+    }
 }

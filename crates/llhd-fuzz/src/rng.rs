@@ -1,0 +1,95 @@
+//! The fuzzer's deterministic random source.
+//!
+//! Same xorshift64* family as `llhd_workspace::propcheck::Rng` and the
+//! generator in `llhd-designs`, re-implemented here so the fuzz crate
+//! depends only on the engines it tests (the umbrella crate depends on
+//! everything, which would make `llhd-designs`' dev-dependency on this
+//! crate a heavyweight cycle). Determinism and platform stability are
+//! the only quality bars that matter: every draw must be identical for
+//! a given seed on every machine, or replay-from-seed is a lie.
+
+/// Deterministic xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// Create a generator from a seed (zero is remapped — a zero state
+    /// is the xorshift fixed point).
+    pub fn new(seed: u64) -> Self {
+        FuzzRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.u64();
+        }
+        // Modulo bias is negligible at fuzz-input spans.
+        lo + self.u64() % (span + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range `lo..=hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.range(0, 99) < percent
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FuzzRng::new(42);
+        let mut b = FuzzRng::new(42);
+        for _ in 0..256 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut c = FuzzRng::new(43);
+        assert_ne!(FuzzRng::new(42).u64(), c.u64());
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let mut rng = FuzzRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.range(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(rng.range(5, 5), 5);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = FuzzRng::new(0);
+        let first = rng.u64();
+        let second = rng.u64();
+        assert_ne!(first, second);
+    }
+}

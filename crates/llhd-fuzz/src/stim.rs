@@ -1,0 +1,135 @@
+//! Constrained-random stimulus over the engines' interactive surface.
+//!
+//! A [`Schedule`] is the second half of a fuzz case: where the generated
+//! design exercises the *simulated* machinery, the schedule exercises the
+//! *interactive* machinery — stepping in uneven bursts, poking external
+//! drives into running designs, peeking mid-run values, and cutting the
+//! run with checkpoint/restore at random points. Every engine variant in
+//! a case executes the identical schedule, so any observable difference
+//! (trace, VCD, stats, or the peek log itself) is a divergence.
+//!
+//! Schedules are deliberately coarse: a handful of ops, each cheap to
+//! interpret and trivially shrinkable. After the last op the driver runs
+//! the design to completion, so a schedule only perturbs the run's
+//! prefix — the engines still have to agree on everything that follows.
+
+use crate::gen::FuzzDesign;
+use crate::rng::FuzzRng;
+
+/// One stimulus operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StimOp {
+    /// Advance the engine by up to `cycles` scheduler cycles (fewer if
+    /// the run exhausts first).
+    Step { cycles: u64 },
+    /// Schedule an external drive of `value` (already masked to `width`
+    /// bits) onto the named signal.
+    Poke {
+        signal: String,
+        width: usize,
+        value: u64,
+    },
+    /// Read the named signal's current value into the case's peek log.
+    Peek { signal: String },
+    /// Serialize the engine state, build a fresh engine of the same
+    /// kind, restore into it, and continue on the restored engine.
+    Checkpoint,
+}
+
+/// A replayable stimulus schedule.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule {
+    pub ops: Vec<StimOp>,
+}
+
+impl Schedule {
+    /// Generate a schedule for `design` from a seed: 6–24 ops, weighted
+    /// toward stepping (~55%), with pokes (~20%), peeks (~15%), and
+    /// checkpoint cuts (~10%). Poke values are drawn over the full u64
+    /// range and masked to the target signal's width, so boundary
+    /// patterns (all-ones, sign bit) appear regularly.
+    pub fn generate(seed: u64, design: &FuzzDesign) -> Schedule {
+        let mut rng = FuzzRng::new(seed);
+        let mut ops = Vec::new();
+        for _ in 0..rng.range(6, 24) {
+            let roll = rng.range(0, 99);
+            let op = if roll < 55 {
+                StimOp::Step {
+                    cycles: rng.range(1, 12),
+                }
+            } else if roll < 75 {
+                let (name, width) = rng.pick(&design.signals);
+                StimOp::Poke {
+                    signal: name.clone(),
+                    width: *width,
+                    value: mask(rng.u64(), *width),
+                }
+            } else if roll < 90 {
+                let (name, _) = rng.pick(&design.signals);
+                StimOp::Peek {
+                    signal: name.clone(),
+                }
+            } else {
+                StimOp::Checkpoint
+            };
+            ops.push(op);
+        }
+        Schedule { ops }
+    }
+
+    /// The number of checkpoint cuts in the schedule.
+    pub fn checkpoints(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, StimOp::Checkpoint))
+            .count()
+    }
+
+    /// The number of pokes in the schedule.
+    pub fn pokes(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, StimOp::Poke { .. }))
+            .count()
+    }
+}
+
+/// Truncate `value` to `width` bits. The raw
+/// [`Engine::poke`](llhd_sim::api::Engine::poke) surface does not
+/// validate widths — a too-wide value would corrupt comparisons — so
+/// the schedule carries pre-masked values only.
+pub fn mask(value: u64, width: usize) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DesignPlan;
+
+    #[test]
+    fn schedules_are_deterministic_and_bounded() {
+        let design = DesignPlan::generate(3).emit();
+        let a = Schedule::generate(99, &design);
+        let b = Schedule::generate(99, &design);
+        assert_eq!(a, b);
+        assert!((6..=24).contains(&a.ops.len()));
+        for op in &a.ops {
+            if let StimOp::Poke { width, value, .. } = op {
+                assert_eq!(*value, mask(*value, *width), "unmasked poke value");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_handles_boundary_widths() {
+        assert_eq!(mask(u64::MAX, 1), 1);
+        assert_eq!(mask(u64::MAX, 8), 0xff);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(0x1_ff, 8), 0xff);
+    }
+}

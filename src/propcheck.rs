@@ -120,6 +120,31 @@ pub fn case_count() -> usize {
         .unwrap_or(DEFAULT_CASES)
 }
 
+/// Parse a seed as printed in failure output: `0x…`/`0X…` hex or plain
+/// decimal.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The pinned replay seed from the `LLHD_PROP_SEED` environment
+/// variable, if set. When present, [`forall`] runs *only* that seed —
+/// paste the command printed by a failure to reproduce it.
+pub fn replay_seed() -> Option<u64> {
+    parse_seed(&std::env::var("LLHD_PROP_SEED").ok()?)
+}
+
+/// The ready-to-run command a failure report prints: set the pinned
+/// seed and re-run the test suite. The format is pinned by a unit test —
+/// tooling (and muscle memory) may rely on it.
+pub fn replay_command(seed: u64) -> String {
+    format!("LLHD_PROP_SEED={seed:#018x} cargo test")
+}
+
 /// Run `property` against [`case_count`] generated inputs.
 ///
 /// The closure receives a fresh seeded [`Rng`] per case and returns
@@ -131,26 +156,53 @@ pub fn case_count() -> usize {
 /// # Panics
 ///
 /// Panics on the first failing case, reporting the property name, case
-/// number, replay seed, and the failure message.
+/// number, replay seed, the failure message, and a ready-to-run replay
+/// command (`LLHD_PROP_SEED=<seed> cargo test`). With `LLHD_PROP_SEED`
+/// set, only that seed runs.
 pub fn forall<F>(property: &str, f: F)
 where
     F: Fn(&mut Rng) -> Result<(), String>,
 {
+    if let Some(seed) = replay_seed() {
+        if let Some(message) = run_one(&f, seed) {
+            panic!(
+                "property '{}' failed replaying seed {:#018x}:\n  {}\n  replay: {}",
+                property,
+                seed,
+                message,
+                replay_command(seed)
+            );
+        }
+        return;
+    }
     let cases = case_count();
     let base = fnv1a(property);
     for case in 0..cases {
         let seed = base.wrapping_add(case as u64);
-        let mut rng = Rng::new(seed);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
-        let message = match outcome {
-            Ok(Ok(())) => continue,
-            Ok(Err(message)) => message,
-            Err(payload) => format!("panicked: {}", panic_message(&payload)),
-        };
-        panic!(
-            "property '{}' failed at case {}/{} (replay seed {:#018x}):\n  {}",
-            property, case, cases, seed, message
-        );
+        if let Some(message) = run_one(&f, seed) {
+            panic!(
+                "property '{}' failed at case {}/{} (replay seed {:#018x}):\n  {}\n  replay: {}",
+                property,
+                case,
+                cases,
+                seed,
+                message,
+                replay_command(seed)
+            );
+        }
+    }
+}
+
+/// Run one case; `Some(message)` on failure (assertion or caught panic).
+fn run_one<F>(f: &F, seed: u64) -> Option<String>
+where
+    F: Fn(&mut Rng) -> Result<(), String>,
+{
+    let mut rng = Rng::new(seed);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng))) {
+        Ok(Ok(())) => None,
+        Ok(Err(message)) => Some(message),
+        Err(payload) => Some(format!("panicked: {}", panic_message(&payload))),
     }
 }
 
@@ -248,6 +300,53 @@ mod tests {
     #[should_panic(expected = "replay seed")]
     fn forall_reports_failures_with_seed() {
         forall("always fails", |_rng| Err("nope".to_string()));
+    }
+
+    /// Pins the full failure format, including the ready-to-run replay
+    /// command line. If this changes, update the docs (and anyone's
+    /// muscle memory) deliberately.
+    #[test]
+    fn failure_output_format_is_pinned() {
+        let payload = std::panic::catch_unwind(|| {
+            forall("always fails", |_rng| Err("nope".to_string()));
+        })
+        .expect_err("property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        let seed = fnv1a("always fails");
+        let expected = format!(
+            "property 'always fails' failed at case 0/{} (replay seed {:#018x}):\n  nope\n  replay: LLHD_PROP_SEED={:#018x} cargo test",
+            case_count(),
+            seed,
+            seed
+        );
+        assert_eq!(message, &expected);
+    }
+
+    #[test]
+    fn replay_command_format_is_pinned() {
+        assert_eq!(
+            replay_command(0x1234),
+            "LLHD_PROP_SEED=0x0000000000001234 cargo test"
+        );
+        // The printed command round-trips through the seed parser.
+        let cmd = replay_command(0xdead_beef_0042_1111);
+        let seed_part = cmd
+            .strip_prefix("LLHD_PROP_SEED=")
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap();
+        assert_eq!(parse_seed(seed_part), Some(0xdead_beef_0042_1111));
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X10"), Some(16));
+        assert_eq!(parse_seed("  42 "), Some(42));
+        assert_eq!(parse_seed("0x0000000000001234"), Some(0x1234));
+        assert_eq!(parse_seed("zzz"), None);
+        assert_eq!(parse_seed(""), None);
     }
 
     #[test]
